@@ -1,0 +1,144 @@
+// Command addc-experiments regenerates every evaluation artifact of the
+// paper: the six Fig. 6 delay sweeps (ADDC vs Coolest), and the Theorem 1/2
+// bound comparisons. Output is a paper-style table per figure, optionally
+// CSV.
+//
+// Usage:
+//
+//	addc-experiments                  # all of fig 6a..6f at the scaled point
+//	addc-experiments -fig 6c          # a single sweep
+//	addc-experiments -fig thm1        # Theorem 1 bound check (stand-alone)
+//	addc-experiments -fig ext1        # multi-channel extension sweep
+//	addc-experiments -fig curves      # delivery-progress SVG for one run
+//	addc-experiments -fig thm2        # Theorem 2 bound check (with PUs)
+//	addc-experiments -paper-scale     # paper-nominal parameters (slow!)
+//	addc-experiments -csv             # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"addcrn/internal/experiment"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/spectrum"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "addc-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("addc-experiments", flag.ContinueOnError)
+	var (
+		fig        = fs.String("fig", "all", "figure to regenerate: 6a..6f, thm1, thm2, or all")
+		reps       = fs.Int("reps", 10, "repetitions per sweep point")
+		seed       = fs.Uint64("seed", 1, "root seed")
+		csv        = fs.Bool("csv", false, "emit CSV instead of tables")
+		paperScale = fs.Bool("paper-scale", false, "use the paper's nominal parameters with the aggregate PU model (very slow)")
+		handoff    = fs.Bool("handoff", true, "abort transmissions when a PU arrives (spectrum handoff)")
+		budget     = fs.Duration("max-virtual", 2*time.Hour, "virtual-time budget per run")
+		sameMAC    = fs.Bool("same-mac", false, "run Coolest on ADDC's PCR MAC (routing-only ablation)")
+		svgDir     = fs.String("svg", "", "directory to also write one SVG chart per figure")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := netmodel.ScaledDefaultParams()
+	model := spectrum.ModelExact
+	if *paperScale {
+		base = netmodel.DefaultParams()
+		model = spectrum.ModelAggregate
+	}
+
+	var figures []string
+	switch *fig {
+	case "all":
+		figures = experiment.FigureIDs
+	case "thm1", "thm2":
+		return runBounds(*fig, base, *reps, *seed)
+	case "ext1":
+		return runChannelSweep(base, *reps, *seed)
+	case "curves":
+		svg, err := experiment.DeliveryCurves(base, *seed)
+		if err != nil {
+			return err
+		}
+		if *svgDir != "" {
+			return os.WriteFile(filepath.Join(*svgDir, "curves.svg"), []byte(svg), 0o644)
+		}
+		fmt.Println(svg)
+		return nil
+	default:
+		figures = []string{*fig}
+	}
+
+	for _, id := range figures {
+		sweep, err := experiment.NewFigureSweep(id, base, *seed)
+		if err != nil {
+			return err
+		}
+		sweep.Reps = *reps
+		sweep.PUModel = model
+		sweep.DisableHandoff = !*handoff
+		sweep.MaxVirtualTime = *budget
+		sweep.SameMAC = *sameMAC
+		res, err := sweep.Run()
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Printf("# fig %s\n%s", id, res.FormatCSV())
+		} else {
+			fmt.Println(res.FormatTable())
+		}
+		if *svgDir != "" {
+			svg, err := res.SVG()
+			if err != nil {
+				return fmt.Errorf("render fig %s: %w", id, err)
+			}
+			path := filepath.Join(*svgDir, "fig"+id+".svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runChannelSweep(base netmodel.Params, reps int, seed uint64) error {
+	sweep := experiment.ChannelSweep{
+		Base:     base,
+		Channels: []int{1, 2, 3, 4, 6, 8},
+		Reps:     reps,
+		Seed:     seed,
+	}
+	res, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.FormatTable())
+	return nil
+}
+
+func runBounds(which string, base netmodel.Params, reps int, seed uint64) error {
+	check := experiment.BoundsCheck{
+		Base:       base,
+		StandAlone: which == "thm1",
+		Reps:       reps,
+		Seed:       seed,
+	}
+	res, err := check.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}

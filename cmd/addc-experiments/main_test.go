@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "9z"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunCurvesWritesSVG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full collection run")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "curves", "-svg", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "curves.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("curves output is not SVG")
+	}
+}

@@ -1,0 +1,75 @@
+// Command addc-pcr regenerates the paper's Fig. 4: the Proper
+// Carrier-sensing Range as a function of P_p, P_s, eta_p, eta_s, R and r,
+// for path loss exponents 3.0 and 4.0, at the paper's Fig. 4 defaults
+// (alpha=4, P_p=10, R=12, eta_p=10dB, P_s=10, r=10, eta_s=10dB).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"addcrn/internal/pcr"
+)
+
+type panel struct {
+	v  pcr.SweepVar
+	xs []float64
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "addc-pcr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("addc-pcr", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := pcr.Fig4Defaults()
+	alphas := []float64{3.0, 4.0}
+	panels := []panel{
+		{v: pcr.SweepPowerPU, xs: []float64{5, 10, 15, 20, 25, 30}},
+		{v: pcr.SweepPowerSU, xs: []float64{5, 10, 15, 20, 25, 30}},
+		{v: pcr.SweepEtaPU, xs: []float64{4, 6, 8, 10, 12, 14}},
+		{v: pcr.SweepEtaSU, xs: []float64{4, 6, 8, 10, 12, 14}},
+		{v: pcr.SweepRadiusPU, xs: []float64{6, 8, 10, 12, 14, 16}},
+		{v: pcr.SweepRadiusSU, xs: []float64{6, 8, 10, 12, 14, 16}},
+	}
+
+	for _, p := range panels {
+		series, err := pcr.Fig4Series(base, p.v, p.xs, alphas)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Printf("# fig4 sweep %v\nx,alpha,pcr,kappa\n", p.v)
+			for _, s := range series {
+				for _, pt := range s {
+					fmt.Printf("%g,%g,%g,%g\n", pt.X, pt.Alpha, pt.PCR, pt.Kappa)
+				}
+			}
+			continue
+		}
+		fmt.Printf("Fig. 4 panel: PCR vs %v\n", p.v)
+		fmt.Printf("%-10s", p.v.String())
+		for _, a := range alphas {
+			fmt.Printf(" %14s", fmt.Sprintf("alpha=%.1f", a))
+		}
+		fmt.Println()
+		for i := range p.xs {
+			fmt.Printf("%-10.4g", p.xs[i])
+			for ai := range alphas {
+				fmt.Printf(" %14.2f", series[ai][i].PCR)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	return nil
+}

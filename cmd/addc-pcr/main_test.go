@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected to a pipe and returns the output.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := f()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	return sb.String()
+}
+
+func TestRunTables(t *testing.T) {
+	out := capture(t, func() error { return run(nil) })
+	for _, want := range []string{"PCR vs P_p", "PCR vs eta_s(dB)", "alpha=3.0", "alpha=4.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Six panels.
+	if got := strings.Count(out, "Fig. 4 panel"); got != 6 {
+		t.Errorf("%d panels, want 6", got)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-csv"}) })
+	if !strings.Contains(out, "x,alpha,pcr,kappa") {
+		t.Error("CSV header missing")
+	}
+	if got := strings.Count(out, "# fig4 sweep"); got != 6 {
+		t.Errorf("%d CSV sections, want 6", got)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

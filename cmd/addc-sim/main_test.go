@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunADDCSmall(t *testing.T) {
+	err := run([]string{"-n", "100", "-N", "3", "-area", "60", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCoolestSmall(t *testing.T) {
+	err := run([]string{"-n", "100", "-N", "3", "-area", "60", "-seed", "2", "-alg", "coolest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAggregateModel(t *testing.T) {
+	err := run([]string{"-n", "100", "-N", "3", "-area", "60", "-pu-model", "aggregate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "bogus", "-n", "100", "-N", "3", "-area", "60"},
+		{"-pu-model", "bogus", "-n", "100", "-N", "3", "-area", "60"},
+		{"-alpha", "1.0"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

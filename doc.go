@@ -1,0 +1,17 @@
+// Package addcrn reproduces "Optimal Distributed Data Collection for
+// Asynchronous Cognitive Radio Networks" (Cai, Ji, He, Bourgeois — IEEE
+// ICDCS 2012) as a production-quality Go library.
+//
+// The paper's contribution — the Proper Carrier-sensing Range derivation
+// and the ADDC asynchronous distributed data collection algorithm — lives
+// in internal/pcr and internal/core; every substrate it depends on
+// (deployment model, CDS routing tree, physical interference model,
+// discrete-event simulator, primary-user activity models, CSMA MAC, and
+// the Coolest comparison baseline) is implemented from scratch in the
+// sibling internal packages. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results on every figure.
+//
+// The root directory's bench_test.go regenerates each evaluation artifact
+// as a testing.B benchmark; the cmd/ tools produce the full paper-style
+// tables.
+package addcrn

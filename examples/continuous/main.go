@@ -1,0 +1,51 @@
+// Command continuous demonstrates the continuous data collection extension:
+// the network produces a snapshot every interval and ADDC drains them
+// concurrently. Sweeping the interval locates the sustainable rate — above
+// it per-snapshot delay is flat, below it backlog accumulates round over
+// round (the pipelined regime of the paper's companion works).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"addcrn/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base := core.DefaultOptions()
+	base.Params.NumSU = 150
+	base.Params.Area = 70
+	base.Params.NumPU = 4
+	base.Seed = 5
+
+	fmt.Println("continuous collection: per-snapshot delay vs generation interval")
+	fmt.Printf("%-14s %-16s %-12s %-12s %-14s\n",
+		"interval", "mean delay", "first", "last", "capacity")
+
+	for _, interval := range []time.Duration{
+		20 * time.Second, 10 * time.Second, 5 * time.Second, 2 * time.Second,
+	} {
+		res, err := core.RunContinuous(core.ContinuousOptions{
+			Options:   base,
+			Snapshots: 5,
+			Interval:  interval,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14v %10.0f slots %8.0f %12.0f %10.1f kbit/s\n",
+			interval, res.SnapshotDelaySlots.Mean,
+			res.FirstDelaySlots, res.LastDelaySlots, res.SustainedCapacity/1e3)
+	}
+	fmt.Println("\nlast >> first at short intervals = backlog growth: the interval is")
+	fmt.Println("below the network's sustainable collection rate.")
+	return nil
+}

@@ -1,0 +1,49 @@
+// Command multichannel demonstrates the multi-channel extension: the same
+// deployment collected over 1, 2, 4 and 8 licensed channels, with both
+// home-channel assignment policies, showing the spatial-reuse gain and the
+// single-radio deafness cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"addcrn/internal/multichannel"
+	"addcrn/internal/netmodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := netmodel.ScaledDefaultParams()
+	params.NumSU = 200
+	params.Area = 85
+	params.NumPU = 8
+
+	fmt.Println("multi-channel ADDC: delay vs licensed channel count")
+	fmt.Printf("%-10s %-14s %-16s %-16s\n", "channels", "assignment", "delay (slots)", "deafness losses")
+	for _, channels := range []int{1, 2, 4, 8} {
+		for _, assign := range []multichannel.AssignMode{
+			multichannel.AssignRoundRobin, multichannel.AssignLeastPU,
+		} {
+			res, err := multichannel.Run(multichannel.Options{
+				Params:   params,
+				Channels: channels,
+				Assign:   assign,
+				Seed:     3,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10d %-14v %12.0f %16d\n",
+				channels, assign, res.DelaySlots, res.DeafnessLosses)
+		}
+	}
+	fmt.Println("\nleast-PU assignment places receivers on locally cold channels;")
+	fmt.Println("deafness (parent busy transmitting) grows with concurrency.")
+	return nil
+}

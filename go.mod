@@ -1,0 +1,3 @@
+module addcrn
+
+go 1.22

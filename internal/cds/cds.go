@@ -1,0 +1,253 @@
+// Package cds constructs the CDS-based data collection tree used by ADDC as
+// its routing infrastructure (paper Section IV-A, following Wan et al.,
+// "Minimum-Latency Aggregation Scheduling in Multihop Wireless Networks",
+// MOBIHOC 2009).
+//
+// The construction has three steps:
+//  1. BFS from the base station; pick a maximal independent set (MIS) of
+//     G_s in rank order (BFS level, then node id). MIS nodes are
+//     "dominators"; the base station is always a dominator.
+//  2. For each dominator other than the base station, select a "connector"
+//     neighbor that is adjacent to a lower-level dominator, forming a
+//     connected dominating set D ∪ C.
+//  3. Every remaining node is a "dominatee" and adopts an adjacent
+//     dominator as its tree parent.
+package cds
+
+import (
+	"errors"
+	"fmt"
+
+	"addcrn/internal/graphx"
+)
+
+// Role classifies a node's position in the CDS hierarchy.
+type Role uint8
+
+// Node roles in the data collection tree.
+const (
+	RoleDominator Role = iota + 1
+	RoleConnector
+	RoleDominatee
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleDominator:
+		return "dominator"
+	case RoleConnector:
+		return "connector"
+	case RoleDominatee:
+		return "dominatee"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// ErrNotConnected is returned when the input graph is not connected, so no
+// spanning collection tree exists.
+var ErrNotConnected = errors.New("cds: graph is not connected")
+
+// Tree is a data collection tree rooted at the base station.
+type Tree struct {
+	Root int
+	// Parent[v] is the tree parent of v, -1 for the root.
+	Parent []int32
+	// Children[v] lists v's tree children.
+	Children [][]int32
+	// Role[v] is the CDS role of v.
+	Role []Role
+	// Level[v] is v's BFS hop distance from the root in G_s (not the tree).
+	Level []int
+	// Dominators and Connectors list the members of D and C.
+	Dominators []int32
+	Connectors []int32
+}
+
+// Build constructs the CDS-based data collection tree of adj rooted at root.
+func Build(adj graphx.Adjacency, root int) (*Tree, error) {
+	n := adj.NumNodes()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("cds: root %d out of range [0,%d)", root, n)
+	}
+	levels := adj.BFSLevels(root)
+	for v, l := range levels {
+		if l == -1 {
+			return nil, fmt.Errorf("cds: node %d unreachable from root %d: %w", v, root, ErrNotConnected)
+		}
+	}
+
+	t := &Tree{
+		Root:     root,
+		Parent:   make([]int32, n),
+		Children: make([][]int32, n),
+		Role:     make([]Role, n),
+		Level:    levels,
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+
+	order := rankOrder(levels, root)
+	t.selectDominators(adj, order)
+	if err := t.selectConnectors(adj, order); err != nil {
+		return nil, err
+	}
+	if err := t.attachDominatees(adj); err != nil {
+		return nil, err
+	}
+	t.buildChildren()
+	return t, nil
+}
+
+// rankOrder returns node ids sorted by (BFS level, id); the root is first.
+func rankOrder(levels []int, root int) []int32 {
+	n := len(levels)
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	// Counting sort by level keeps ids ascending within a level.
+	buckets := make([][]int32, maxLevel+1)
+	for v := 0; v < n; v++ {
+		buckets[levels[v]] = append(buckets[levels[v]], int32(v))
+	}
+	order := make([]int32, 0, n)
+	for _, b := range buckets {
+		order = append(order, b...)
+	}
+	if len(order) > 0 && int(order[0]) != root {
+		// The root is the unique level-0 node; BFS guarantees this.
+		panic("cds: rank order does not start at root")
+	}
+	return order
+}
+
+// selectDominators computes the rank-greedy MIS: a node joins D iff none of
+// its lower-ranked neighbors joined.
+func (t *Tree) selectDominators(adj graphx.Adjacency, order []int32) {
+	rank := make([]int32, len(order))
+	for i, v := range order {
+		rank[v] = int32(i)
+	}
+	inMIS := make([]bool, len(order))
+	for _, v := range order {
+		blocked := false
+		for _, u := range adj[v] {
+			if rank[u] < rank[v] && inMIS[u] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			inMIS[v] = true
+			t.Role[v] = RoleDominator
+			t.Dominators = append(t.Dominators, v)
+		}
+	}
+}
+
+// selectConnectors links every non-root dominator to a strictly lower-level
+// dominator through a single connector node, producing a connected D ∪ C.
+//
+// A rank-greedy MIS over BFS levels guarantees every dominator at level
+// l >= 1 has a dominator within two hops whose level is lower; the
+// intermediate node becomes the connector. To keep C small (and dominator
+// connector-degree near Wan et al.'s bound of 12), connectors are reused
+// greedily: an already-selected connector adjacent to the dominator is
+// preferred over creating a new one.
+func (t *Tree) selectConnectors(adj graphx.Adjacency, order []int32) error {
+	isConnector := make([]bool, len(order))
+	// Process dominators in rank order so parents are assigned before use.
+	for _, d := range order {
+		if t.Role[d] != RoleDominator || int(d) == t.Root {
+			continue
+		}
+		conn, grand := t.findConnector(adj, d, isConnector)
+		if conn == -1 {
+			return fmt.Errorf("cds: dominator %d (level %d) has no two-hop lower dominator: %w",
+				d, t.Level[d], ErrNotConnected)
+		}
+		if !isConnector[conn] {
+			isConnector[conn] = true
+			t.Role[conn] = RoleConnector
+			t.Connectors = append(t.Connectors, conn)
+			t.Parent[conn] = grand
+		}
+		t.Parent[d] = conn
+	}
+	return nil
+}
+
+// findConnector returns (connector, dominatorParent) for dominator d: a
+// neighbor c of d adjacent to a dominator at a strictly lower level than d.
+// Existing connectors are preferred; among candidates the lowest-level then
+// lowest-id pair wins, which keeps the choice deterministic.
+func (t *Tree) findConnector(adj graphx.Adjacency, d int32, isConnector []bool) (conn, grand int32) {
+	conn, grand = -1, -1
+	bestReused := false
+	bestLevel := int(^uint(0) >> 1)
+	for _, c := range adj[d] {
+		// A connector candidate must not itself be a dominator (the MIS is
+		// independent, so no neighbor of d is a dominator anyway).
+		if t.Role[c] == RoleDominator {
+			continue
+		}
+		if isConnector[c] {
+			// Reuse: c already has a dominator parent of lower level than
+			// its own; it can relay d as well.
+			if !bestReused || t.Level[c] < bestLevel || (t.Level[c] == bestLevel && c < conn) {
+				conn, grand = c, t.Parent[c]
+				bestReused = true
+				bestLevel = t.Level[c]
+			}
+			continue
+		}
+		if bestReused {
+			continue
+		}
+		for _, g := range adj[c] {
+			if t.Role[g] == RoleDominator && t.Level[g] < t.Level[d] {
+				if t.Level[c] < bestLevel || (t.Level[c] == bestLevel && c < conn) || conn == -1 {
+					conn, grand = c, g
+					bestLevel = t.Level[c]
+				}
+				break
+			}
+		}
+	}
+	return conn, grand
+}
+
+// attachDominatees gives every remaining node an adjacent dominator parent.
+func (t *Tree) attachDominatees(adj graphx.Adjacency) error {
+	for v := range t.Role {
+		if t.Role[v] != 0 {
+			continue
+		}
+		t.Role[v] = RoleDominatee
+		parent := int32(-1)
+		for _, u := range adj[v] {
+			if t.Role[u] == RoleDominator {
+				parent = u
+				break
+			}
+		}
+		if parent == -1 {
+			return fmt.Errorf("cds: node %d has no adjacent dominator (MIS not dominating)", v)
+		}
+		t.Parent[v] = parent
+	}
+	return nil
+}
+
+func (t *Tree) buildChildren() {
+	for v, p := range t.Parent {
+		if p >= 0 {
+			t.Children[p] = append(t.Children[p], int32(v))
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package cds
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"addcrn/internal/graphx"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+)
+
+// lineGraph builds a path 0-1-2-...-k.
+func lineGraph(k int) graphx.Adjacency {
+	adj := make(graphx.Adjacency, k+1)
+	for i := 0; i <= k; i++ {
+		if i > 0 {
+			adj[i] = append(adj[i], int32(i-1))
+		}
+		if i < k {
+			adj[i] = append(adj[i], int32(i+1))
+		}
+	}
+	return adj
+}
+
+func starGraph(leaves int) graphx.Adjacency {
+	adj := make(graphx.Adjacency, leaves+1)
+	for i := 1; i <= leaves; i++ {
+		adj[0] = append(adj[0], int32(i))
+		adj[i] = append(adj[i], 0)
+	}
+	return adj
+}
+
+func deployConnected(t *testing.T, seed uint64, n int, side float64) (*netmodel.Network, graphx.Adjacency) {
+	t.Helper()
+	p := netmodel.ScaledDefaultParams()
+	p.NumSU = n
+	p.Area = side
+	p.NumPU = 0
+	nw, err := netmodel.DeployConnected(p, rng.New(seed), 50)
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, p.RadiusSU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, adj
+}
+
+func TestBuildLine(t *testing.T) {
+	adj := lineGraph(6)
+	tree, err := Build(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(adj); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Role[0] != RoleDominator {
+		t.Errorf("root role %v", tree.Role[0])
+	}
+}
+
+func TestBuildStar(t *testing.T) {
+	adj := starGraph(8)
+	tree, err := Build(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(adj); err != nil {
+		t.Fatal(err)
+	}
+	// The center dominates everything: one dominator, no connectors.
+	if len(tree.Dominators) != 1 || len(tree.Connectors) != 0 {
+		t.Errorf("star: %d dominators, %d connectors", len(tree.Dominators), len(tree.Connectors))
+	}
+	for v := 1; v <= 8; v++ {
+		if tree.Parent[v] != 0 {
+			t.Errorf("leaf %d parent %d", v, tree.Parent[v])
+		}
+	}
+}
+
+func TestBuildSingleNode(t *testing.T) {
+	adj := graphx.Adjacency{{}}
+	tree, err := Build(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Parent[0] != -1 || tree.Role[0] != RoleDominator {
+		t.Errorf("singleton tree: parent %d role %v", tree.Parent[0], tree.Role[0])
+	}
+}
+
+func TestBuildRejectsDisconnected(t *testing.T) {
+	adj := graphx.Adjacency{{1}, {0}, {}}
+	_, err := Build(adj, 0)
+	if err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+	if !errors.Is(err, ErrNotConnected) {
+		t.Errorf("error %v does not wrap ErrNotConnected", err)
+	}
+}
+
+func TestBuildRejectsBadRoot(t *testing.T) {
+	adj := lineGraph(2)
+	if _, err := Build(adj, -1); err == nil {
+		t.Error("negative root accepted")
+	}
+	if _, err := Build(adj, 17); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestBuildRandomDeployments(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		nw, adj := deployConnected(t, seed, 250, 90)
+		tree, err := Build(adj, netmodel.BaseStationID)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := tree.Validate(adj); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_ = nw
+	}
+}
+
+func TestLevelsDecreaseTowardRoot(t *testing.T) {
+	_, adj := deployConnected(t, 11, 250, 90)
+	tree, err := Build(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Along any parent chain, the BFS level two steps up must strictly
+	// decrease for dominators (via connectors); dominatees step to a
+	// dominator within one level.
+	for _, d := range tree.Dominators {
+		if int(d) == tree.Root {
+			continue
+		}
+		conn := tree.Parent[d]
+		grand := tree.Parent[conn]
+		if tree.Level[grand] >= tree.Level[d] {
+			t.Fatalf("dominator %d (level %d) has grandparent %d (level %d)",
+				d, tree.Level[d], grand, tree.Level[grand])
+		}
+	}
+}
+
+func TestLemma1ConnectorBound(t *testing.T) {
+	// Lemma 1: every dominator is adjacent to at most 12 connectors. Our
+	// connector selection reuses connectors greedily; verify the bound
+	// empirically over random unit-disk deployments.
+	for seed := uint64(20); seed < 30; seed++ {
+		_, adj := deployConnected(t, seed, 300, 95)
+		tree, err := Build(adj, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := tree.ComputeStats(adj)
+		if st.MaxConnectorAdj > 12 {
+			t.Errorf("seed %d: dominator adjacent to %d connectors (Lemma 1 bound 12)",
+				seed, st.MaxConnectorAdj)
+		}
+	}
+}
+
+func TestMISIndependenceAndDominationProperty(t *testing.T) {
+	// Randomized graphs beyond unit-disk: independence and domination of
+	// the dominator set must hold on any connected graph.
+	rnd := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rnd.Intn(40)
+		adj := make(graphx.Adjacency, n)
+		for v := 1; v < n; v++ {
+			u := rnd.Intn(v)
+			adj[v] = append(adj[v], int32(u))
+			adj[u] = append(adj[u], int32(v))
+		}
+		for i := 0; i < n; i++ {
+			u, v := rnd.Intn(n), rnd.Intn(n)
+			if u != v && !adj.HasEdge(u, v) {
+				adj[u] = append(adj[u], int32(v))
+				adj[v] = append(adj[v], int32(u))
+			}
+		}
+		for u := range adj {
+			nbrs := adj[u]
+			for i := 1; i < len(nbrs); i++ {
+				for j := i; j > 0 && nbrs[j-1] > nbrs[j]; j-- {
+					nbrs[j-1], nbrs[j] = nbrs[j], nbrs[j-1]
+				}
+			}
+		}
+		tree, err := Build(adj, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := tree.Validate(adj); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	adj := lineGraph(6)
+	tree, err := Build(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tree.ComputeStats(adj)
+	if st.NumNodes != 7 {
+		t.Errorf("NumNodes = %d", st.NumNodes)
+	}
+	if st.NumDominators+st.NumConnectors+st.NumDominatees != 7 {
+		t.Errorf("role counts do not sum: %+v", st)
+	}
+	if st.Depth != tree.Depth() {
+		t.Errorf("Depth mismatch: %d vs %d", st.Depth, tree.Depth())
+	}
+	if st.MaxDegree != tree.MaxDegree() {
+		t.Errorf("MaxDegree mismatch: %d vs %d", st.MaxDegree, tree.MaxDegree())
+	}
+	if st.Depth < 3 {
+		t.Errorf("line-of-7 tree suspiciously shallow: depth %d", st.Depth)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for _, r := range []Role{RoleDominator, RoleConnector, RoleDominatee, Role(99)} {
+		if r.String() == "" {
+			t.Errorf("empty string for role %d", r)
+		}
+	}
+}
+
+func TestValidateCatchesCorruptTree(t *testing.T) {
+	adj := lineGraph(6)
+	tree, err := Build(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: point a node at a non-adjacent parent.
+	tree.Parent[6] = 0
+	if err := tree.Validate(adj); err == nil {
+		t.Error("Validate accepted a tree edge that is not a graph edge")
+	}
+}
+
+func TestValidateCatchesWrongRoleWiring(t *testing.T) {
+	adj := starGraph(4)
+	tree, err := Build(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Role[1] = RoleConnector // dominatee mislabeled
+	if err := tree.Validate(adj); err == nil {
+		t.Error("Validate accepted connector with dominator parent mismatch... wiring corruption")
+	}
+}
+
+// Geometric sanity: on a dense unit-disk graph the number of dominators is
+// bounded by the area packing (independent points are pairwise > r apart).
+func TestDominatorPacking(t *testing.T) {
+	nw, adj := deployConnected(t, 55, 300, 95)
+	tree, err := Build(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := nw.Params.RadiusSU
+	for i := 0; i < len(tree.Dominators); i++ {
+		for j := i + 1; j < len(tree.Dominators); j++ {
+			a, b := tree.Dominators[i], tree.Dominators[j]
+			if nw.SU[a].Dist(nw.SU[b]) <= r {
+				t.Fatalf("dominators %d and %d within r of each other", a, b)
+			}
+		}
+	}
+}

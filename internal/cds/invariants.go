@@ -1,0 +1,200 @@
+package cds
+
+import (
+	"fmt"
+
+	"addcrn/internal/graphx"
+)
+
+// Stats summarizes structural properties of a collection tree; it backs the
+// empirical checks of the paper's Lemma 1 and Lemma 6.
+type Stats struct {
+	NumNodes        int
+	NumDominators   int
+	NumConnectors   int
+	NumDominatees   int
+	Depth           int
+	MaxDegree       int // maximum number of tree children + parent links
+	MaxConnectorAdj int // max connectors adjacent (in G_s) to any dominator
+}
+
+// ComputeStats derives Stats for t over its generating graph adj.
+func (t *Tree) ComputeStats(adj graphx.Adjacency) Stats {
+	s := Stats{
+		NumNodes:      len(t.Parent),
+		NumDominators: len(t.Dominators),
+		NumConnectors: len(t.Connectors),
+	}
+	s.NumDominatees = s.NumNodes - s.NumDominators - s.NumConnectors
+	for v := range t.Parent {
+		d := t.depthOf(v)
+		if d > s.Depth {
+			s.Depth = d
+		}
+		deg := len(t.Children[v])
+		if t.Parent[v] >= 0 {
+			deg++
+		}
+		if deg > s.MaxDegree {
+			s.MaxDegree = deg
+		}
+	}
+	for _, d := range t.Dominators {
+		adjConnectors := 0
+		for _, u := range adj[d] {
+			if t.Role[u] == RoleConnector {
+				adjConnectors++
+			}
+		}
+		if adjConnectors > s.MaxConnectorAdj {
+			s.MaxConnectorAdj = adjConnectors
+		}
+	}
+	return s
+}
+
+func (t *Tree) depthOf(v int) int {
+	d := 0
+	for u := int32(v); t.Parent[u] >= 0; u = t.Parent[u] {
+		d++
+	}
+	return d
+}
+
+// Depth returns the maximum root-to-leaf hop count of the tree.
+func (t *Tree) Depth() int {
+	maxD := 0
+	for v := range t.Parent {
+		if d := t.depthOf(v); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// MaxDegree returns the maximum tree degree (children plus parent edge).
+func (t *Tree) MaxDegree() int {
+	maxDeg := 0
+	for v := range t.Parent {
+		deg := len(t.Children[v])
+		if t.Parent[v] >= 0 {
+			deg++
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	return maxDeg
+}
+
+// Validate checks every invariant the construction promises:
+//
+//   - the dominator set is an independent set of adj and dominates it;
+//   - the induced subgraph on dominators ∪ connectors is connected (CDS);
+//   - every tree edge is an edge of adj;
+//   - parent pointers are acyclic and reach the root from every node;
+//   - dominatees' parents are dominators; dominators' parents (except the
+//     root's) are connectors; connectors' parents are dominators.
+func (t *Tree) Validate(adj graphx.Adjacency) error {
+	n := len(t.Parent)
+	if adj.NumNodes() != n {
+		return fmt.Errorf("cds: tree has %d nodes, graph has %d", n, adj.NumNodes())
+	}
+	if t.Role[t.Root] != RoleDominator {
+		return fmt.Errorf("cds: root role is %v, want dominator", t.Role[t.Root])
+	}
+	// Independence and domination of D.
+	for _, d := range t.Dominators {
+		for _, u := range adj[d] {
+			if t.Role[u] == RoleDominator {
+				return fmt.Errorf("cds: adjacent dominators %d and %d", d, u)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if t.Role[v] == RoleDominator {
+			continue
+		}
+		dominated := false
+		for _, u := range adj[v] {
+			if t.Role[u] == RoleDominator {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("cds: node %d is not dominated", v)
+		}
+	}
+	// Tree edges exist in adj; role wiring; acyclicity via level progress.
+	for v := 0; v < n; v++ {
+		p := t.Parent[v]
+		if v == t.Root {
+			if p != -1 {
+				return fmt.Errorf("cds: root has parent %d", p)
+			}
+			continue
+		}
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("cds: node %d has invalid parent %d", v, p)
+		}
+		if !adj.HasEdge(v, int(p)) {
+			return fmt.Errorf("cds: tree edge %d->%d is not a graph edge", v, p)
+		}
+		switch t.Role[v] {
+		case RoleDominatee:
+			if t.Role[p] != RoleDominator {
+				return fmt.Errorf("cds: dominatee %d has %v parent %d", v, t.Role[p], p)
+			}
+		case RoleDominator:
+			if t.Role[p] != RoleConnector {
+				return fmt.Errorf("cds: dominator %d has %v parent %d", v, t.Role[p], p)
+			}
+		case RoleConnector:
+			if t.Role[p] != RoleDominator {
+				return fmt.Errorf("cds: connector %d has %v parent %d", v, t.Role[p], p)
+			}
+		default:
+			return fmt.Errorf("cds: node %d has unassigned role", v)
+		}
+	}
+	// Every node reaches the root in at most n steps.
+	for v := 0; v < n; v++ {
+		u := int32(v)
+		for steps := 0; int(u) != t.Root; steps++ {
+			if steps > n {
+				return fmt.Errorf("cds: parent chain from %d does not reach root", v)
+			}
+			u = t.Parent[u]
+		}
+	}
+	// CDS connectivity: BFS over adj restricted to D ∪ C.
+	if err := t.checkCDSConnected(adj); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (t *Tree) checkCDSConnected(adj graphx.Adjacency) error {
+	inCDS := func(v int32) bool {
+		return t.Role[v] == RoleDominator || t.Role[v] == RoleConnector
+	}
+	total := len(t.Dominators) + len(t.Connectors)
+	visited := make(map[int32]bool, total)
+	queue := []int32{int32(t.Root)}
+	visited[int32(t.Root)] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if inCDS(v) && !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(visited) != total {
+		return fmt.Errorf("cds: CDS has %d nodes but only %d reachable from root", total, len(visited))
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+)
+
+func rngFromSeed(seed uint64) *rng.Source { return rng.New(seed) }
+
+// TestChaosRandomizedParameters drives the full pipeline (deploy, CDS
+// tree, PCR, MAC, PU model) across randomized-but-valid parameter points
+// and asserts the system-level invariants on every one: full delivery,
+// zero SIR collisions in stand-alone runs, and capacity below W.
+func TestChaosRandomizedParameters(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		p := netmodel.ScaledDefaultParams()
+		p.Alpha = 2.6 + rnd.Float64()*2.4
+		p.Area = 50 + rnd.Float64()*30
+		// Keep density comfortably above the connectivity threshold.
+		density := 0.028 + rnd.Float64()*0.02
+		p.NumSU = int(density * p.Area * p.Area)
+		standAlone := rnd.Intn(2) == 0
+		if standAlone {
+			p.NumPU = 0
+		} else {
+			p.NumPU = 1 + rnd.Intn(6)
+		}
+		p.ActiveProb = rnd.Float64() * 0.35
+		p.PowerPU = 5 + rnd.Float64()*20
+		p.PowerSU = 5 + rnd.Float64()*20
+		p.SIRThresholdPUdB = 4 + rnd.Float64()*6
+		p.SIRThresholdSUdB = 4 + rnd.Float64()*6
+
+		seed := rnd.Uint64()
+		nw, err := netmodel.DeployConnected(p, rngFromSeed(seed), 80)
+		if err != nil {
+			// Low-density draws can fail to connect; that is a property of
+			// the draw, not a bug.
+			t.Logf("trial %d: skipping disconnected draw: %v", trial, err)
+			continue
+		}
+		tree, err := BuildTree(nw)
+		if err != nil {
+			t.Fatalf("trial %d (alpha=%.2f n=%d): tree: %v", trial, p.Alpha, p.NumSU, err)
+		}
+
+		res, err := Collect(nw, tree.Parent, CollectConfig{
+			Seed:           seed,
+			SIRValidate:    true,
+			MaxVirtualTime: 4 * time.Hour,
+		})
+		if err != nil {
+			t.Fatalf("trial %d (alpha=%.2f n=%d N=%d pt=%.2f): %v",
+				trial, p.Alpha, p.NumSU, p.NumPU, p.ActiveProb, err)
+		}
+		if res.Delivered != res.Expected {
+			t.Fatalf("trial %d: delivered %d/%d", trial, res.Delivered, res.Expected)
+		}
+		if standAlone && res.TotalCollisions != 0 {
+			t.Errorf("trial %d: %d collisions in stand-alone run (alpha=%.2f eta=%0.1fdB)",
+				trial, res.TotalCollisions, p.Alpha, p.SIRThresholdSUdB)
+		}
+		if res.Capacity > p.Bandwidth()*(1+1e-9) {
+			t.Errorf("trial %d: capacity %v exceeds W=%v", trial, res.Capacity, p.Bandwidth())
+		}
+	}
+}

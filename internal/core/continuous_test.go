@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func continuousOpts(seed uint64) ContinuousOptions {
+	opts := smallOptions(seed)
+	return ContinuousOptions{
+		Options:   opts,
+		Snapshots: 3,
+		Interval:  20 * time.Second,
+	}
+}
+
+func TestRunContinuousDeliversAllRounds(t *testing.T) {
+	res, err := RunContinuous(continuousOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Expected {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.Expected)
+	}
+	if res.SnapshotDelaySlots.N != 3 {
+		t.Errorf("summaries cover %d rounds, want 3", res.SnapshotDelaySlots.N)
+	}
+	if res.SnapshotDelaySlots.Min <= 0 {
+		t.Errorf("non-positive per-snapshot delay: %+v", res.SnapshotDelaySlots)
+	}
+	if res.SustainedCapacity <= 0 {
+		t.Errorf("sustained capacity %v", res.SustainedCapacity)
+	}
+}
+
+func TestRunContinuousValidation(t *testing.T) {
+	opts := continuousOpts(2)
+	opts.Snapshots = 0
+	if _, err := RunContinuous(opts); err == nil {
+		t.Error("zero snapshots accepted")
+	}
+	opts = continuousOpts(2)
+	opts.Interval = 0
+	if _, err := RunContinuous(opts); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestRunContinuousSingleRoundMatchesSnapshot(t *testing.T) {
+	// One round of continuous collection is exactly a snapshot task: its
+	// delay must agree with core.Run under the same seed and topology.
+	opts := continuousOpts(3)
+	opts.Snapshots = 1
+	cont, err := RunContinuous(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Run(opts.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cont.FirstDelaySlots != snap.DelaySlots {
+		t.Errorf("single-round continuous delay %v != snapshot delay %v",
+			cont.FirstDelaySlots, snap.DelaySlots)
+	}
+}
+
+func TestRunContinuousBacklogGrowsAtShortInterval(t *testing.T) {
+	long := continuousOpts(4)
+	long.Snapshots = 4
+	long.Interval = 60 * time.Second
+	relaxed, err := RunContinuous(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := continuousOpts(4)
+	short.Snapshots = 4
+	short.Interval = 500 * time.Millisecond // far below the drain time
+	pressed, err := RunContinuous(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pressed.LastDelaySlots <= relaxed.LastDelaySlots {
+		t.Errorf("no backlog growth: pressed last %v <= relaxed last %v",
+			pressed.LastDelaySlots, relaxed.LastDelaySlots)
+	}
+}
+
+func TestRunContinuousDeterministic(t *testing.T) {
+	a, err := RunContinuous(continuousOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContinuous(continuousOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime != b.TotalTime || a.SnapshotDelaySlots.Mean != b.SnapshotDelaySlots.Mean {
+		t.Error("continuous runs with equal seeds diverged")
+	}
+}

@@ -1,0 +1,358 @@
+// Package core is the reproduction's primary public API: the Asynchronous
+// Distributed Data Collection (ADDC) algorithm of the paper, and the
+// generic collection runner both ADDC and baselines execute on.
+//
+// A data collection task (paper Section III) starts with every secondary
+// user holding one snapshot packet and ends when the base station has
+// received all n packets. core wires together the CDS routing tree
+// (internal/cds), the Proper Carrier-sensing Range (internal/pcr), the CSMA
+// MAC (internal/mac), and a primary-user activity model
+// (internal/spectrum), then drives the discrete-event engine to completion.
+//
+// Typical use:
+//
+//	opts := core.DefaultOptions()
+//	opts.Params.NumSU = 500
+//	res, err := core.Run(opts)
+//	// res.Delay, res.Capacity, res.TreeStats, ...
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"addcrn/internal/cds"
+	"addcrn/internal/graphx"
+	"addcrn/internal/mac"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/pcr"
+	"addcrn/internal/rng"
+	"addcrn/internal/sim"
+	"addcrn/internal/spectrum"
+	"addcrn/internal/stats"
+)
+
+// ErrDeadline is returned when a run's virtual-time budget expires before
+// every packet reaches the base station; the partial Result is still
+// returned alongside it.
+var ErrDeadline = errors.New("core: virtual-time deadline exceeded before collection finished")
+
+// Options configures a complete ADDC run.
+type Options struct {
+	// Params is the system model; see netmodel.DefaultParams and
+	// netmodel.ScaledDefaultParams.
+	Params netmodel.Params
+	// Seed makes the run reproducible; runs with equal Options are
+	// bit-identical.
+	Seed uint64
+	// PUModel selects the primary-user activity model (default exact).
+	PUModel spectrum.ModelKind
+	// MaxVirtualTime bounds the simulated time (default 30 virtual
+	// minutes); exceeded budgets return ErrDeadline.
+	MaxVirtualTime time.Duration
+	// DeployAttempts bounds connectivity resampling (default 50).
+	DeployAttempts int
+}
+
+// DefaultOptions returns Options at the feasibility-scaled operating point
+// with the exact PU model.
+func DefaultOptions() Options {
+	return Options{
+		Params:         netmodel.ScaledDefaultParams(),
+		Seed:           1,
+		PUModel:        spectrum.ModelExact,
+		MaxVirtualTime: 30 * time.Minute,
+		DeployAttempts: 50,
+	}
+}
+
+// Result reports everything a run measured.
+type Result struct {
+	// Delay is the data collection delay: virtual time until the base
+	// station held all n packets.
+	Delay sim.Time
+	// DelaySlots is Delay expressed in slots of length tau.
+	DelaySlots float64
+	// Capacity is the data collection capacity n*B/Delay in bits/second.
+	Capacity float64
+	// Delivered counts packets that reached the base station.
+	Delivered int
+	// Expected is the number of packets the snapshot produced (n).
+	Expected int
+
+	// PCR restates the carrier-sensing derivation used.
+	PCR pcr.Constants
+	// TreeStats summarizes the routing tree (CDS stats for ADDC; for other
+	// routings only the degree/depth fields are meaningful).
+	TreeStats cds.Stats
+
+	// TotalTransmissions, TotalAborts and TotalCollisions aggregate MAC
+	// activity (collisions stay zero unless an RxMonitor was attached).
+	TotalTransmissions int
+	TotalAborts        int
+	TotalCollisions    int
+	// MaxServiceSlots is the largest per-packet service time any node saw,
+	// in slots (Theorem 1's measured counterpart).
+	MaxServiceSlots float64
+	// FairnessIndex is Jain's index over per-node completed transmissions.
+	FairnessIndex float64
+	// HopStats and LatencySlots summarize per-packet hop counts and
+	// end-to-end latencies (in slots).
+	HopStats     stats.Summary
+	LatencySlots stats.Summary
+	// EngineSteps counts executed simulator events (cost metric).
+	EngineSteps uint64
+	// ProgressSlots, when CollectConfig.RecordProgress was set, holds the
+	// time (in slots) of the k-th delivery at index k-1 — the delivery
+	// curve of the run.
+	ProgressSlots []float64
+}
+
+// Run deploys a connected network, builds the CDS data collection tree, and
+// collects one snapshot with ADDC. It is the one-call entry point; use
+// BuildNetwork/BuildTree/Collect for multi-algorithm comparisons on a fixed
+// topology.
+func Run(opts Options) (*Result, error) {
+	nw, err := BuildNetwork(opts)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := BuildTree(nw)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(nw, tree.Parent, CollectConfig{
+		Seed:           opts.Seed,
+		PUModel:        opts.PUModel,
+		MaxVirtualTime: opts.MaxVirtualTime,
+		TreeStats:      treeStats(nw, tree),
+	})
+}
+
+// BuildNetwork deploys a connected secondary network per opts.
+func BuildNetwork(opts Options) (*netmodel.Network, error) {
+	attempts := opts.DeployAttempts
+	if attempts <= 0 {
+		attempts = 50
+	}
+	src := rng.New(opts.Seed)
+	nw, err := netmodel.DeployConnected(opts.Params, src, attempts)
+	if err != nil {
+		return nil, fmt.Errorf("core: deploy: %w", err)
+	}
+	return nw, nil
+}
+
+// BuildTree constructs the CDS-based data collection tree over nw's
+// unit-disk graph, rooted at the base station.
+func BuildTree(nw *netmodel.Network) (*cds.Tree, error) {
+	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, nw.Params.RadiusSU)
+	if err != nil {
+		return nil, fmt.Errorf("core: adjacency: %w", err)
+	}
+	tree, err := cds.Build(adj, netmodel.BaseStationID)
+	if err != nil {
+		return nil, fmt.Errorf("core: CDS tree: %w", err)
+	}
+	return tree, nil
+}
+
+func treeStats(nw *netmodel.Network, tree *cds.Tree) cds.Stats {
+	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, nw.Params.RadiusSU)
+	if err != nil {
+		return cds.Stats{}
+	}
+	return tree.ComputeStats(adj)
+}
+
+// CollectConfig parameterizes a collection run over a prebuilt topology and
+// routing tree.
+type CollectConfig struct {
+	Seed           uint64
+	PUModel        spectrum.ModelKind
+	MaxVirtualTime time.Duration
+	// TreeStats, if set, is copied into the Result for reporting.
+	TreeStats cds.Stats
+	// Hooks observe MAC transmissions (tests and tracing); either may be
+	// nil.
+	OnTxStart func(node int32, now sim.Time)
+	OnTxEnd   func(node int32, now sim.Time, completed bool)
+	// PCROverride forces a carrier-sensing range instead of the derived
+	// PCR; zero means "use the derivation". Ablation benches use it.
+	PCROverride float64
+	// DisableHandoff turns off abort-on-PU-arrival (see mac.Config).
+	DisableHandoff bool
+
+	// GenericCSMA runs the baseline MAC profile instead of ADDC's: the
+	// carrier-sensing range is CSMASensingFactor*r (default 2r, the
+	// conventional CSMA guard) rather than the derived PCR, reception
+	// success is decided by physical SIR (collisions happen), there is no
+	// fairness wait, and binary exponential backoff resolves contention.
+	// This is the MAC the Coolest comparison runs on (DESIGN.md Section 6).
+	GenericCSMA bool
+	// CSMASensingFactor scales the generic profile's sensing range in
+	// units of r; zero means 2.
+	CSMASensingFactor float64
+	// SIRValidate attaches the SIR monitor under the ADDC profile too, so
+	// the Result reports collision counts (Lemmas 2-3 promise zero).
+	SIRValidate bool
+	// PUTrace, when non-nil, replays a deterministic primary-user activity
+	// trace (see spectrum.Trace) instead of the stochastic PUModel.
+	PUTrace *spectrum.Trace
+	// AggregateQueue enables perfect data aggregation at relays (the paper
+	// studies collection without aggregation; see mac.Config).
+	AggregateQueue bool
+	// RecordProgress stores each delivery's timestamp into the Result's
+	// ProgressSlots, enabling delivery-curve plots (memory cost: one
+	// float64 per packet).
+	RecordProgress bool
+}
+
+// Collect runs one data collection task over nw with the given routing
+// parents (parent[v] is v's next hop; -1 exactly at the base station).
+func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, error) {
+	consts, err := pcr.Compute(nw.Params)
+	if err != nil {
+		return nil, err
+	}
+	// PU protection always uses the derived PCR distance; only the SU-SU
+	// coordination range differs between profiles.
+	puSense := consts.Range
+	suSense := consts.Range
+	if cfg.GenericCSMA {
+		factor := cfg.CSMASensingFactor
+		if factor <= 0 {
+			factor = 2
+		}
+		suSense = factor * nw.Params.RadiusSU
+	}
+	if cfg.PCROverride > 0 {
+		puSense = cfg.PCROverride
+		suSense = cfg.PCROverride
+	}
+	if cfg.MaxVirtualTime <= 0 {
+		cfg.MaxVirtualTime = 30 * time.Minute
+	}
+	if cfg.PUModel == 0 {
+		cfg.PUModel = spectrum.ModelExact
+	}
+
+	eng := sim.New()
+	src := rng.New(cfg.Seed)
+
+	res := &Result{
+		Expected:  nw.NumNodes() - 1,
+		PCR:       consts,
+		TreeStats: cfg.TreeStats,
+	}
+	latencies := make([]float64, 0, res.Expected)
+	hops := make([]float64, 0, res.Expected)
+	slot := sim.FromDuration(nw.Params.Slot)
+
+	var monitor *spectrum.RxMonitor
+	if cfg.GenericCSMA || cfg.SIRValidate {
+		monitor = spectrum.NewRxMonitor(nw.Params.Alpha)
+	}
+
+	done := false
+	m, err := mac.New(mac.Config{
+		Network:      nw,
+		Parent:       parent,
+		PUSenseRange: puSense,
+		SUSenseRange: suSense,
+		Engine:       eng,
+		Rand:         src,
+		OnDeliver: func(pkt mac.Packet, now sim.Time) {
+			res.Delivered++
+			latencies = append(latencies, float64(now-pkt.Born)/float64(slot))
+			hops = append(hops, float64(pkt.Hops))
+			if cfg.RecordProgress {
+				res.ProgressSlots = append(res.ProgressSlots, float64(now)/float64(slot))
+			}
+			if res.Delivered == res.Expected {
+				res.Delay = now
+				done = true
+			}
+		},
+		OnTxStart:      cfg.OnTxStart,
+		OnTxEnd:        cfg.OnTxEnd,
+		DisableHandoff: cfg.DisableHandoff,
+		Monitor:        monitor,
+		NoFairnessWait: cfg.GenericCSMA,
+		ExpBackoff:     cfg.GenericCSMA,
+		AggregateQueue: cfg.AggregateQueue,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var model spectrum.PUModel
+	switch {
+	case cfg.PUTrace != nil:
+		traceModel, err := spectrum.NewTraceModel(nw, m.Tracker(), cfg.PUTrace)
+		if err != nil {
+			return nil, err
+		}
+		model = traceModel
+	case cfg.PUModel == spectrum.ModelExact:
+		exact := spectrum.NewExactModel(nw, m.Tracker(), src)
+		if monitor != nil {
+			exact.AttachMonitor(monitor)
+		}
+		model = exact
+	case cfg.PUModel == spectrum.ModelAggregate:
+		// The aggregate model has no physical PU transmitters, so primary
+		// interference cannot enter SIR checking; SU-SU collisions are
+		// still evaluated when a monitor is attached.
+		model = spectrum.NewAggregateModel(nw, m.Tracker(), src)
+	default:
+		return nil, fmt.Errorf("core: unknown PU model %v", cfg.PUModel)
+	}
+	model.Start(eng)
+	m.Start()
+
+	deadline := sim.FromDuration(cfg.MaxVirtualTime)
+	for !done {
+		if !eng.Step() {
+			break // queue drained: nothing can make progress anymore
+		}
+		if eng.Now() > deadline {
+			finishResult(res, nw, m, eng, latencies, hops, slot)
+			return res, fmt.Errorf("core: %d/%d delivered by %v: %w",
+				res.Delivered, res.Expected, eng.Now().Duration(), ErrDeadline)
+		}
+	}
+	if !done {
+		finishResult(res, nw, m, eng, latencies, hops, slot)
+		return res, fmt.Errorf("core: simulation stalled with %d/%d delivered", res.Delivered, res.Expected)
+	}
+	finishResult(res, nw, m, eng, latencies, hops, slot)
+	return res, nil
+}
+
+func finishResult(res *Result, nw *netmodel.Network, m *mac.MAC, eng *sim.Engine,
+	latencies, hops []float64, slot sim.Time) {
+	if res.Delay == 0 && res.Delivered < res.Expected {
+		res.Delay = eng.Now()
+	}
+	res.DelaySlots = float64(res.Delay) / float64(slot)
+	if res.Delay > 0 {
+		res.Capacity = float64(res.Delivered) * nw.Params.PacketBits / res.Delay.Seconds()
+	}
+	perNodeTx := make([]float64, 0, nw.NumNodes()-1)
+	for v := 1; v < nw.NumNodes(); v++ {
+		st := m.Stats(int32(v))
+		res.TotalTransmissions += st.Transmissions
+		res.TotalAborts += st.Aborts
+		res.TotalCollisions += st.Collisions
+		if svc := float64(st.MaxServiceTime) / float64(slot); svc > res.MaxServiceSlots {
+			res.MaxServiceSlots = svc
+		}
+		perNodeTx = append(perNodeTx, float64(st.Transmissions))
+	}
+	res.FairnessIndex = stats.JainIndex(perNodeTx)
+	res.HopStats = stats.Summarize(hops)
+	res.LatencySlots = stats.Summarize(latencies)
+	res.EngineSteps = eng.Steps()
+}

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"addcrn/internal/multichannel"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+	"addcrn/internal/stats"
+)
+
+// ChannelSweep measures the multi-channel extension: ADDC delay as a
+// function of the number of licensed channels (experiment id "ext1"; not a
+// paper artifact — see DESIGN.md Extensions).
+type ChannelSweep struct {
+	Base     netmodel.Params
+	Channels []int
+	Reps     int
+	Seed     uint64
+	Assign   multichannel.AssignMode
+	Workers  int
+}
+
+// ChannelPoint is one channel-count measurement.
+type ChannelPoint struct {
+	Channels int
+	Delay    stats.Summary
+	Deafness stats.Summary
+	Failed   int
+}
+
+// ChannelSweepResult is the outcome of ChannelSweep.Run.
+type ChannelSweepResult struct {
+	Points  []ChannelPoint
+	Elapsed time.Duration
+}
+
+// Run executes the sweep with one goroutine per pending repetition (capped
+// at Workers).
+func (s *ChannelSweep) Run() (*ChannelSweepResult, error) {
+	if len(s.Channels) == 0 {
+		return nil, fmt.Errorf("experiment: channel sweep has no channel counts")
+	}
+	reps := s.Reps
+	if reps <= 0 {
+		reps = 10
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+
+	type outcome struct {
+		ci       int
+		delay    float64
+		deafness float64
+		err      error
+	}
+	type job struct{ ci, rep int }
+	jobs := make(chan job)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				seed := rng.New(s.Seed).ChildN(fmt.Sprintf("ext1/c%d", s.Channels[j.ci]), j.rep).Uint64()
+				res, err := multichannel.Run(multichannel.Options{
+					Params:   s.Base,
+					Channels: s.Channels[j.ci],
+					Assign:   s.Assign,
+					Seed:     seed,
+				})
+				if err != nil {
+					results <- outcome{ci: j.ci, err: err}
+					continue
+				}
+				results <- outcome{ci: j.ci, delay: res.DelaySlots, deafness: float64(res.DeafnessLosses)}
+			}
+		}()
+	}
+	go func() {
+		for ci := range s.Channels {
+			for rep := 0; rep < reps; rep++ {
+				jobs <- job{ci: ci, rep: rep}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	delays := make([][]float64, len(s.Channels))
+	deaf := make([][]float64, len(s.Channels))
+	failed := make([]int, len(s.Channels))
+	var firstErr error
+	for out := range results {
+		if out.err != nil {
+			failed[out.ci]++
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		delays[out.ci] = append(delays[out.ci], out.delay)
+		deaf[out.ci] = append(deaf[out.ci], out.deafness)
+	}
+	res := &ChannelSweepResult{Elapsed: time.Since(start)}
+	total := 0
+	for ci, c := range s.Channels {
+		res.Points = append(res.Points, ChannelPoint{
+			Channels: c,
+			Delay:    stats.Summarize(delays[ci]),
+			Deafness: stats.Summarize(deaf[ci]),
+			Failed:   failed[ci],
+		})
+		total += len(delays[ci])
+	}
+	if total == 0 && firstErr != nil {
+		return nil, fmt.Errorf("experiment: channel sweep produced no results: %w", firstErr)
+	}
+	return res, nil
+}
+
+// FormatTable renders the channel sweep result.
+func (r *ChannelSweepResult) FormatTable() string {
+	var sb strings.Builder
+	sb.WriteString("ADDC delay vs number of licensed channels (extension ext1)\n")
+	fmt.Fprintf(&sb, "%-10s %-22s %-20s %s\n", "channels", "delay (slots)", "deafness losses", "reps")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%-10d %10.1f ±%-9.1f %10.1f %12d", p.Channels,
+			p.Delay.Mean, p.Delay.CI95(), p.Deafness.Mean, p.Delay.N)
+		if p.Failed > 0 {
+			fmt.Fprintf(&sb, "  (%d failed)", p.Failed)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "(wall clock %v)\n", r.Elapsed.Round(1e7))
+	return sb.String()
+}

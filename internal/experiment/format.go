@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"addcrn/internal/viz"
+)
+
+// FormatTable renders a sweep result as the paper-style delay table: one
+// row per x value, columns for both algorithms (mean ± 95% CI over the
+// repetitions, in slots) and the Coolest/ADDC delay ratio.
+func (r *SweepResult) FormatTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", r.Sweep.Title)
+	fmt.Fprintf(&sb, "%-12s %-22s %-22s %-10s %s\n",
+		r.Sweep.XLabel, "ADDC delay (slots)", "Coolest delay (slots)", "ratio", "reps")
+	for _, p := range r.Points {
+		ratio := p.DelayRatio()
+		fmt.Fprintf(&sb, "%-12.4g %10.1f ±%-9.1f %10.1f ±%-9.1f %8.2fx %4d",
+			p.X, p.ADDCDelay.Mean, p.ADDCDelay.CI95(),
+			p.CoolestDelay.Mean, p.CoolestDelay.CI95(), ratio, p.ADDCDelay.N)
+		if p.Failed > 0 {
+			fmt.Fprintf(&sb, "  (%d failed)", p.Failed)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "mean Coolest/ADDC delay ratio: %.2fx  (wall clock %v)\n",
+		r.MeanDelayRatio(), r.Elapsed.Round(1e7))
+	return sb.String()
+}
+
+// SVG renders the sweep as a two-series line chart (delay in slots, log y
+// axis, one line per algorithm) — the visual counterpart of the paper's
+// Fig. 6 panels.
+func (r *SweepResult) SVG() (string, error) {
+	addc := viz.Series{Name: "ADDC"}
+	cool := viz.Series{Name: "Coolest"}
+	for _, p := range r.Points {
+		if p.ADDCDelay.N > 0 {
+			addc.Xs = append(addc.Xs, p.X)
+			addc.Ys = append(addc.Ys, p.ADDCDelay.Mean)
+		}
+		if p.CoolestDelay.N > 0 {
+			cool.Xs = append(cool.Xs, p.X)
+			cool.Ys = append(cool.Ys, p.CoolestDelay.Mean)
+		}
+	}
+	plot := viz.Plot{
+		Title:  r.Sweep.Title,
+		XLabel: r.Sweep.XLabel,
+		YLabel: "delay (slots, log)",
+		Series: []viz.Series{addc, cool},
+		LogY:   true,
+	}
+	return plot.SVG()
+}
+
+// FormatCSV renders the sweep result as CSV with a header row, suitable for
+// external plotting.
+func (r *SweepResult) FormatCSV() string {
+	var sb strings.Builder
+	sb.WriteString("x,addc_delay_mean,addc_delay_ci95,coolest_delay_mean,coolest_delay_ci95," +
+		"addc_capacity_mean,coolest_capacity_mean,addc_aborts_mean,coolest_aborts_mean,ratio,reps,failed\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d\n",
+			p.X, p.ADDCDelay.Mean, p.ADDCDelay.CI95(),
+			p.CoolestDelay.Mean, p.CoolestDelay.CI95(),
+			p.ADDCCapacity.Mean, p.CoolestCapacity.Mean,
+			p.ADDCAborts.Mean, p.CoolestAborts.Mean,
+			p.DelayRatio(), p.ADDCDelay.N, p.Failed)
+	}
+	return sb.String()
+}

@@ -1,0 +1,269 @@
+// Package experiment regenerates the paper's evaluation artifacts: the
+// Fig. 6 delay sweeps comparing ADDC against the Coolest baseline, the
+// Fig. 4 PCR panels, and the Theorem 1/2 bound comparisons recorded in
+// EXPERIMENTS.md.
+//
+// Each sweep point is repeated over several independent topologies (the
+// paper averages 10 repetitions); repetitions run in parallel, one
+// deterministic discrete-event simulation per goroutine.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"addcrn/internal/coolest"
+	"addcrn/internal/core"
+	"addcrn/internal/graphx"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/pcr"
+	"addcrn/internal/rng"
+	"addcrn/internal/spectrum"
+	"addcrn/internal/stats"
+)
+
+// Sweep declares one delay-vs-parameter experiment.
+type Sweep struct {
+	// ID is the figure identifier ("6a".."6f").
+	ID string
+	// Title and XLabel annotate output.
+	Title  string
+	XLabel string
+	// Base is the operating point; Apply sets the swept parameter.
+	Base  netmodel.Params
+	Xs    []float64
+	Apply func(p netmodel.Params, x float64) netmodel.Params
+	// Reps is the number of independent repetitions per point (default 10,
+	// as in the paper).
+	Reps int
+	// Seed derives every repetition's seed.
+	Seed uint64
+	// PUModel selects the primary activity model (default exact).
+	PUModel spectrum.ModelKind
+	// MaxVirtualTime bounds each run (default 30 virtual minutes).
+	MaxVirtualTime time.Duration
+	// CoolestMetric selects the baseline's path metric (default
+	// accumulated).
+	CoolestMetric coolest.Metric
+	// DisableHandoff switches off abort-on-PU-arrival in both algorithms.
+	DisableHandoff bool
+	// SameMAC runs Coolest on ADDC's PCR MAC instead of the generic CSMA
+	// profile, isolating the routing structure (the ablation comparison;
+	// the paper's comparison is the default generic-CSMA one — see
+	// DESIGN.md Section 6 and EXPERIMENTS.md).
+	SameMAC bool
+	// Workers caps parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// PointResult aggregates both algorithms at one x value.
+type PointResult struct {
+	X float64
+	// DelaySlots summarizes data collection delay (in slots) per
+	// algorithm over the repetitions.
+	ADDCDelay    stats.Summary
+	CoolestDelay stats.Summary
+	// Capacity summarizes measured capacity in bit/s.
+	ADDCCapacity    stats.Summary
+	CoolestCapacity stats.Summary
+	// ADDCAborts and CoolestAborts summarize PU handoffs per run.
+	ADDCAborts    stats.Summary
+	CoolestAborts stats.Summary
+	// Failed counts repetitions that errored (deadline or deployment).
+	Failed int
+}
+
+// DelayRatio returns mean Coolest delay / mean ADDC delay.
+func (p PointResult) DelayRatio() float64 {
+	return stats.Ratio(p.CoolestDelay.Mean, p.ADDCDelay.Mean)
+}
+
+// SweepResult is the outcome of Sweep.Run.
+type SweepResult struct {
+	Sweep  *Sweep
+	Points []PointResult
+	// Elapsed is wall-clock runtime.
+	Elapsed time.Duration
+}
+
+// MeanDelayRatio averages the per-point Coolest/ADDC delay ratio.
+func (r *SweepResult) MeanDelayRatio() float64 {
+	var sum float64
+	var n int
+	for _, p := range r.Points {
+		if ratio := p.DelayRatio(); !isNaN(ratio) {
+			sum += ratio
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func isNaN(f float64) bool { return f != f }
+
+type runOutcome struct {
+	xi       int
+	delay    float64
+	capacity float64
+	aborts   float64
+	coolest  bool
+	err      error
+}
+
+// Run executes the sweep: for every x and repetition it deploys one
+// connected topology, builds the ADDC CDS tree and the Coolest routing tree
+// over the same topology, runs both collections, and summarizes.
+func (s *Sweep) Run() (*SweepResult, error) {
+	if len(s.Xs) == 0 {
+		return nil, fmt.Errorf("experiment: sweep %q has no x values", s.ID)
+	}
+	reps := s.Reps
+	if reps <= 0 {
+		reps = 10
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	metric := s.CoolestMetric
+	if metric == 0 {
+		metric = coolest.MetricAccumulated
+	}
+	start := time.Now()
+
+	type job struct{ xi, rep int }
+	jobs := make(chan job)
+	results := make(chan runOutcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				s.runOne(j.xi, j.rep, metric, results)
+			}
+		}()
+	}
+	go func() {
+		for xi := range s.Xs {
+			for rep := 0; rep < reps; rep++ {
+				jobs <- job{xi: xi, rep: rep}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	delays := make(map[bool][][]float64, 2)
+	caps := make(map[bool][][]float64, 2)
+	aborts := make(map[bool][][]float64, 2)
+	for _, b := range []bool{false, true} {
+		delays[b] = make([][]float64, len(s.Xs))
+		caps[b] = make([][]float64, len(s.Xs))
+		aborts[b] = make([][]float64, len(s.Xs))
+	}
+	failed := make([]int, len(s.Xs))
+	var firstErr error
+	for out := range results {
+		if out.err != nil {
+			failed[out.xi]++
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		delays[out.coolest][out.xi] = append(delays[out.coolest][out.xi], out.delay)
+		caps[out.coolest][out.xi] = append(caps[out.coolest][out.xi], out.capacity)
+		aborts[out.coolest][out.xi] = append(aborts[out.coolest][out.xi], out.aborts)
+	}
+
+	res := &SweepResult{Sweep: s, Elapsed: time.Since(start)}
+	for xi, x := range s.Xs {
+		res.Points = append(res.Points, PointResult{
+			X:               x,
+			ADDCDelay:       stats.Summarize(delays[false][xi]),
+			CoolestDelay:    stats.Summarize(delays[true][xi]),
+			ADDCCapacity:    stats.Summarize(caps[false][xi]),
+			CoolestCapacity: stats.Summarize(caps[true][xi]),
+			ADDCAborts:      stats.Summarize(aborts[false][xi]),
+			CoolestAborts:   stats.Summarize(aborts[true][xi]),
+			Failed:          failed[xi],
+		})
+	}
+	// A sweep with some failed repetitions still reports the rest; only a
+	// sweep where everything failed is an error.
+	total := 0
+	for _, p := range res.Points {
+		total += p.ADDCDelay.N + p.CoolestDelay.N
+	}
+	if total == 0 && firstErr != nil {
+		return nil, fmt.Errorf("experiment: sweep %q produced no results: %w", s.ID, firstErr)
+	}
+	return res, nil
+}
+
+// runOne executes both algorithms for one (x, repetition) pair on a shared
+// topology and emits two outcomes.
+func (s *Sweep) runOne(xi, rep int, metric coolest.Metric, results chan<- runOutcome) {
+	params := s.Apply(s.Base, s.Xs[xi])
+	seedSrc := rng.New(s.Seed)
+	seed := seedSrc.ChildN(fmt.Sprintf("sweep/%s/x%d", s.ID, xi), rep).Uint64()
+
+	nw, err := netmodel.DeployConnected(params, rng.New(seed), 50)
+	if err != nil {
+		results <- runOutcome{xi: xi, err: err}
+		results <- runOutcome{xi: xi, coolest: true, err: err}
+		return
+	}
+	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, params.RadiusSU)
+	if err != nil {
+		results <- runOutcome{xi: xi, err: err}
+		results <- runOutcome{xi: xi, coolest: true, err: err}
+		return
+	}
+
+	budget := s.MaxVirtualTime
+	if budget <= 0 {
+		budget = 2 * time.Hour // virtual; generous enough for starved points
+	}
+	cfg := core.CollectConfig{
+		Seed:           seed,
+		PUModel:        s.PUModel,
+		MaxVirtualTime: budget,
+		DisableHandoff: s.DisableHandoff,
+	}
+
+	// ADDC over the CDS tree.
+	if tree, err := core.BuildTree(nw); err != nil {
+		results <- runOutcome{xi: xi, err: err}
+	} else if r, err := core.Collect(nw, tree.Parent, cfg); err != nil {
+		results <- runOutcome{xi: xi, err: err}
+	} else {
+		results <- runOutcome{xi: xi, delay: r.DelaySlots, capacity: r.Capacity, aborts: float64(r.TotalAborts)}
+	}
+
+	// Coolest over its temperature tree, same topology, same seeds. By
+	// default it runs the generic-CSMA profile (collisions, naive sensing,
+	// no fairness wait); SameMAC keeps ADDC's MAC for the routing-only
+	// ablation.
+	consts, err := pcr.Compute(params)
+	if err != nil {
+		results <- runOutcome{xi: xi, coolest: true, err: err}
+		return
+	}
+	coolCfg := cfg
+	coolCfg.GenericCSMA = !s.SameMAC
+	if parents, err := coolest.BuildParentsOn(adj, nw, consts.Range, metric); err != nil {
+		results <- runOutcome{xi: xi, coolest: true, err: err}
+	} else if r, err := core.Collect(nw, parents, coolCfg); err != nil {
+		results <- runOutcome{xi: xi, coolest: true, err: err}
+	} else {
+		results <- runOutcome{xi: xi, coolest: true, delay: r.DelaySlots, capacity: r.Capacity, aborts: float64(r.TotalAborts + r.TotalCollisions)}
+	}
+}

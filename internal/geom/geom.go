@@ -1,0 +1,74 @@
+// Package geom provides the planar geometry primitives used throughout the
+// ADDC reproduction: points, rectangles, distance computation, and a uniform
+// grid spatial index for fast fixed-radius neighbor queries.
+//
+// All coordinates are in meters on the Euclidean plane, matching the paper's
+// deployment model of an A = c0*n square area (Section III).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root on hot paths such as range queries.
+func (p Point) Dist2(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns the translation of p by the vector (dx, dy).
+func (p Point) Add(dx, dy float64) Point {
+	return Point{X: p.X + dx, Y: p.Y + dy}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y)
+}
+
+// Rect is an axis-aligned rectangle [MinX, MaxX] x [MinY, MaxY].
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Square returns the side x side square anchored at the origin.
+func Square(side float64) Rect {
+	return Rect{MaxX: side, MaxY: side}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside r (inclusive of all edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f]x[%.1f,%.1f]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

@@ -1,0 +1,101 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{name: "same point", p: Point{1, 2}, q: Point{1, 2}, want: 0},
+		{name: "unit x", p: Point{0, 0}, q: Point{1, 0}, want: 1},
+		{name: "unit y", p: Point{0, 0}, q: Point{0, 1}, want: 1},
+		{name: "3-4-5", p: Point{0, 0}, q: Point{3, 4}, want: 5},
+		{name: "negative coords", p: Point{-3, -4}, q: Point{0, 0}, want: 5},
+		{name: "diagonal", p: Point{1, 1}, q: Point{2, 2}, want: math.Sqrt2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPointDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Constrain to a sane range to avoid overflow-driven mismatches.
+		a := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		b := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		d := a.Dist(b)
+		return math.Abs(a.Dist2(b)-d*d) <= 1e-6*math.Max(1, d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointAdd(t *testing.T) {
+	p := Point{1, 2}.Add(3, -5)
+	if p.X != 4 || p.Y != -3 {
+		t.Errorf("Add = %v, want (4, -3)", p)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Square(10)
+	if r.Width() != 10 || r.Height() != 10 {
+		t.Errorf("Square(10) has size %vx%v", r.Width(), r.Height())
+	}
+	if r.Area() != 100 {
+		t.Errorf("Area = %v, want 100", r.Area())
+	}
+	if c := r.Center(); c.X != 5 || c.Y != 5 {
+		t.Errorf("Center = %v, want (5,5)", c)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{2, 3}, true},
+		{Point{1, 2}, true}, // inclusive min corner
+		{Point{3, 4}, true}, // inclusive max corner
+		{Point{0.999, 3}, false},
+		{Point{2, 4.001}, false},
+		{Point{-1, -1}, false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := (Point{1, 2}).String(); s == "" {
+		t.Error("Point.String is empty")
+	}
+	if s := Square(5).String(); s == "" {
+		t.Error("Rect.String is empty")
+	}
+}

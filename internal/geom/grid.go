@@ -1,0 +1,212 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a uniform-cell spatial index over a fixed set of points. It
+// supports fixed-radius range queries in expected O(k) time for k results,
+// which is the dominant query pattern of the carrier-sensing tracker (all
+// nodes within PCR of a transmitter) and of unit-disk graph construction.
+//
+// The point set is immutable after construction; node positions in the
+// paper's model never move.
+type Grid struct {
+	bounds   Rect
+	cellSize float64
+	cols     int
+	rows     int
+	// cells[c] lists the indices (into points) that fall in cell c.
+	cells  [][]int32
+	points []Point
+}
+
+// NewGrid indexes points within bounds using square cells of side cellSize.
+// cellSize is typically the query radius, so a radius query inspects at most
+// nine cells. Points outside bounds are clamped into the boundary cells so
+// that queries remain correct for slightly out-of-range coordinates.
+func NewGrid(bounds Rect, cellSize float64, points []Point) (*Grid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("geom: cell size must be positive, got %v", cellSize)
+	}
+	if bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("geom: degenerate bounds %v", bounds)
+	}
+	cols := int(math.Ceil(bounds.Width() / cellSize))
+	rows := int(math.Ceil(bounds.Height() / cellSize))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	g := &Grid{
+		bounds:   bounds,
+		cellSize: cellSize,
+		cols:     cols,
+		rows:     rows,
+		cells:    make([][]int32, cols*rows),
+		points:   make([]Point, len(points)),
+	}
+	copy(g.points, points)
+	for i, p := range g.points {
+		c := g.cellIndex(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	return g, nil
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.points) }
+
+// Point returns the indexed point with the given index.
+func (g *Grid) Point(i int) Point { return g.points[i] }
+
+func (g *Grid) cellCoords(p Point) (cx, cy int) {
+	cx = int((p.X - g.bounds.MinX) / g.cellSize)
+	cy = int((p.Y - g.bounds.MinY) / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cx, cy
+}
+
+func (g *Grid) cellIndex(p Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.cols + cx
+}
+
+// Within appends to dst the indices of all indexed points q with
+// Dist(center, q) <= radius and returns the extended slice. The center need
+// not be an indexed point. Results are in unspecified order.
+func (g *Grid) Within(center Point, radius float64, dst []int32) []int32 {
+	if radius < 0 {
+		return dst
+	}
+	r2 := radius * radius
+	minCX := int((center.X - radius - g.bounds.MinX) / g.cellSize)
+	maxCX := int((center.X + radius - g.bounds.MinX) / g.cellSize)
+	minCY := int((center.Y - radius - g.bounds.MinY) / g.cellSize)
+	maxCY := int((center.Y + radius - g.bounds.MinY) / g.cellSize)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		base := cy * g.cols
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, i := range g.cells[base+cx] {
+				if g.points[i].Dist2(center) <= r2 {
+					dst = append(dst, i)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// CountWithin returns the number of indexed points within radius of center.
+func (g *Grid) CountWithin(center Point, radius float64) int {
+	if radius < 0 {
+		return 0
+	}
+	r2 := radius * radius
+	minCX := int((center.X - radius - g.bounds.MinX) / g.cellSize)
+	maxCX := int((center.X + radius - g.bounds.MinX) / g.cellSize)
+	minCY := int((center.Y - radius - g.bounds.MinY) / g.cellSize)
+	maxCY := int((center.Y + radius - g.bounds.MinY) / g.cellSize)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	count := 0
+	for cy := minCY; cy <= maxCY; cy++ {
+		base := cy * g.cols
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, i := range g.cells[base+cx] {
+				if g.points[i].Dist2(center) <= r2 {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Nearest returns the index of the indexed point closest to center and its
+// distance. It returns (-1, +Inf) when the grid is empty. The search expands
+// ring by ring, so typical cost is a handful of cells.
+func (g *Grid) Nearest(center Point) (int, float64) {
+	if len(g.points) == 0 {
+		return -1, math.Inf(1)
+	}
+	cx, cy := g.cellCoords(center)
+	best := -1
+	bestD2 := math.Inf(1)
+	maxRing := g.cols
+	if g.rows > g.cols {
+		maxRing = g.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate is found, one extra ring suffices: any point in
+		// a farther ring is at distance > (ring-1)*cellSize.
+		if best >= 0 {
+			minPossible := float64(ring-1) * g.cellSize
+			if minPossible > 0 && minPossible*minPossible > bestD2 {
+				break
+			}
+		}
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if abs(dx) != ring && abs(dy) != ring {
+					continue // interior cells were scanned in earlier rings
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
+					continue
+				}
+				for _, i := range g.cells[y*g.cols+x] {
+					d2 := g.points[i].Dist2(center)
+					if d2 < bestD2 {
+						bestD2 = d2
+						best = int(i)
+					}
+				}
+			}
+		}
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,174 @@
+package graphx
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// ShortestPathTree is the result of a single-source shortest path
+// computation: Parent[v] is v's predecessor toward the source (-1 for the
+// source itself and for unreachable nodes), Dist[v] the optimal cost.
+type ShortestPathTree struct {
+	Source int
+	Parent []int32
+	Dist   []float64
+}
+
+// PathTo returns the node sequence from the source to v (inclusive), or nil
+// when v is unreachable.
+func (t *ShortestPathTree) PathTo(v int) []int32 {
+	if v < 0 || v >= len(t.Parent) {
+		return nil
+	}
+	if v != t.Source && t.Parent[v] == -1 {
+		return nil
+	}
+	var rev []int32
+	for u := int32(v); ; u = t.Parent[u] {
+		rev = append(rev, u)
+		if int(u) == t.Source {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Hops returns the number of edges on the path from the source to v, or -1
+// when unreachable.
+func (t *ShortestPathTree) Hops(v int) int {
+	p := t.PathTo(v)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// SumDijkstra computes single-source shortest paths where the cost of a path
+// is the sum of node weights of every node on it except the source. Weights
+// must be non-negative. This realizes Coolest's "accumulated spectrum
+// temperature" routing metric over G_s.
+func (a Adjacency) SumDijkstra(source int, weight []float64) (*ShortestPathTree, error) {
+	if err := a.checkDijkstraArgs(source, weight); err != nil {
+		return nil, err
+	}
+	t := newSPT(source, len(a))
+	pq := &nodeHeap{}
+	t.Dist[source] = 0
+	heap.Push(pq, nodeDist{node: int32(source), dist: 0})
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		if cur.dist > t.Dist[cur.node] {
+			continue // stale entry
+		}
+		for _, v := range a[cur.node] {
+			nd := cur.dist + weight[v]
+			if nd < t.Dist[v] {
+				t.Dist[v] = nd
+				t.Parent[v] = cur.node
+				heap.Push(pq, nodeDist{node: v, dist: nd})
+			}
+		}
+	}
+	return t, nil
+}
+
+// BottleneckDijkstra computes single-source widest paths where the cost of a
+// path is the MAXIMUM node weight on it (source excluded), ties broken by
+// hop count. This realizes Coolest's "highest spectrum temperature" metric.
+func (a Adjacency) BottleneckDijkstra(source int, weight []float64) (*ShortestPathTree, error) {
+	if err := a.checkDijkstraArgs(source, weight); err != nil {
+		return nil, err
+	}
+	t := newSPT(source, len(a))
+	hops := make([]int32, len(a))
+	for i := range hops {
+		hops[i] = math.MaxInt32
+	}
+	hops[source] = 0
+	t.Dist[source] = 0
+	pq := &nodeHeap{}
+	heap.Push(pq, nodeDist{node: int32(source), dist: 0, hops: 0})
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		if cur.dist > t.Dist[cur.node] ||
+			(cur.dist == t.Dist[cur.node] && cur.hops > hops[cur.node]) {
+			continue
+		}
+		for _, v := range a[cur.node] {
+			nd := cur.dist
+			if weight[v] > nd {
+				nd = weight[v]
+			}
+			nh := cur.hops + 1
+			if nd < t.Dist[v] || (nd == t.Dist[v] && nh < hops[v]) {
+				t.Dist[v] = nd
+				hops[v] = nh
+				t.Parent[v] = cur.node
+				heap.Push(pq, nodeDist{node: v, dist: nd, hops: nh})
+			}
+		}
+	}
+	return t, nil
+}
+
+func (a Adjacency) checkDijkstraArgs(source int, weight []float64) error {
+	if source < 0 || source >= len(a) {
+		return fmt.Errorf("graphx: source %d out of range [0,%d)", source, len(a))
+	}
+	if len(weight) != len(a) {
+		return fmt.Errorf("graphx: weight length %d != node count %d", len(weight), len(a))
+	}
+	for v, w := range weight {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("graphx: node %d has invalid weight %v", v, w)
+		}
+	}
+	return nil
+}
+
+func newSPT(source, n int) *ShortestPathTree {
+	t := &ShortestPathTree{
+		Source: source,
+		Parent: make([]int32, n),
+		Dist:   make([]float64, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.Dist[i] = math.Inf(1)
+	}
+	return t
+}
+
+type nodeDist struct {
+	node int32
+	hops int32
+	dist float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	if h[i].hops != h[j].hops {
+		return h[i].hops < h[j].hops
+	}
+	return h[i].node < h[j].node
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *nodeHeap) Push(x any) { *h = append(*h, x.(nodeDist)) }
+
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

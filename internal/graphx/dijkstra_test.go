@@ -1,0 +1,196 @@
+package graphx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteSumCost enumerates all simple paths (small graphs only) and returns
+// the minimum sum-of-node-weights cost from src to dst (dst's weight
+// included, src's excluded), or +Inf.
+func bruteSumCost(adj Adjacency, weight []float64, src, dst int) float64 {
+	best := math.Inf(1)
+	visited := make([]bool, len(adj))
+	var dfs func(u int, cost float64)
+	dfs = func(u int, cost float64) {
+		if u == dst {
+			if cost < best {
+				best = cost
+			}
+			return
+		}
+		visited[u] = true
+		for _, v := range adj[u] {
+			if !visited[v] {
+				dfs(int(v), cost+weight[v])
+			}
+		}
+		visited[u] = false
+	}
+	dfs(src, 0)
+	return best
+}
+
+func bruteBottleneckCost(adj Adjacency, weight []float64, src, dst int) float64 {
+	best := math.Inf(1)
+	visited := make([]bool, len(adj))
+	var dfs func(u int, cost float64)
+	dfs = func(u int, cost float64) {
+		if u == dst {
+			if cost < best {
+				best = cost
+			}
+			return
+		}
+		visited[u] = true
+		for _, v := range adj[u] {
+			if !visited[v] {
+				dfs(int(v), math.Max(cost, weight[v]))
+			}
+		}
+		visited[u] = false
+	}
+	dfs(src, 0)
+	return best
+}
+
+func randomConnectedGraph(rnd *rand.Rand, n int) Adjacency {
+	adj := make(Adjacency, n)
+	addEdge := func(u, v int) {
+		if u == v || adj.HasEdge(u, v) {
+			return
+		}
+		adj[u] = append(adj[u], int32(v))
+		adj[v] = append(adj[v], int32(u))
+		sortInt32(adj[u])
+		sortInt32(adj[v])
+	}
+	for v := 1; v < n; v++ {
+		addEdge(v, rnd.Intn(v)) // random spanning tree
+	}
+	extra := rnd.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		addEdge(rnd.Intn(n), rnd.Intn(n))
+	}
+	return adj
+}
+
+func TestSumDijkstraMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rnd.Intn(9)
+		adj := randomConnectedGraph(rnd, n)
+		weight := make([]float64, n)
+		for i := range weight {
+			weight[i] = rnd.Float64() * 10
+		}
+		spt, err := adj.SumDijkstra(0, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dst := 1; dst < n; dst++ {
+			want := bruteSumCost(adj, weight, 0, dst)
+			if math.Abs(spt.Dist[dst]-want) > 1e-9 {
+				t.Fatalf("trial %d dst %d: dist %v, want %v", trial, dst, spt.Dist[dst], want)
+			}
+			// The recorded path must exist and realize the cost.
+			path := spt.PathTo(dst)
+			if path == nil || path[0] != 0 || path[len(path)-1] != int32(dst) {
+				t.Fatalf("trial %d dst %d: bad path %v", trial, dst, path)
+			}
+			var cost float64
+			for i := 1; i < len(path); i++ {
+				if !adj.HasEdge(int(path[i-1]), int(path[i])) {
+					t.Fatalf("trial %d: path uses non-edge", trial)
+				}
+				cost += weight[path[i]]
+			}
+			if math.Abs(cost-want) > 1e-9 {
+				t.Fatalf("trial %d dst %d: path cost %v, want %v", trial, dst, cost, want)
+			}
+		}
+	}
+}
+
+func TestBottleneckDijkstraMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rnd.Intn(9)
+		adj := randomConnectedGraph(rnd, n)
+		weight := make([]float64, n)
+		for i := range weight {
+			weight[i] = rnd.Float64() * 10
+		}
+		spt, err := adj.BottleneckDijkstra(0, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dst := 1; dst < n; dst++ {
+			want := bruteBottleneckCost(adj, weight, 0, dst)
+			if math.Abs(spt.Dist[dst]-want) > 1e-9 {
+				t.Fatalf("trial %d dst %d: bottleneck %v, want %v", trial, dst, spt.Dist[dst], want)
+			}
+		}
+	}
+}
+
+func TestBottleneckPrefersFewerHops(t *testing.T) {
+	// 0-1-4 and 0-2-3-4 both have zero bottleneck; the two-hop route must
+	// win the tie.
+	adj := Adjacency{
+		{1, 2},
+		{0, 4},
+		{0, 3},
+		{2, 4},
+		{1, 3},
+	}
+	weight := []float64{0, 0, 0, 0, 0}
+	spt, err := adj.BottleneckDijkstra(0, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops := spt.Hops(4); hops != 2 {
+		t.Errorf("bottleneck tie broken to %d hops, want 2 (path %v)", hops, spt.PathTo(4))
+	}
+}
+
+func TestDijkstraArgValidation(t *testing.T) {
+	adj := lineGraph(2)
+	weight := []float64{1, 1, 1}
+	if _, err := adj.SumDijkstra(-1, weight); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := adj.SumDijkstra(5, weight); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := adj.SumDijkstra(0, []float64{1}); err == nil {
+		t.Error("short weight slice accepted")
+	}
+	if _, err := adj.SumDijkstra(0, []float64{1, -2, 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := adj.BottleneckDijkstra(0, []float64{1, math.NaN(), 1}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestPathToUnreachable(t *testing.T) {
+	adj := Adjacency{{1}, {0}, {}}
+	spt, err := adj.SumDijkstra(0, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := spt.PathTo(2); p != nil {
+		t.Errorf("path to unreachable node: %v", p)
+	}
+	if h := spt.Hops(2); h != -1 {
+		t.Errorf("hops to unreachable node: %d", h)
+	}
+	if p := spt.PathTo(-1); p != nil {
+		t.Errorf("path to invalid node: %v", p)
+	}
+	if p := spt.PathTo(0); len(p) != 1 || p[0] != 0 {
+		t.Errorf("path to source: %v", p)
+	}
+}

@@ -1,0 +1,129 @@
+// Package interference implements the paper's physical interference model
+// (Section III): a receiver decodes its intended transmitter iff the
+// signal-to-interference ratio (SIR) over the cumulative interference of
+// every other simultaneous transmitter meets the network's threshold.
+//
+// The model is interference-limited (no noise floor term), exactly as the
+// paper's Section III equations.
+package interference
+
+import (
+	"fmt"
+	"math"
+
+	"addcrn/internal/geom"
+)
+
+// Transmitter is one simultaneously active sender.
+type Transmitter struct {
+	Pos   geom.Point
+	Power float64
+}
+
+// Link is an intended transmission: transmitter index (into the concurrent
+// transmitter slice), receiver position, and the SIR threshold the receiver
+// must meet (linear, not dB).
+type Link struct {
+	TxIndex  int
+	Receiver geom.Point
+	Eta      float64
+}
+
+// SIR returns the signal-to-interference ratio at rx for the transmitter
+// txs[txIndex] against the cumulative interference of every other
+// transmitter in txs, with path loss exponent alpha.
+//
+// A receiver co-located with its transmitter receives infinite SIR; a
+// receiver co-located with an interferer receives zero.
+func SIR(txs []Transmitter, txIndex int, rx geom.Point, alpha float64) float64 {
+	signal := received(txs[txIndex], rx, alpha)
+	var interf float64
+	for i := range txs {
+		if i == txIndex {
+			continue
+		}
+		interf += received(txs[i], rx, alpha)
+	}
+	if interf == 0 {
+		return math.Inf(1)
+	}
+	return signal / interf
+}
+
+func received(t Transmitter, rx geom.Point, alpha float64) float64 {
+	d := t.Pos.Dist(rx)
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return t.Power * math.Pow(d, -alpha)
+}
+
+// Violation describes a link whose SIR constraint failed.
+type Violation struct {
+	Link Link
+	SIR  float64
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("interference: link tx=%d rx=%v has SIR %.4g < eta %.4g",
+		v.Link.TxIndex, v.Link.Receiver, v.SIR, v.Link.Eta)
+}
+
+// CheckConcurrent verifies that every link in links succeeds when all
+// transmitters in txs are simultaneously active, i.e. that txs realizes a
+// concurrent set (Definition 4.1) with respect to the given links. It
+// returns the first violation found, or nil.
+func CheckConcurrent(txs []Transmitter, links []Link, alpha float64) error {
+	for _, l := range links {
+		if l.TxIndex < 0 || l.TxIndex >= len(txs) {
+			return fmt.Errorf("interference: link tx index %d out of range [0,%d)", l.TxIndex, len(txs))
+		}
+		s := SIR(txs, l.TxIndex, l.Receiver, alpha)
+		if s < l.Eta {
+			return &Violation{Link: l, SIR: s}
+		}
+	}
+	return nil
+}
+
+// IsRSet reports whether the transmitter positions are pairwise at distance
+// >= r (Definition 4.2). It is O(k^2) and intended for validation of
+// moderate concurrent sets, not hot paths.
+func IsRSet(txs []Transmitter, r float64) bool {
+	for i := range txs {
+		for j := i + 1; j < len(txs); j++ {
+			if txs[i].Pos.Dist(txs[j].Pos) < r {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MinPairwiseDist returns the minimum pairwise distance among transmitter
+// positions, +Inf for fewer than two transmitters.
+func MinPairwiseDist(txs []Transmitter) float64 {
+	minD := math.Inf(1)
+	for i := range txs {
+		for j := i + 1; j < len(txs); j++ {
+			if d := txs[i].Pos.Dist(txs[j].Pos); d < minD {
+				minD = d
+			}
+		}
+	}
+	return minD
+}
+
+// CumulativeInterference returns the total received power at rx from every
+// transmitter in txs except skip (pass skip = -1 to include all).
+func CumulativeInterference(txs []Transmitter, skip int, rx geom.Point, alpha float64) float64 {
+	var sum float64
+	for i := range txs {
+		if i == skip {
+			continue
+		}
+		sum += received(txs[i], rx, alpha)
+	}
+	return sum
+}

@@ -1,0 +1,220 @@
+package interference
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"addcrn/internal/geom"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/pcr"
+)
+
+func TestSIRSingleInterferer(t *testing.T) {
+	// Signal from 1m, interferer from 2m, equal power, alpha=2:
+	// SIR = 1 / (1/4) = 4.
+	txs := []Transmitter{
+		{Pos: geom.Point{X: 0, Y: 0}, Power: 1},
+		{Pos: geom.Point{X: 3, Y: 0}, Power: 1},
+	}
+	rx := geom.Point{X: 1, Y: 0}
+	got := SIR(txs, 0, rx, 2)
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("SIR = %v, want 4", got)
+	}
+}
+
+func TestSIRNoInterference(t *testing.T) {
+	txs := []Transmitter{{Pos: geom.Point{X: 0, Y: 0}, Power: 1}}
+	if got := SIR(txs, 0, geom.Point{X: 1, Y: 1}, 3); !math.IsInf(got, 1) {
+		t.Errorf("lone transmitter SIR = %v, want +Inf", got)
+	}
+}
+
+func TestSIRColocation(t *testing.T) {
+	txs := []Transmitter{
+		{Pos: geom.Point{X: 0, Y: 0}, Power: 1},
+		{Pos: geom.Point{X: 5, Y: 5}, Power: 1},
+	}
+	// Receiver on top of its own transmitter: infinite signal wins.
+	if got := SIR(txs, 0, geom.Point{X: 0, Y: 0}, 4); !math.IsInf(got, 1) {
+		t.Errorf("co-located receiver SIR = %v", got)
+	}
+	// Receiver on top of the interferer: zero SIR.
+	if got := SIR(txs, 0, geom.Point{X: 5, Y: 5}, 4); got != 0 {
+		t.Errorf("receiver on interferer SIR = %v, want 0", got)
+	}
+}
+
+func TestSIRPowerScaling(t *testing.T) {
+	// Doubling the interferer's power must halve the SIR.
+	mk := func(ip float64) float64 {
+		txs := []Transmitter{
+			{Pos: geom.Point{X: 0, Y: 0}, Power: 1},
+			{Pos: geom.Point{X: 10, Y: 0}, Power: ip},
+		}
+		return SIR(txs, 0, geom.Point{X: 2, Y: 0}, 3)
+	}
+	if r := mk(1) / mk(2); math.Abs(r-2) > 1e-9 {
+		t.Errorf("power scaling ratio %v, want 2", r)
+	}
+}
+
+func TestCheckConcurrent(t *testing.T) {
+	txs := []Transmitter{
+		{Pos: geom.Point{X: 0, Y: 0}, Power: 1},
+		{Pos: geom.Point{X: 100, Y: 0}, Power: 1},
+	}
+	links := []Link{
+		{TxIndex: 0, Receiver: geom.Point{X: 1, Y: 0}, Eta: 10},
+		{TxIndex: 1, Receiver: geom.Point{X: 99, Y: 0}, Eta: 10},
+	}
+	if err := CheckConcurrent(txs, links, 4); err != nil {
+		t.Errorf("well-separated links failed: %v", err)
+	}
+	// Park the interferer next to link 0's receiver: link 0 must fail.
+	txs[1].Pos = geom.Point{X: 1.5, Y: 0}
+	links[1].Receiver = geom.Point{X: 2.5, Y: 0}
+	err := CheckConcurrent(txs, links, 4)
+	if err == nil {
+		t.Fatal("interfering links passed")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %T is not a Violation", err)
+	}
+	if v.Link.TxIndex != 0 {
+		t.Errorf("violated link %d, want 0", v.Link.TxIndex)
+	}
+	if v.Error() == "" {
+		t.Error("empty violation message")
+	}
+}
+
+func TestCheckConcurrentBadIndex(t *testing.T) {
+	err := CheckConcurrent(nil, []Link{{TxIndex: 0}}, 4)
+	if err == nil {
+		t.Error("out-of-range tx index accepted")
+	}
+}
+
+func TestIsRSet(t *testing.T) {
+	txs := []Transmitter{
+		{Pos: geom.Point{X: 0, Y: 0}},
+		{Pos: geom.Point{X: 10, Y: 0}},
+		{Pos: geom.Point{X: 0, Y: 10}},
+	}
+	if !IsRSet(txs, 10) {
+		t.Error("pairwise-10 set rejected at R=10")
+	}
+	if IsRSet(txs, 10.5) {
+		t.Error("pairwise-10 set accepted at R=10.5")
+	}
+	if !IsRSet(txs[:1], 1000) {
+		t.Error("singleton rejected")
+	}
+}
+
+func TestMinPairwiseDist(t *testing.T) {
+	txs := []Transmitter{
+		{Pos: geom.Point{X: 0, Y: 0}},
+		{Pos: geom.Point{X: 3, Y: 4}},
+		{Pos: geom.Point{X: 100, Y: 0}},
+	}
+	if got := MinPairwiseDist(txs); math.Abs(got-5) > 1e-12 {
+		t.Errorf("MinPairwiseDist = %v, want 5", got)
+	}
+	if got := MinPairwiseDist(txs[:1]); !math.IsInf(got, 1) {
+		t.Errorf("singleton MinPairwiseDist = %v", got)
+	}
+}
+
+func TestCumulativeInterference(t *testing.T) {
+	txs := []Transmitter{
+		{Pos: geom.Point{X: 0, Y: 0}, Power: 1},
+		{Pos: geom.Point{X: 2, Y: 0}, Power: 1},
+	}
+	rx := geom.Point{X: 1, Y: 0}
+	all := CumulativeInterference(txs, -1, rx, 2)
+	if math.Abs(all-2) > 1e-12 {
+		t.Errorf("total interference %v, want 2", all)
+	}
+	skip0 := CumulativeInterference(txs, 0, rx, 2)
+	if math.Abs(skip0-1) > 1e-12 {
+		t.Errorf("interference with skip %v, want 1", skip0)
+	}
+}
+
+// sampleRSet rejection-samples positions in a square with pairwise distance
+// >= minDist.
+func sampleRSet(rnd *rand.Rand, side, minDist float64, want int) []geom.Point {
+	var pts []geom.Point
+	for attempts := 0; len(pts) < want && attempts < 20000; attempts++ {
+		cand := geom.Point{X: rnd.Float64() * side, Y: rnd.Float64() * side}
+		ok := true
+		for _, p := range pts {
+			if p.Dist(cand) < minDist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	return pts
+}
+
+// TestRSetIsConcurrentSet is the end-to-end validation of Lemmas 2 and 3
+// with the corrected c2: any R-set with R = PCR, mixing PU and SU
+// transmitters with receivers within their respective radii, satisfies
+// every SIR constraint under the physical model.
+func TestRSetIsConcurrentSet(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		p := netmodel.DefaultParams()
+		p.Alpha = 2.5 + rnd.Float64()*2.5
+		p.PowerPU = 5 + rnd.Float64()*20
+		p.PowerSU = 5 + rnd.Float64()*20
+		p.SIRThresholdPUdB = 4 + rnd.Float64()*8
+		p.SIRThresholdSUdB = 4 + rnd.Float64()*8
+		p.RadiusPU = 8 + rnd.Float64()*8
+		p.RadiusSU = 8 + rnd.Float64()*4
+
+		consts, err := pcr.Compute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		side := consts.Range * 12
+		positions := sampleRSet(rnd, side, consts.Range, 25)
+		if len(positions) < 5 {
+			t.Fatalf("trial %d: could not sample an R-set", trial)
+		}
+
+		txs := make([]Transmitter, len(positions))
+		links := make([]Link, len(positions))
+		for i, pos := range positions {
+			isPU := rnd.Intn(2) == 0
+			power, radius, eta := p.PowerSU, p.RadiusSU, p.EtaSU()
+			if isPU {
+				power, radius, eta = p.PowerPU, p.RadiusPU, p.EtaPU()
+			}
+			txs[i] = Transmitter{Pos: pos, Power: power}
+			theta := rnd.Float64() * 2 * math.Pi
+			d := rnd.Float64() * radius
+			links[i] = Link{
+				TxIndex:  i,
+				Receiver: pos.Add(d*math.Cos(theta), d*math.Sin(theta)),
+				Eta:      eta,
+			}
+		}
+		if !IsRSet(txs, consts.Range) {
+			t.Fatalf("trial %d: sample is not an R-set", trial)
+		}
+		if err := CheckConcurrent(txs, links, p.Alpha); err != nil {
+			t.Errorf("trial %d (alpha=%.2f, PCR=%.1f): R-set is not concurrent: %v",
+				trial, p.Alpha, consts.Range, err)
+		}
+	}
+}

@@ -1,0 +1,509 @@
+// Package mac implements the carrier-sense multiple access state machine of
+// ADDC (paper Algorithm 1). Every secondary node with queued data:
+//
+//  1. draws a backoff t_i uniformly from (0, tau_c];
+//  2. counts the timer down only while the spectrum within its PCR is free,
+//     freezing it otherwise;
+//  3. on expiry, transmits one packet to its routing parent as soon as a
+//     spectrum opportunity appears;
+//  4. then waits tau_c - t_i before contending again (the fairness wait);
+//  5. hands off the spectrum immediately — aborting the transmission — if a
+//     primary user becomes active within its PCR mid-transmission.
+//
+// The MAC is routing-agnostic and profile-configurable: ADDC runs it over
+// the CDS tree with PCR sensing and the fairness wait; the generic-CSMA
+// baseline profile (naive SU sensing, SIR-decided collisions, exponential
+// backoff, no fairness wait) models the conventional MAC the Coolest
+// comparison runs on; a routing-only ablation puts Coolest's tree on
+// ADDC's profile (see DESIGN.md Section 6).
+package mac
+
+import (
+	"fmt"
+
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+	"addcrn/internal/sim"
+	"addcrn/internal/spectrum"
+)
+
+// Packet is one snapshot datum traveling toward the base station.
+type Packet struct {
+	// Origin is the secondary node that produced the packet.
+	Origin int32
+	// Born is the virtual time the packet was produced.
+	Born sim.Time
+	// Hops counts completed transmissions so far.
+	Hops uint16
+}
+
+// state enumerates the per-node MAC states.
+type state uint8
+
+const (
+	stateIdle state = iota + 1
+	stateBackoffRunning
+	stateBackoffFrozen
+	stateAwaiting // backoff expired while busy; transmit on next free
+	stateTransmitting
+	statePostWait
+)
+
+func (s state) String() string {
+	switch s {
+	case stateIdle:
+		return "idle"
+	case stateBackoffRunning:
+		return "backoff-running"
+	case stateBackoffFrozen:
+		return "backoff-frozen"
+	case stateAwaiting:
+		return "awaiting-opportunity"
+	case stateTransmitting:
+		return "transmitting"
+	case statePostWait:
+		return "post-wait"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// NodeStats aggregates one node's MAC activity over a run.
+type NodeStats struct {
+	// Transmissions is the number of successfully completed packet
+	// transmissions.
+	Transmissions int
+	// Aborts is the number of transmissions aborted by PU handoff.
+	Aborts int
+	// Collisions is the number of transmissions that completed but were
+	// corrupted at the receiver (SIR below threshold); only possible when
+	// the MAC runs with an RxMonitor.
+	Collisions int
+	// FrozenTime is total time spent with a frozen backoff timer.
+	FrozenTime sim.Time
+	// MaxServiceTime is the longest span from starting to contend for a
+	// packet until its transmission completed (Theorem 1's quantity).
+	MaxServiceTime sim.Time
+}
+
+type node struct {
+	st    state
+	queue []Packet
+	head  int
+
+	draw      sim.Time // t_i of the current contention round
+	remaining sim.Time // backoff left when frozen
+	timer     sim.Timer
+
+	serviceStart  sim.Time
+	serviceActive bool
+	frozenSince   sim.Time
+
+	// cwScale multiplies the contention window under exponential backoff.
+	cwScale int64
+	// txToken and rxToken are RxMonitor handles for the ongoing
+	// transmission, when a monitor is attached.
+	txToken int64
+	rxToken int64
+
+	stats NodeStats
+}
+
+func (n *node) queueLen() int { return len(n.queue) - n.head }
+
+func (n *node) push(p Packet) { n.queue = append(n.queue, p) }
+
+func (n *node) pop() Packet {
+	p := n.queue[n.head]
+	n.head++
+	if n.head > 64 && n.head*2 >= len(n.queue) {
+		n.queue = append(n.queue[:0], n.queue[n.head:]...)
+		n.head = 0
+	}
+	return p
+}
+
+// Config assembles a MAC instance.
+type Config struct {
+	// Network is the deployment.
+	Network *netmodel.Network
+	// Parent is the routing tree: Parent[v] is v's next hop, -1 for the
+	// base station (root). All parent chains must reach the root.
+	Parent []int32
+	// PUSenseRange is the primary-protection sensing range: an active PU
+	// within it freezes the node and aborts its transmission. Every
+	// algorithm must honor the same protection distance (the derived PCR).
+	PUSenseRange float64
+	// SUSenseRange is the secondary-coordination sensing range: ADDC sets
+	// it to the PCR (interference-free concurrency, Lemmas 2-3); the
+	// generic-CSMA baseline uses a conventional 2r guard.
+	SUSenseRange float64
+	// Engine is the event engine the MAC schedules on.
+	Engine *sim.Engine
+	// Rand seeds the backoff draws.
+	Rand *rng.Source
+	// OnDeliver fires when a packet reaches the base station.
+	OnDeliver func(pkt Packet, now sim.Time)
+	// OnTxStart and OnTxEnd observe transmissions; ended reports whether
+	// the transmission completed (true) or was aborted by handoff (false).
+	// Either may be nil.
+	OnTxStart func(node int32, now sim.Time)
+	OnTxEnd   func(node int32, now sim.Time, completed bool)
+	// DisableHandoff turns off the abort-on-PU-arrival rule: transmissions
+	// always run to completion, as the paper's analysis implicitly assumes.
+	// The default (false) is the conservative CRN behavior of Section I —
+	// an SU immediately hands off the spectrum when a PU returns.
+	DisableHandoff bool
+
+	// Monitor, when non-nil, evaluates every transmission's SIR at the
+	// receiver under the physical interference model; corrupted packets
+	// are lost and retransmitted. Under ADDC's PCR this is pure validation
+	// (Lemmas 2-3 promise zero collisions); the generic-CSMA baseline
+	// profile depends on it for collision realism.
+	Monitor *spectrum.RxMonitor
+	// NoFairnessWait skips Algorithm 1's tau_c - t_i post-transmission
+	// wait, modeling a plain CSMA that re-contends immediately.
+	NoFairnessWait bool
+	// ExpBackoff enables binary exponential backoff: the contention window
+	// doubles (up to 64x) after a collision or handoff and resets after a
+	// success. Plain CSMA needs it to escape hidden-terminal livelock;
+	// ADDC does not use it.
+	ExpBackoff bool
+	// AggregateQueue enables perfect data aggregation: a completed
+	// transmission carries the node's entire queue in one slot (packets
+	// merge losslessly). The paper explicitly studies collection WITHOUT
+	// aggregation; this flag exists for the companion comparison, turning
+	// per-node work from O(subtree) into O(1) transmissions.
+	AggregateQueue bool
+}
+
+// maxCWScale caps binary exponential backoff growth.
+const maxCWScale = 64
+
+// MAC runs Algorithm 1's contention logic for every secondary node.
+type MAC struct {
+	cfg     Config
+	tracker *spectrum.Tracker
+	nodes   []node
+	src     *rng.Source
+
+	slot    sim.Time
+	window  sim.Time // tau_c in microseconds
+	root    int32
+	nActive int // currently transmitting SUs
+}
+
+var _ spectrum.Observer = (*MAC)(nil)
+
+// New validates cfg, builds the tracker (with the MAC as its observer) and
+// returns the MAC ready to Start.
+func New(cfg Config) (*MAC, error) {
+	if cfg.Network == nil || cfg.Engine == nil || cfg.Rand == nil {
+		return nil, fmt.Errorf("mac: Network, Engine and Rand are required")
+	}
+	nn := cfg.Network.NumNodes()
+	if len(cfg.Parent) != nn {
+		return nil, fmt.Errorf("mac: parent slice has %d entries, want %d", len(cfg.Parent), nn)
+	}
+	root := int32(-1)
+	for v, p := range cfg.Parent {
+		if p == -1 {
+			if root != -1 {
+				return nil, fmt.Errorf("mac: multiple roots (%d and %d)", root, v)
+			}
+			root = int32(v)
+			continue
+		}
+		if p < 0 || int(p) >= nn {
+			return nil, fmt.Errorf("mac: node %d has out-of-range parent %d", v, p)
+		}
+	}
+	if root == -1 {
+		return nil, fmt.Errorf("mac: no root in parent slice")
+	}
+	for v := range cfg.Parent {
+		u := int32(v)
+		for steps := 0; u != root; steps++ {
+			if steps > nn {
+				return nil, fmt.Errorf("mac: parent chain from node %d never reaches root", v)
+			}
+			u = cfg.Parent[u]
+		}
+	}
+	window := sim.FromDuration(cfg.Network.Params.ContentionWindow)
+	if window < 1 {
+		return nil, fmt.Errorf("mac: contention window shorter than 1us")
+	}
+	m := &MAC{
+		cfg:    cfg,
+		nodes:  make([]node, nn),
+		src:    cfg.Rand.Child("mac/backoff"),
+		slot:   sim.FromDuration(cfg.Network.Params.Slot),
+		window: window,
+		root:   root,
+	}
+	for i := range m.nodes {
+		m.nodes[i].st = stateIdle
+		m.nodes[i].cwScale = 1
+	}
+	tracker, err := spectrum.NewTracker(cfg.Network, cfg.PUSenseRange, cfg.SUSenseRange, m)
+	if err != nil {
+		return nil, err
+	}
+	m.tracker = tracker
+	return m, nil
+}
+
+// Tracker returns the carrier-sense tracker (to wire a PU model against).
+func (m *MAC) Tracker() *spectrum.Tracker { return m.tracker }
+
+// Root returns the base station node id.
+func (m *MAC) Root() int32 { return m.root }
+
+// Start injects the snapshot: every node except the root produces one
+// packet at the current virtual time and begins contending.
+func (m *MAC) Start() {
+	now := m.cfg.Engine.Now()
+	for v := range m.nodes {
+		if int32(v) == m.root {
+			continue
+		}
+		m.Enqueue(int32(v), Packet{Origin: int32(v), Born: now})
+	}
+}
+
+// Enqueue hands a packet to node's transmit queue, waking the node if idle.
+// Enqueueing at the root delivers immediately.
+func (m *MAC) Enqueue(id int32, pkt Packet) {
+	now := m.cfg.Engine.Now()
+	if id == m.root {
+		if m.cfg.OnDeliver != nil {
+			m.cfg.OnDeliver(pkt, now)
+		}
+		return
+	}
+	n := &m.nodes[id]
+	n.push(pkt)
+	if n.st == stateIdle {
+		m.startContending(id, now)
+	}
+}
+
+// QueueLen returns the number of packets queued at node id.
+func (m *MAC) QueueLen(id int32) int { return m.nodes[id].queueLen() }
+
+// Stats returns node id's accumulated statistics.
+func (m *MAC) Stats(id int32) NodeStats { return m.nodes[id].stats }
+
+// ActiveTransmitters returns the number of currently transmitting SUs.
+func (m *MAC) ActiveTransmitters() int { return m.nActive }
+
+// startContending draws a fresh backoff for the head-of-queue packet.
+func (m *MAC) startContending(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	window := int64(m.window)
+	if m.cfg.ExpBackoff {
+		window *= n.cwScale
+	}
+	n.draw = sim.Time(m.src.UniformInt(1, window))
+	n.remaining = n.draw
+	// Service time spans all retries of the head packet: the clock starts
+	// at its first contention round only.
+	if !n.serviceActive {
+		n.serviceActive = true
+		n.serviceStart = now
+	}
+	if m.tracker.Busy(id) {
+		n.st = stateBackoffFrozen
+		n.frozenSince = now
+		return
+	}
+	m.armBackoff(id)
+}
+
+// armBackoff schedules the expiry of the remaining backoff.
+func (m *MAC) armBackoff(id int32) {
+	n := &m.nodes[id]
+	n.st = stateBackoffRunning
+	n.timer = m.cfg.Engine.After(n.remaining, func(t sim.Time) { m.expire(id, t) })
+}
+
+func (m *MAC) expire(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	if n.st != stateBackoffRunning {
+		// A same-tick busy transition should have canceled us; be safe.
+		return
+	}
+	n.remaining = 0
+	if m.tracker.Busy(id) {
+		n.st = stateAwaiting
+		n.frozenSince = now
+		return
+	}
+	m.beginTx(id, now)
+}
+
+func (m *MAC) beginTx(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	n.st = stateTransmitting
+	m.nActive++
+	if mon := m.cfg.Monitor; mon != nil {
+		selfPos := m.cfg.Network.SU[id]
+		rxPos := m.cfg.Network.SU[m.cfg.Parent[id]]
+		power := m.cfg.Network.Params.PowerSU
+		n.txToken = mon.AddTransmitter(selfPos, power)
+		n.rxToken = mon.BeginReception(rxPos, selfPos, power, m.cfg.Network.Params.EtaSU(), n.txToken)
+	}
+	m.tracker.AddTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+	if m.cfg.OnTxStart != nil {
+		m.cfg.OnTxStart(id, now)
+	}
+	n.timer = m.cfg.Engine.After(m.slot, func(t sim.Time) { m.endTx(id, t) })
+}
+
+func (m *MAC) endTx(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	if n.st != stateTransmitting {
+		return
+	}
+	m.nActive--
+	// Finalize the monitor BEFORE releasing the medium: the tracker's
+	// removal callbacks can reentrantly start new transmissions, which must
+	// not be counted against this already-finished reception (or vice
+	// versa).
+	received := true
+	if mon := m.cfg.Monitor; mon != nil {
+		received = mon.EndReception(n.rxToken)
+		mon.RemoveTransmitter(n.txToken)
+	}
+	m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+	if !received {
+		// Collision: the packet stays at the head of the queue.
+		n.stats.Collisions++
+		if m.cfg.ExpBackoff && n.cwScale < maxCWScale {
+			n.cwScale *= 2
+		}
+		if m.cfg.OnTxEnd != nil {
+			m.cfg.OnTxEnd(id, now, false)
+		}
+		m.enterPostWait(id, now)
+		return
+	}
+	pkt := n.pop()
+	pkt.Hops++
+	n.stats.Transmissions++
+	n.cwScale = 1
+	n.serviceActive = false
+	if svc := now - n.serviceStart; svc > n.stats.MaxServiceTime {
+		n.stats.MaxServiceTime = svc
+	}
+	if m.cfg.OnTxEnd != nil {
+		m.cfg.OnTxEnd(id, now, true)
+	}
+	m.Enqueue(m.cfg.Parent[id], pkt)
+	if m.cfg.AggregateQueue {
+		// Perfect aggregation: the rest of the queue rode along in the
+		// same slot.
+		for n.queueLen() > 0 {
+			extra := n.pop()
+			extra.Hops++
+			m.Enqueue(m.cfg.Parent[id], extra)
+		}
+	}
+	m.enterPostWait(id, now)
+}
+
+// abortTx implements spectrum handoff: the packet stays queued and will be
+// retransmitted after the fairness wait.
+func (m *MAC) abortTx(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	n.timer.Cancel()
+	m.nActive--
+	if mon := m.cfg.Monitor; mon != nil {
+		mon.EndReception(n.rxToken)
+		mon.RemoveTransmitter(n.txToken)
+	}
+	m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+	n.stats.Aborts++
+	if m.cfg.ExpBackoff && n.cwScale < maxCWScale {
+		n.cwScale *= 2
+	}
+	if m.cfg.OnTxEnd != nil {
+		m.cfg.OnTxEnd(id, now, false)
+	}
+	m.enterPostWait(id, now)
+}
+
+// enterPostWait applies the fairness wait tau_c - t_i (Algorithm 1 line
+// 12), or re-contends immediately when the profile disables it.
+func (m *MAC) enterPostWait(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	if m.cfg.NoFairnessWait {
+		if n.queueLen() == 0 {
+			n.st = stateIdle
+			return
+		}
+		m.startContending(id, now)
+		return
+	}
+	n.st = statePostWait
+	wait := m.window - n.draw
+	n.timer = m.cfg.Engine.After(wait, func(t sim.Time) { m.postWaitDone(id, t) })
+}
+
+func (m *MAC) postWaitDone(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	if n.st != statePostWait {
+		return
+	}
+	if n.queueLen() == 0 {
+		n.st = stateIdle
+		return
+	}
+	m.startContending(id, now)
+}
+
+// SpectrumBusy implements spectrum.Observer: freeze a running backoff.
+func (m *MAC) SpectrumBusy(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	if n.st != stateBackoffRunning {
+		return
+	}
+	n.remaining = n.timer.When() - now
+	if n.remaining < 0 {
+		n.remaining = 0
+	}
+	n.timer.Cancel()
+	n.st = stateBackoffFrozen
+	n.frozenSince = now
+}
+
+// SpectrumFree implements spectrum.Observer: resume a frozen backoff, or
+// transmit if the backoff had already expired.
+func (m *MAC) SpectrumFree(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	switch n.st {
+	case stateBackoffFrozen:
+		n.stats.FrozenTime += now - n.frozenSince
+		if n.remaining <= 0 {
+			m.beginTx(id, now)
+			return
+		}
+		m.armBackoff(id)
+	case stateAwaiting:
+		n.stats.FrozenTime += now - n.frozenSince
+		m.beginTx(id, now)
+	default:
+	}
+}
+
+// PUArrived implements spectrum.Observer: spectrum handoff mid-transmission.
+func (m *MAC) PUArrived(id int32, now sim.Time) {
+	if m.cfg.DisableHandoff {
+		return
+	}
+	n := &m.nodes[id]
+	if n.st == stateTransmitting {
+		m.abortTx(id, now)
+	}
+}

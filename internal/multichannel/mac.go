@@ -1,0 +1,386 @@
+package multichannel
+
+import (
+	"fmt"
+
+	"addcrn/internal/mac"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+	"addcrn/internal/sim"
+	"addcrn/internal/spectrum"
+	"addcrn/internal/stats"
+)
+
+// chanObserver routes one channel's tracker transitions into the MAC.
+type chanObserver struct {
+	ch  int
+	mac *chMAC
+}
+
+func (o chanObserver) SpectrumBusy(node int32, now sim.Time) { o.mac.spectrumBusy(o.ch, node, now) }
+func (o chanObserver) SpectrumFree(node int32, now sim.Time) { o.mac.spectrumFree(o.ch, node, now) }
+func (o chanObserver) PUArrived(node int32, now sim.Time)    { o.mac.puArrived(o.ch, node, now) }
+
+type chState uint8
+
+const (
+	chIdle chState = iota + 1
+	chBackoffRunning
+	chBackoffFrozen
+	chAwaiting
+	chTransmitting
+	chPostWait
+)
+
+type chNode struct {
+	st        chState
+	queue     []mac.Packet
+	head      int
+	draw      sim.Time
+	remaining sim.Time
+	timer     sim.Timer
+	doomed    bool // parent transmitted during our transmission (deafness)
+
+	transmissions int
+	aborts        int
+	deafLosses    int
+	perChannelTx  []int
+}
+
+func (n *chNode) queueLen() int { return len(n.queue) - n.head }
+func (n *chNode) push(p mac.Packet) {
+	n.queue = append(n.queue, p)
+}
+func (n *chNode) pop() mac.Packet {
+	p := n.queue[n.head]
+	n.head++
+	if n.head > 64 && n.head*2 >= len(n.queue) {
+		n.queue = append(n.queue[:0], n.queue[n.head:]...)
+		n.head = 0
+	}
+	return p
+}
+
+type macConfig struct {
+	nw        *netmodel.Network
+	parent    []int32
+	channels  int
+	home      []int
+	puChannel []int
+	pcrRange  float64
+	eng       *sim.Engine
+	src       *rng.Source
+}
+
+// chMAC is the multi-channel CSMA state machine: each node contends on its
+// parent's home channel with ADDC's backoff/freeze/fairness rules.
+type chMAC struct {
+	cfg      macConfig
+	trackers []*spectrum.Tracker
+	nodes    []chNode
+	backoff  *rng.Source
+	puSrc    *rng.Source
+
+	slot   sim.Time
+	window sim.Time
+	root   int32
+
+	// activeSenders[p] lists nodes currently transmitting toward p;
+	// deafness marks them doomed when p itself starts transmitting.
+	activeSenders [][]int32
+
+	delivered int
+	expected  int
+	latHops   []float64
+}
+
+func newMAC(cfg macConfig) (*chMAC, error) {
+	nn := cfg.nw.NumNodes()
+	if len(cfg.parent) != nn || len(cfg.home) != nn {
+		return nil, fmt.Errorf("multichannel: parent/home slices must cover %d nodes", nn)
+	}
+	root := int32(-1)
+	for v, p := range cfg.parent {
+		if p == -1 {
+			root = int32(v)
+		}
+	}
+	if root == -1 {
+		return nil, fmt.Errorf("multichannel: no root")
+	}
+	m := &chMAC{
+		cfg:           cfg,
+		nodes:         make([]chNode, nn),
+		backoff:       cfg.src.Child("multichannel/backoff"),
+		puSrc:         cfg.src.Child("multichannel/pu"),
+		slot:          sim.FromDuration(cfg.nw.Params.Slot),
+		window:        sim.FromDuration(cfg.nw.Params.ContentionWindow),
+		root:          root,
+		activeSenders: make([][]int32, nn),
+		expected:      nn - 1,
+	}
+	for i := range m.nodes {
+		m.nodes[i].st = chIdle
+		m.nodes[i].perChannelTx = make([]int, cfg.channels)
+	}
+	m.trackers = make([]*spectrum.Tracker, cfg.channels)
+	for c := 0; c < cfg.channels; c++ {
+		tr, err := spectrum.NewTracker(cfg.nw, cfg.pcrRange, cfg.pcrRange, chanObserver{ch: c, mac: m})
+		if err != nil {
+			return nil, err
+		}
+		m.trackers[c] = tr
+	}
+	return m, nil
+}
+
+func (m *chMAC) done() bool { return m.delivered >= m.expected }
+
+// txChannel returns the channel node id transmits on: its parent's home.
+func (m *chMAC) txChannel(id int32) int { return m.cfg.home[m.cfg.parent[id]] }
+
+// startPUs launches each PU's Bernoulli slot process on its licensed
+// channel (the same run-length construction as spectrum.ExactModel).
+func (m *chMAC) startPUs() {
+	pt := m.cfg.nw.Params.ActiveProb
+	if pt <= 0 {
+		return
+	}
+	for i := range m.cfg.nw.PU {
+		i := int32(i)
+		active := m.puSrc.Bernoulli(pt)
+		if active {
+			m.trackers[m.cfg.puChannel[i]].AddTransmitter(m.cfg.nw.PU[i], spectrum.TxPU, -1, 0)
+		}
+		if pt >= 1 {
+			continue
+		}
+		m.schedulePUToggle(i, active)
+	}
+}
+
+func (m *chMAC) schedulePUToggle(i int32, active bool) {
+	pt := m.cfg.nw.Params.ActiveProb
+	var runSlots int64
+	if active {
+		runSlots = 1 + m.puSrc.Geometric(1-pt)
+	} else {
+		runSlots = 1 + m.puSrc.Geometric(pt)
+	}
+	m.cfg.eng.After(sim.Time(runSlots)*m.slot, func(now sim.Time) {
+		tr := m.trackers[m.cfg.puChannel[i]]
+		if active {
+			tr.RemoveTransmitter(m.cfg.nw.PU[i], spectrum.TxPU, -1, now)
+		} else {
+			tr.AddTransmitter(m.cfg.nw.PU[i], spectrum.TxPU, -1, now)
+		}
+		m.schedulePUToggle(i, !active)
+	})
+}
+
+// startSnapshot queues one packet per node and begins contention.
+func (m *chMAC) startSnapshot() {
+	now := m.cfg.eng.Now()
+	for v := range m.nodes {
+		if int32(v) == m.root {
+			continue
+		}
+		m.enqueue(int32(v), mac.Packet{Origin: int32(v), Born: now})
+	}
+}
+
+func (m *chMAC) enqueue(id int32, pkt mac.Packet) {
+	now := m.cfg.eng.Now()
+	if id == m.root {
+		m.delivered++
+		m.latHops = append(m.latHops, float64(pkt.Hops))
+		return
+	}
+	n := &m.nodes[id]
+	n.push(pkt)
+	if n.st == chIdle {
+		m.startContending(id, now)
+	}
+}
+
+func (m *chMAC) startContending(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	n.draw = sim.Time(m.backoff.UniformInt(1, int64(m.window)))
+	n.remaining = n.draw
+	if m.trackers[m.txChannel(id)].Busy(id) {
+		n.st = chBackoffFrozen
+		return
+	}
+	m.armBackoff(id)
+}
+
+func (m *chMAC) armBackoff(id int32) {
+	n := &m.nodes[id]
+	n.st = chBackoffRunning
+	n.timer = m.cfg.eng.After(n.remaining, func(t sim.Time) { m.expire(id, t) })
+}
+
+func (m *chMAC) expire(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	if n.st != chBackoffRunning {
+		return
+	}
+	n.remaining = 0
+	if m.trackers[m.txChannel(id)].Busy(id) {
+		n.st = chAwaiting
+		return
+	}
+	m.beginTx(id, now)
+}
+
+func (m *chMAC) beginTx(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	n.st = chTransmitting
+	n.doomed = false
+	parent := m.cfg.parent[id]
+	// Deafness, direction 1: the parent is already transmitting.
+	if m.nodes[parent].st == chTransmitting && parent != m.root {
+		n.doomed = true
+	}
+	m.activeSenders[parent] = append(m.activeSenders[parent], id)
+	// Deafness, direction 2: we are the parent of in-flight senders.
+	for _, u := range m.activeSenders[id] {
+		m.nodes[u].doomed = true
+	}
+	m.trackers[m.txChannel(id)].AddTransmitter(m.cfg.nw.SU[id], spectrum.TxSU, id, now)
+	n.timer = m.cfg.eng.After(m.slot, func(t sim.Time) { m.endTx(id, t) })
+}
+
+func (m *chMAC) removeSender(parent, id int32) {
+	senders := m.activeSenders[parent]
+	for i, u := range senders {
+		if u == id {
+			senders[i] = senders[len(senders)-1]
+			m.activeSenders[parent] = senders[:len(senders)-1]
+			return
+		}
+	}
+}
+
+func (m *chMAC) endTx(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	if n.st != chTransmitting {
+		return
+	}
+	ch := m.txChannel(id)
+	parent := m.cfg.parent[id]
+	m.trackers[ch].RemoveTransmitter(m.cfg.nw.SU[id], spectrum.TxSU, id, now)
+	m.removeSender(parent, id)
+	if n.doomed {
+		n.deafLosses++
+		m.enterPostWait(id)
+		return
+	}
+	pkt := n.pop()
+	pkt.Hops++
+	n.transmissions++
+	n.perChannelTx[ch]++
+	m.enqueue(parent, pkt)
+	m.enterPostWait(id)
+}
+
+func (m *chMAC) abortTx(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	n.timer.Cancel()
+	m.trackers[m.txChannel(id)].RemoveTransmitter(m.cfg.nw.SU[id], spectrum.TxSU, id, now)
+	m.removeSender(m.cfg.parent[id], id)
+	n.aborts++
+	m.enterPostWait(id)
+}
+
+func (m *chMAC) enterPostWait(id int32) {
+	n := &m.nodes[id]
+	n.st = chPostWait
+	n.timer = m.cfg.eng.After(m.window-n.draw, func(t sim.Time) { m.postWaitDone(id, t) })
+}
+
+func (m *chMAC) postWaitDone(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	if n.st != chPostWait {
+		return
+	}
+	if n.queueLen() == 0 {
+		n.st = chIdle
+		return
+	}
+	m.startContending(id, now)
+}
+
+func (m *chMAC) spectrumBusy(ch int, id int32, now sim.Time) {
+	if id == m.root || ch != m.txChannel(id) {
+		return // the sink never contends; other channels are irrelevant
+	}
+	n := &m.nodes[id]
+	if n.st != chBackoffRunning {
+		return
+	}
+	n.remaining = n.timer.When() - now
+	if n.remaining < 0 {
+		n.remaining = 0
+	}
+	n.timer.Cancel()
+	n.st = chBackoffFrozen
+}
+
+func (m *chMAC) spectrumFree(ch int, id int32, now sim.Time) {
+	if id == m.root || ch != m.txChannel(id) {
+		return
+	}
+	n := &m.nodes[id]
+	switch n.st {
+	case chBackoffFrozen:
+		if n.remaining <= 0 {
+			m.beginTx(id, now)
+			return
+		}
+		m.armBackoff(id)
+	case chAwaiting:
+		m.beginTx(id, now)
+	default:
+	}
+}
+
+func (m *chMAC) puArrived(ch int, id int32, now sim.Time) {
+	if id == m.root {
+		return
+	}
+	n := &m.nodes[id]
+	if n.st == chTransmitting && ch == m.txChannel(id) {
+		m.abortTx(id, now)
+	}
+}
+
+func (m *chMAC) result(nw *netmodel.Network, eng *sim.Engine) *Result {
+	res := &Result{
+		Delivered:   m.delivered,
+		Expected:    m.expected,
+		ChannelLoad: make([]float64, m.cfg.channels),
+		HopStats:    stats.Summarize(m.latHops),
+	}
+	res.DelaySlots = float64(eng.Now()) / float64(m.slot)
+	if eng.Now() > 0 {
+		res.Capacity = float64(m.delivered) * nw.Params.PacketBits / eng.Now().Duration().Seconds()
+	}
+	total := 0
+	for v := range m.nodes {
+		n := &m.nodes[v]
+		res.Transmissions += n.transmissions
+		res.Aborts += n.aborts
+		res.DeafnessLosses += n.deafLosses
+		for c, k := range n.perChannelTx {
+			res.ChannelLoad[c] += float64(k)
+			total += k
+		}
+	}
+	if total > 0 {
+		for c := range res.ChannelLoad {
+			res.ChannelLoad[c] /= float64(total)
+		}
+	}
+	return res
+}

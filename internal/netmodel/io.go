@@ -1,0 +1,118 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"addcrn/internal/geom"
+)
+
+// topologyFile is the on-disk JSON schema for a deployment. Durations are
+// serialized in microseconds (encoding/json has no native time.Duration).
+type topologyFile struct {
+	Version int         `json:"version"`
+	Params  paramsJSON  `json:"params"`
+	SU      []pointJSON `json:"su"`
+	PU      []pointJSON `json:"pu"`
+}
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type paramsJSON struct {
+	Area             float64 `json:"area"`
+	Alpha            float64 `json:"alpha"`
+	NumPU            int     `json:"numPU"`
+	PowerPU          float64 `json:"powerPU"`
+	RadiusPU         float64 `json:"radiusPU"`
+	SIRThresholdPUdB float64 `json:"sirThresholdPUdB"`
+	ActiveProb       float64 `json:"activeProb"`
+	NumSU            int     `json:"numSU"`
+	PowerSU          float64 `json:"powerSU"`
+	RadiusSU         float64 `json:"radiusSU"`
+	SIRThresholdSUdB float64 `json:"sirThresholdSUdB"`
+	SlotMicros       int64   `json:"slotMicros"`
+	WindowMicros     int64   `json:"contentionWindowMicros"`
+	PacketBits       float64 `json:"packetBits"`
+}
+
+const topologyVersion = 1
+
+// WriteTopology serializes the network (parameters and all positions) as
+// versioned JSON, so experiments can be re-run on the exact same
+// deployment across tools and machines.
+func WriteTopology(w io.Writer, nw *Network) error {
+	f := topologyFile{
+		Version: topologyVersion,
+		Params: paramsJSON{
+			Area:             nw.Params.Area,
+			Alpha:            nw.Params.Alpha,
+			NumPU:            nw.Params.NumPU,
+			PowerPU:          nw.Params.PowerPU,
+			RadiusPU:         nw.Params.RadiusPU,
+			SIRThresholdPUdB: nw.Params.SIRThresholdPUdB,
+			ActiveProb:       nw.Params.ActiveProb,
+			NumSU:            nw.Params.NumSU,
+			PowerSU:          nw.Params.PowerSU,
+			RadiusSU:         nw.Params.RadiusSU,
+			SIRThresholdSUdB: nw.Params.SIRThresholdSUdB,
+			SlotMicros:       nw.Params.Slot.Microseconds(),
+			WindowMicros:     nw.Params.ContentionWindow.Microseconds(),
+			PacketBits:       nw.Params.PacketBits,
+		},
+		SU: make([]pointJSON, len(nw.SU)),
+		PU: make([]pointJSON, len(nw.PU)),
+	}
+	for i, p := range nw.SU {
+		f.SU[i] = pointJSON{X: p.X, Y: p.Y}
+	}
+	for i, p := range nw.PU {
+		f.PU[i] = pointJSON{X: p.X, Y: p.Y}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadTopology parses a topology produced by WriteTopology, revalidates the
+// parameters and rebuilds the spatial indexes.
+func ReadTopology(r io.Reader) (*Network, error) {
+	var f topologyFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("netmodel: parse topology: %w", err)
+	}
+	if f.Version != topologyVersion {
+		return nil, fmt.Errorf("netmodel: unsupported topology version %d (want %d)", f.Version, topologyVersion)
+	}
+	p := Params{
+		Area:             f.Params.Area,
+		Alpha:            f.Params.Alpha,
+		NumPU:            f.Params.NumPU,
+		PowerPU:          f.Params.PowerPU,
+		RadiusPU:         f.Params.RadiusPU,
+		SIRThresholdPUdB: f.Params.SIRThresholdPUdB,
+		ActiveProb:       f.Params.ActiveProb,
+		NumSU:            f.Params.NumSU,
+		PowerSU:          f.Params.PowerSU,
+		RadiusSU:         f.Params.RadiusSU,
+		SIRThresholdSUdB: f.Params.SIRThresholdSUdB,
+		Slot:             time.Duration(f.Params.SlotMicros) * time.Microsecond,
+		ContentionWindow: time.Duration(f.Params.WindowMicros) * time.Microsecond,
+		PacketBits:       f.Params.PacketBits,
+	}
+	su := make([]geom.Point, len(f.SU))
+	for i, q := range f.SU {
+		su[i] = geom.Point{X: q.X, Y: q.Y}
+	}
+	pu := make([]geom.Point, len(f.PU))
+	for i, q := range f.PU {
+		pu[i] = geom.Point{X: q.X, Y: q.Y}
+	}
+	return NewCustomNetwork(p, su, pu)
+}

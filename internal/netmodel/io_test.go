@@ -1,0 +1,108 @@
+package netmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"addcrn/internal/rng"
+)
+
+func TestTopologyRoundTrip(t *testing.T) {
+	p := testParams()
+	nw, err := DeployConnected(p, rng.New(31), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Params != nw.Params {
+		t.Errorf("params changed in round trip:\n%+v\n%+v", back.Params, nw.Params)
+	}
+	if len(back.SU) != len(nw.SU) || len(back.PU) != len(nw.PU) {
+		t.Fatalf("node counts changed: %d/%d SUs, %d/%d PUs",
+			len(back.SU), len(nw.SU), len(back.PU), len(nw.PU))
+	}
+	for i := range nw.SU {
+		if back.SU[i] != nw.SU[i] {
+			t.Fatalf("SU %d moved: %v vs %v", i, back.SU[i], nw.SU[i])
+		}
+	}
+	for i := range nw.PU {
+		if back.PU[i] != nw.PU[i] {
+			t.Fatalf("PU %d moved", i)
+		}
+	}
+	// Grids must be rebuilt and usable.
+	if back.SUGrid == nil || back.PUGrid == nil {
+		t.Fatal("grids not rebuilt")
+	}
+	if got := back.SUGrid.CountWithin(back.SU[0], p.RadiusSU); got != nw.SUGrid.CountWithin(nw.SU[0], p.RadiusSU) {
+		t.Error("rebuilt grid disagrees with original")
+	}
+}
+
+func TestReadTopologyRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "hello"},
+		{"unknown field", `{"version":1,"bogus":2}`},
+		{"wrong version", `{"version":99,"params":{},"su":[],"pu":[]}`},
+		{"invalid params", `{"version":1,"params":{"area":-1},"su":[],"pu":[]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadTopology(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestReadTopologyCountMismatch(t *testing.T) {
+	p := testParams()
+	nw, err := Deploy(p, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: drop one SU from the JSON array (positions no longer match
+	// the declared n).
+	s := buf.String()
+	idx := strings.Index(s, `"su": [`)
+	end := strings.Index(s[idx:], "},") + idx
+	tampered := s[:idx+len(`"su": [`)] + s[end+2:]
+	if _, err := ReadTopology(strings.NewReader(tampered)); err == nil {
+		t.Error("tampered topology accepted")
+	}
+}
+
+func TestNewCustomNetworkValidation(t *testing.T) {
+	p := testParams()
+	nw, err := Deploy(p, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCustomNetwork(p, nw.SU[:2], nw.PU); err == nil {
+		t.Error("short SU slice accepted")
+	}
+	if _, err := NewCustomNetwork(p, nw.SU, nw.PU[:1]); err == nil {
+		t.Error("short PU slice accepted")
+	}
+	su := append(nw.SU[:0:0], nw.SU...)
+	su[3].X = -50 // out of bounds
+	if _, err := NewCustomNetwork(p, su, nw.PU); err == nil {
+		t.Error("out-of-bounds SU accepted")
+	}
+}

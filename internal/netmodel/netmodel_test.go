@@ -1,0 +1,255 @@
+package netmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"addcrn/internal/rng"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("DefaultParams invalid: %v", err)
+	}
+	if err := ScaledDefaultParams().Validate(); err != nil {
+		t.Errorf("ScaledDefaultParams invalid: %v", err)
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.Area != 250 || p.Alpha != 4 || p.NumPU != 400 || p.NumSU != 2000 {
+		t.Errorf("defaults drifted from the paper's Fig. 6 settings: %+v", p)
+	}
+	if p.ActiveProb != 0.3 || p.SIRThresholdPUdB != 8 || p.SIRThresholdSUdB != 8 {
+		t.Errorf("defaults drifted from the paper's Fig. 6 settings: %+v", p)
+	}
+	if p.Slot != time.Millisecond || p.ContentionWindow != 500*time.Microsecond {
+		t.Errorf("timing defaults drifted: slot=%v window=%v", p.Slot, p.ContentionWindow)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero area", func(p *Params) { p.Area = 0 }},
+		{"alpha at 2", func(p *Params) { p.Alpha = 2 }},
+		{"negative PUs", func(p *Params) { p.NumPU = -1 }},
+		{"zero PU power", func(p *Params) { p.PowerPU = 0 }},
+		{"zero PU radius", func(p *Params) { p.RadiusPU = 0 }},
+		{"pt above 1", func(p *Params) { p.ActiveProb = 1.1 }},
+		{"pt below 0", func(p *Params) { p.ActiveProb = -0.1 }},
+		{"zero SUs", func(p *Params) { p.NumSU = 0 }},
+		{"zero SU power", func(p *Params) { p.PowerSU = 0 }},
+		{"zero SU radius", func(p *Params) { p.RadiusSU = 0 }},
+		{"zero slot", func(p *Params) { p.Slot = 0 }},
+		{"zero window", func(p *Params) { p.ContentionWindow = 0 }},
+		{"window >= slot", func(p *Params) { p.ContentionWindow = p.Slot }},
+		{"zero packet", func(p *Params) { p.PacketBits = 0 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mut(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tt.name)
+			}
+		})
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	p := DefaultParams()
+	if got := p.EtaPU(); math.Abs(got-math.Pow(10, 0.8)) > 1e-9 {
+		t.Errorf("EtaPU = %v", got)
+	}
+	if got := p.AreaSize(); got != 62500 {
+		t.Errorf("AreaSize = %v", got)
+	}
+	if got := p.C0(); math.Abs(got-62500.0/2000) > 1e-9 {
+		t.Errorf("C0 = %v", got)
+	}
+	if got := p.Bandwidth(); math.Abs(got-1024/0.001) > 1e-6 {
+		t.Errorf("Bandwidth = %v", got)
+	}
+	zero := Params{}
+	if !math.IsInf(zero.C0(), 1) {
+		t.Errorf("C0 with zero SUs = %v, want +Inf", zero.C0())
+	}
+}
+
+func testParams() Params {
+	p := ScaledDefaultParams()
+	p.NumSU = 150
+	p.Area = 70
+	p.NumPU = 5
+	return p
+}
+
+func TestDeployBasics(t *testing.T) {
+	p := testParams()
+	nw, err := Deploy(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != p.NumSU+1 {
+		t.Errorf("NumNodes = %d, want %d", nw.NumNodes(), p.NumSU+1)
+	}
+	if len(nw.PU) != p.NumPU {
+		t.Errorf("PUs = %d, want %d", len(nw.PU), p.NumPU)
+	}
+	center := nw.Bounds().Center()
+	if nw.SU[BaseStationID] != center {
+		t.Errorf("base station at %v, want %v", nw.SU[BaseStationID], center)
+	}
+	bounds := nw.Bounds()
+	for i, pt := range nw.SU {
+		if !bounds.Contains(pt) {
+			t.Errorf("SU %d outside bounds: %v", i, pt)
+		}
+	}
+	for i, pt := range nw.PU {
+		if !bounds.Contains(pt) {
+			t.Errorf("PU %d outside bounds: %v", i, pt)
+		}
+	}
+}
+
+func TestDeployInvalidParams(t *testing.T) {
+	p := testParams()
+	p.Alpha = 1
+	if _, err := Deploy(p, rng.New(1)); err == nil {
+		t.Error("Deploy accepted invalid params")
+	}
+}
+
+func TestDeployDeterministic(t *testing.T) {
+	p := testParams()
+	a, err := Deploy(p, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Deploy(p, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.SU {
+		if a.SU[i] != b.SU[i] {
+			t.Fatalf("SU %d differs between equal-seed deployments", i)
+		}
+	}
+	for i := range a.PU {
+		if a.PU[i] != b.PU[i] {
+			t.Fatalf("PU %d differs between equal-seed deployments", i)
+		}
+	}
+}
+
+func TestDeploySeedsDiffer(t *testing.T) {
+	p := testParams()
+	a, _ := Deploy(p, rng.New(1))
+	b, _ := Deploy(p, rng.New(2))
+	same := 0
+	for i := 1; i < len(a.SU); i++ {
+		if a.SU[i] == b.SU[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d SU positions identical across different seeds", same)
+	}
+}
+
+func TestDeployConnected(t *testing.T) {
+	p := testParams()
+	nw, err := DeployConnected(p, rng.New(3), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Connected() {
+		t.Error("DeployConnected returned a disconnected network")
+	}
+}
+
+func TestDeployConnectedFailure(t *testing.T) {
+	p := testParams()
+	p.Area = 500 // density far below the connectivity threshold
+	p.NumSU = 50
+	_, err := DeployConnected(p, rng.New(4), 3)
+	if err == nil {
+		t.Fatal("expected disconnection error")
+	}
+	if !errors.Is(err, ErrDisconnected) {
+		t.Errorf("error %v does not wrap ErrDisconnected", err)
+	}
+}
+
+func TestConnectedSmallCases(t *testing.T) {
+	p := testParams()
+	p.NumSU = 1
+	p.NumPU = 0
+	nw, err := Deploy(p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single SU: connected iff it is within r of the base station; verify
+	// against the direct distance check.
+	want := nw.SU[0].Dist(nw.SU[1]) <= p.RadiusSU
+	if got := nw.Connected(); got != want {
+		t.Errorf("Connected = %v, want %v", got, want)
+	}
+}
+
+func TestSUNeighborsExcludesSelf(t *testing.T) {
+	p := testParams()
+	nw, err := DeployConnected(p, rng.New(6), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < nw.NumNodes(); id += 17 {
+		nbrs := nw.SUNeighbors(id, p.RadiusSU, nil)
+		for _, nb := range nbrs {
+			if int(nb) == id {
+				t.Fatalf("node %d listed as its own neighbor", id)
+			}
+			if nw.SU[id].Dist(nw.SU[nb]) > p.RadiusSU {
+				t.Fatalf("neighbor %d of %d out of range", nb, id)
+			}
+		}
+	}
+}
+
+func TestPUsNear(t *testing.T) {
+	p := testParams()
+	nw, err := Deploy(p, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := nw.Bounds().Center()
+	got := nw.PUsNear(center, 40, nil)
+	count := 0
+	for _, pu := range nw.PU {
+		if pu.Dist(center) <= 40 {
+			count++
+		}
+	}
+	if len(got) != count {
+		t.Errorf("PUsNear found %d, brute force %d", len(got), count)
+	}
+}
+
+func TestDeployZeroPUs(t *testing.T) {
+	p := testParams()
+	p.NumPU = 0
+	nw, err := Deploy(p, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.PUsNear(nw.Bounds().Center(), 1000, nil); len(got) != 0 {
+		t.Errorf("PUsNear on empty primary network returned %v", got)
+	}
+}

@@ -1,0 +1,47 @@
+package pcr_test
+
+import (
+	"fmt"
+
+	"addcrn/internal/pcr"
+)
+
+// ExampleCompute derives the Proper Carrier-sensing Range for the paper's
+// Fig. 4 default parameters.
+func ExampleCompute() {
+	params := pcr.Fig4Defaults()
+	c, err := pcr.Compute(params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("kappa = %.3f\n", c.Kappa)
+	fmt.Printf("PCR   = %.2f m\n", c.Range)
+	// Output:
+	// kappa = 5.115
+	// PCR   = 51.15 m
+}
+
+// ExampleC2 shows the corrected interference-packing constant (the paper's
+// printed formula has a sign typo; see DESIGN.md).
+func ExampleC2() {
+	fmt.Printf("c2(alpha=4) = %.4f\n", pcr.C2(4))
+	// Output:
+	// c2(alpha=4) = 11.3333
+}
+
+// ExampleFig4Series regenerates two points of a Fig. 4 panel.
+func ExampleFig4Series() {
+	series, err := pcr.Fig4Series(pcr.Fig4Defaults(), pcr.SweepEtaPU,
+		[]float64{8, 12}, []float64{4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, pt := range series[0] {
+		fmt.Printf("eta_p=%gdB -> PCR %.2f m\n", pt.X, pt.PCR)
+	}
+	// Output:
+	// eta_p=8dB -> PCR 46.90 m
+	// eta_p=12dB -> PCR 55.93 m
+}

@@ -1,0 +1,103 @@
+package pcr
+
+import (
+	"fmt"
+
+	"addcrn/internal/netmodel"
+)
+
+// Fig4Defaults returns the parameter settings under which the paper plots
+// Fig. 4: alpha = 4, P_p = 10, R = 12, eta_p = 10dB, P_s = 10, r = 10,
+// eta_s = 10dB. (These differ from the Fig. 6 simulation defaults.)
+func Fig4Defaults() netmodel.Params {
+	p := netmodel.DefaultParams()
+	p.Alpha = 4
+	p.PowerPU = 10
+	p.RadiusPU = 12
+	p.SIRThresholdPUdB = 10
+	p.PowerSU = 10
+	p.RadiusSU = 10
+	p.SIRThresholdSUdB = 10
+	return p
+}
+
+// SweepVar identifies the x-axis parameter of one Fig. 4 panel.
+type SweepVar uint8
+
+// Parameters swept in Fig. 4.
+const (
+	SweepPowerPU SweepVar = iota + 1
+	SweepPowerSU
+	SweepEtaPU
+	SweepEtaSU
+	SweepRadiusPU
+	SweepRadiusSU
+)
+
+// String implements fmt.Stringer.
+func (v SweepVar) String() string {
+	switch v {
+	case SweepPowerPU:
+		return "P_p"
+	case SweepPowerSU:
+		return "P_s"
+	case SweepEtaPU:
+		return "eta_p(dB)"
+	case SweepEtaSU:
+		return "eta_s(dB)"
+	case SweepRadiusPU:
+		return "R"
+	case SweepRadiusSU:
+		return "r"
+	default:
+		return fmt.Sprintf("sweep(%d)", uint8(v))
+	}
+}
+
+// apply returns base with the swept variable set to x.
+func (v SweepVar) apply(base netmodel.Params, x float64) netmodel.Params {
+	switch v {
+	case SweepPowerPU:
+		base.PowerPU = x
+	case SweepPowerSU:
+		base.PowerSU = x
+	case SweepEtaPU:
+		base.SIRThresholdPUdB = x
+	case SweepEtaSU:
+		base.SIRThresholdSUdB = x
+	case SweepRadiusPU:
+		base.RadiusPU = x
+	case SweepRadiusSU:
+		base.RadiusSU = x
+	}
+	return base
+}
+
+// Fig4Point is one (x, PCR) sample of a Fig. 4 series.
+type Fig4Point struct {
+	X     float64
+	Alpha float64
+	PCR   float64
+	Kappa float64
+}
+
+// Fig4Series regenerates one Fig. 4 panel: PCR as a function of the swept
+// variable, for each path-loss exponent in alphas (the paper uses 3.0 and
+// 4.0), all other parameters at base.
+func Fig4Series(base netmodel.Params, v SweepVar, xs []float64, alphas []float64) ([][]Fig4Point, error) {
+	series := make([][]Fig4Point, 0, len(alphas))
+	for _, alpha := range alphas {
+		pts := make([]Fig4Point, 0, len(xs))
+		for _, x := range xs {
+			p := v.apply(base, x)
+			p.Alpha = alpha
+			c, err := Compute(p)
+			if err != nil {
+				return nil, fmt.Errorf("pcr: fig4 %v=%v alpha=%v: %w", v, x, alpha, err)
+			}
+			pts = append(pts, Fig4Point{X: x, Alpha: alpha, PCR: c.Range, Kappa: c.Kappa})
+		}
+		series = append(series, pts)
+	}
+	return series, nil
+}

@@ -1,0 +1,9 @@
+package rng
+
+import "math"
+
+// logQuotient returns ln(u)/ln(q) for u in (0,1) and q in (0,1). It is
+// factored out for testability of the geometric sampler's inverse transform.
+func logQuotient(u, q float64) float64 {
+	return math.Log(u) / math.Log(q)
+}

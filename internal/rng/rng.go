@@ -1,0 +1,127 @@
+// Package rng centralizes pseudo-random number generation for the
+// reproduction. Every stochastic component (deployment, PU activity,
+// backoff draws) receives its own deterministic child source derived from a
+// run seed and a string label, so that
+//
+//   - a whole experiment is reproducible from a single uint64 seed, and
+//   - changing how many random numbers one component draws does not perturb
+//     the streams of the others.
+package rng
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Source is a deterministic random source with the derivation helpers used
+// across the simulator. It wraps math/rand with an explicit seed; crypto
+// randomness is neither needed nor wanted for reproducible experiments.
+type Source struct {
+	seed uint64
+	rnd  *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{
+		seed: seed,
+		rnd:  rand.New(rand.NewSource(int64(seed))), //nolint:gosec // reproducibility, not security
+	}
+}
+
+// Seed returns the seed the source was created with.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Child derives an independent source labeled by name. Derivation mixes the
+// parent seed with an FNV-1a hash of the label, so identical labels yield
+// identical children and distinct labels yield (practically) independent
+// streams.
+func (s *Source) Child(name string) *Source {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return New(mix(s.seed, h.Sum64()))
+}
+
+// ChildN derives an independent source labeled by name and an index, e.g.
+// one stream per repetition of an experiment.
+func (s *Source) ChildN(name string, n int) *Source {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return New(mix(mix(s.seed, h.Sum64()), uint64(n)+0x9e3779b97f4a7c15))
+}
+
+// mix is the splitmix64 finalizer applied to a xor of the inputs; it is a
+// strong enough mixer to decorrelate seeds derived from small integers.
+func mix(a, b uint64) uint64 {
+	z := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.rnd.Float64() }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (s *Source) Intn(n int) int { return s.rnd.Intn(n) }
+
+// Int63n returns a uniform value in [0, n).
+func (s *Source) Int63n(n int64) int64 { return s.rnd.Int63n(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Source) Uint64() uint64 { return s.rnd.Uint64() }
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rnd.Perm(n) }
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1] are
+// clamped.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rnd.Float64() < p
+}
+
+// UniformInt returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (s *Source) UniformInt(lo, hi int64) int64 {
+	if hi < lo {
+		panic("rng: UniformInt with hi < lo")
+	}
+	return lo + s.rnd.Int63n(hi-lo+1)
+}
+
+// Geometric returns the number of consecutive Bernoulli(p) failures before
+// the first success, i.e. a sample of the geometric distribution with
+// support {0, 1, 2, ...}. For p <= 0 it returns a very large value capped at
+// 1<<40 to keep virtual time arithmetic safe; for p >= 1 it returns 0.
+//
+// It is used to jump PU activity processes across runs of identical slots
+// without simulating each slot individually.
+func (s *Source) Geometric(p float64) int64 {
+	const cap40 = int64(1) << 40
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return cap40
+	}
+	// Inverse transform: floor(ln(U) / ln(1-p)) with U in (0,1).
+	u := s.rnd.Float64()
+	for u == 0 {
+		u = s.rnd.Float64()
+	}
+	k := int64(logQuotient(u, 1-p))
+	if k < 0 {
+		k = 0
+	}
+	if k > cap40 {
+		k = cap40
+	}
+	return k
+}

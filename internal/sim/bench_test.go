@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleAndRun measures raw event throughput: schedule and drain
+// 1024 events per iteration.
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1024; j++ {
+			e.After(Time(j*37%4096), func(Time) {})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkRearm measures the self-rescheduling pattern every PU activity
+// process and backoff timer uses.
+func BenchmarkRearm(b *testing.B) {
+	e := New()
+	count := 0
+	var rearm func(now Time)
+	rearm = func(now Time) {
+		count++
+		if count < b.N {
+			e.After(7, rearm)
+		}
+	}
+	e.After(7, rearm)
+	b.ResetTimer()
+	e.Run()
+}

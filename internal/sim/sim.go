@@ -1,0 +1,209 @@
+// Package sim is a deterministic discrete-event simulation engine. Virtual
+// time is an int64 microsecond counter; events scheduled for equal times
+// fire in scheduling order (a strictly increasing sequence number breaks
+// ties), so a run is exactly reproducible from its inputs.
+//
+// The engine is intentionally single-threaded: cognitive-radio MAC behavior
+// depends on a total order of carrier-sense observations, and a
+// deterministic order is what makes the reproduction's integration tests
+// meaningful. Parallelism lives one level up (independent repetitions of an
+// experiment run on separate engines; see internal/experiment).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"time"
+)
+
+// Time is virtual time in microseconds since the start of the run.
+type Time int64
+
+// Common time constants.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * 1000
+
+	// MaxTime is the largest representable virtual time.
+	MaxTime Time = math.MaxInt64
+)
+
+// FromDuration converts a wall-clock duration to virtual microseconds,
+// truncating sub-microsecond precision.
+func FromDuration(d time.Duration) Time { return Time(d.Microseconds()) }
+
+// Duration converts virtual time to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+// Seconds returns t in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / 1e6 }
+
+// Slots returns how many whole slots of length slot have fully elapsed at t.
+func (t Time) Slots(slot Time) int64 { return int64(t / slot) }
+
+// EventFunc is an event body; it runs with the engine clock set to the
+// event's scheduled time.
+type EventFunc func(now Time)
+
+// Timer is a handle to a scheduled event, usable to cancel it.
+type Timer struct {
+	entry *entry
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op. Cancel on a zero Timer is a no-op.
+func (t Timer) Cancel() {
+	if t.entry != nil {
+		t.entry.fn = nil
+	}
+}
+
+// Active reports whether the event is still pending.
+func (t Timer) Active() bool { return t.entry != nil && t.entry.fn != nil }
+
+// When returns the scheduled fire time (meaningful only while Active).
+func (t Timer) When() Time {
+	if t.entry == nil {
+		return 0
+	}
+	return t.entry.at
+}
+
+type entry struct {
+	at  Time
+	seq uint64
+	fn  EventFunc
+}
+
+// Engine is the event queue and virtual clock.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	nsteps uint64
+}
+
+// New returns an engine with the clock at zero and an empty queue.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// ErrPast is returned by At when scheduling before the current time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// At schedules fn at absolute virtual time t; t may equal Now (the event
+// fires after all currently queued events at the same time).
+func (e *Engine) At(t Time, fn EventFunc) (Timer, error) {
+	if t < e.now {
+		return Timer{}, ErrPast
+	}
+	if fn == nil {
+		return Timer{}, errors.New("sim: nil event function")
+	}
+	en := &entry{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, en)
+	return Timer{entry: en}, nil
+}
+
+// After schedules fn d microseconds from now; negative d is clamped to 0.
+func (e *Engine) After(d Time, fn EventFunc) Timer {
+	if d < 0 {
+		d = 0
+	}
+	t, err := e.At(e.now+d, fn)
+	if err != nil {
+		// Unreachable: e.now+d >= e.now and fn nil-ness is the caller's
+		// bug; surface it loudly in tests.
+		panic(err)
+	}
+	return t
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false when the queue is empty. Canceled events are skipped
+// without advancing the step count.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		en := heap.Pop(&e.queue).(*entry)
+		if en.fn == nil {
+			continue
+		}
+		e.now = en.at
+		fn := en.fn
+		en.fn = nil
+		e.nsteps++
+		fn(e.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is exhausted or the next event
+// is scheduled strictly after deadline; the clock never passes deadline.
+// It returns the number of events executed.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.nsteps
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	return e.nsteps - start
+}
+
+// Run executes events until the queue is exhausted and returns the number
+// executed. Use RunUntil with a budget when events can re-arm forever.
+func (e *Engine) Run() uint64 {
+	return e.RunUntil(MaxTime)
+}
+
+// peek returns the earliest non-canceled entry without popping, discarding
+// canceled ones along the way.
+func (e *Engine) peek() *entry {
+	for len(e.queue) > 0 {
+		if e.queue[0].fn != nil {
+			return e.queue[0]
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+type eventHeap []*entry
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*entry)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return item
+}

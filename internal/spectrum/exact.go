@@ -1,0 +1,136 @@
+package spectrum
+
+import (
+	"math"
+
+	"addcrn/internal/geom"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+	"addcrn/internal/sim"
+)
+
+// ExactModel simulates every primary user's slot activity individually:
+// during each slot of length tau a PU transmits with probability p_t,
+// i.i.d. across slots and PUs (paper Section III). Consecutive identical
+// slots are generated as geometric run lengths, so the event cost is
+// proportional to state changes rather than slots.
+type ExactModel struct {
+	nw      *netmodel.Network
+	tracker *Tracker
+	src     *rng.Source
+	slot    sim.Time
+
+	active []bool
+	// receivers[i] is a synthetic intended receiver for PU i, uniformly
+	// within distance R; the physical-interference validation tests check
+	// SIR at these points (the MAC itself never reads them).
+	receivers []geom.Point
+	numActive int
+
+	monitor   *RxMonitor
+	monTokens []int64
+}
+
+var _ PUModel = (*ExactModel)(nil)
+
+// NewExactModel builds the exact per-PU activity model.
+func NewExactModel(nw *netmodel.Network, tracker *Tracker, src *rng.Source) *ExactModel {
+	m := &ExactModel{
+		nw:        nw,
+		tracker:   tracker,
+		src:       src.Child("spectrum/exact"),
+		slot:      sim.FromDuration(nw.Params.Slot),
+		active:    make([]bool, len(nw.PU)),
+		receivers: make([]geom.Point, len(nw.PU)),
+	}
+	rcv := src.Child("spectrum/receivers")
+	for i, pos := range nw.PU {
+		theta := rcv.Float64() * 2 * math.Pi
+		dist := rcv.Float64() * nw.Params.RadiusPU
+		m.receivers[i] = pos.Add(dist*math.Cos(theta), dist*math.Sin(theta))
+	}
+	return m
+}
+
+// AttachMonitor registers PU transmissions with an RxMonitor so primary
+// interference participates in SIR collision checking. Call before Start.
+func (m *ExactModel) AttachMonitor(mon *RxMonitor) {
+	m.monitor = mon
+	m.monTokens = make([]int64, len(m.nw.PU))
+}
+
+// Start samples each PU's initial state and schedules its first toggle.
+func (m *ExactModel) Start(eng *sim.Engine) {
+	pt := m.nw.Params.ActiveProb
+	for i := range m.nw.PU {
+		if pt <= 0 {
+			continue // silent forever
+		}
+		if m.src.Bernoulli(pt) {
+			m.activate(int32(i), eng.Now())
+		}
+		if pt >= 1 {
+			continue // active forever; no toggles
+		}
+		m.scheduleToggle(eng, int32(i))
+	}
+}
+
+// ActiveCount returns how many PUs are currently transmitting.
+func (m *ExactModel) ActiveCount() int { return m.numActive }
+
+// IsActive reports whether PU i currently transmits.
+func (m *ExactModel) IsActive(i int) bool { return m.active[i] }
+
+// ActivePUs appends the indices of active PUs to dst.
+func (m *ExactModel) ActivePUs(dst []int32) []int32 {
+	for i, a := range m.active {
+		if a {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
+}
+
+// Receiver returns the synthetic intended receiver of PU i.
+func (m *ExactModel) Receiver(i int) geom.Point { return m.receivers[i] }
+
+func (m *ExactModel) activate(i int32, now sim.Time) {
+	m.active[i] = true
+	m.numActive++
+	if m.monitor != nil {
+		m.monTokens[i] = m.monitor.AddTransmitter(m.nw.PU[i], m.nw.Params.PowerPU)
+	}
+	m.tracker.AddTransmitter(m.nw.PU[i], TxPU, -1, now)
+}
+
+func (m *ExactModel) deactivate(i int32, now sim.Time) {
+	m.active[i] = false
+	m.numActive--
+	if m.monitor != nil {
+		m.monitor.RemoveTransmitter(m.monTokens[i])
+	}
+	m.tracker.RemoveTransmitter(m.nw.PU[i], TxPU, -1, now)
+}
+
+// scheduleToggle arms PU i's next state change after the remaining run of
+// identical slots.
+func (m *ExactModel) scheduleToggle(eng *sim.Engine, i int32) {
+	pt := m.nw.Params.ActiveProb
+	var runSlots int64
+	if m.active[i] {
+		// One active slot, plus a geometric number of consecutive
+		// continuation successes with probability p_t each.
+		runSlots = 1 + m.src.Geometric(1-pt)
+	} else {
+		runSlots = 1 + m.src.Geometric(pt)
+	}
+	eng.After(sim.Time(runSlots)*m.slot, func(now sim.Time) {
+		if m.active[i] {
+			m.deactivate(i, now)
+		} else {
+			m.activate(i, now)
+		}
+		m.scheduleToggle(eng, i)
+	})
+}

@@ -1,0 +1,44 @@
+package spectrum
+
+import (
+	"addcrn/internal/sim"
+)
+
+// PUModel drives primary-user activity against a Tracker. Implementations
+// schedule their own events on the engine; they keep re-arming forever, so
+// the simulation driver decides when to stop stepping.
+type PUModel interface {
+	// Start schedules the model's initial events.
+	Start(eng *sim.Engine)
+	// ActiveCount returns the number of currently active primary
+	// transmitters (virtual ones count per blocked node in the aggregate
+	// model); used by tests and progress reporting.
+	ActiveCount() int
+}
+
+// ModelKind selects a PU activity model.
+type ModelKind uint8
+
+// Available PU activity models (see DESIGN.md for the substitution
+// rationale).
+const (
+	// ModelExact simulates each PU's i.i.d. Bernoulli(p_t) slot activity
+	// individually — the paper's model verbatim.
+	ModelExact ModelKind = iota + 1
+	// ModelAggregate collapses the PUs around each SU into one on/off
+	// blocking process with the exact per-slot blocking probability,
+	// trading inter-SU correlation for large-sweep speed.
+	ModelAggregate
+)
+
+// String implements fmt.Stringer.
+func (k ModelKind) String() string {
+	switch k {
+	case ModelExact:
+		return "exact"
+	case ModelAggregate:
+		return "aggregate"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,144 @@
+package spectrum
+
+import (
+	"math"
+
+	"addcrn/internal/geom"
+)
+
+// RxMonitor tracks every ongoing reception's signal-to-interference ratio
+// incrementally under the physical interference model. Each registered
+// transmitter contributes P*d^-alpha of interference at every ongoing
+// receiver (except its own); a reception whose SIR ever dips below its
+// threshold is marked corrupted and the packet is lost (collision).
+//
+// Two uses:
+//
+//   - validation: under ADDC's PCR, Lemmas 2-3 guarantee no reception is
+//     ever corrupted — integration tests assert zero collisions;
+//   - baseline realism: the generic-CSMA profile the Coolest comparison
+//     runs on uses a naive sensing range, so collisions actually occur and
+//     cost retransmissions.
+//
+// All operations are O(active transmitters) or O(ongoing receptions),
+// keeping the monitor viable inside large sweeps.
+type RxMonitor struct {
+	alpha float64
+	txs   map[int64]monTx
+	rxs   map[int64]*monRx
+	next  int64
+}
+
+type monTx struct {
+	pos   geom.Point
+	power float64
+}
+
+type monRx struct {
+	rxPos     geom.Point
+	signal    float64
+	eta       float64
+	ownTx     int64
+	interf    float64
+	corrupted bool
+}
+
+// NewRxMonitor creates a monitor for path loss exponent alpha.
+func NewRxMonitor(alpha float64) *RxMonitor {
+	return &RxMonitor{
+		alpha: alpha,
+		txs:   make(map[int64]monTx),
+		rxs:   make(map[int64]*monRx),
+	}
+}
+
+// AddTransmitter registers an active transmitter and returns its token.
+// Every ongoing reception (except the transmitter's own) accrues its
+// interference immediately.
+func (m *RxMonitor) AddTransmitter(pos geom.Point, power float64) int64 {
+	m.next++
+	token := m.next
+	m.txs[token] = monTx{pos: pos, power: power}
+	for _, rx := range m.rxs {
+		if rx.ownTx == token {
+			continue
+		}
+		rx.interf += receivedPower(pos, power, rx.rxPos, m.alpha)
+		if !rx.corrupted && rx.signal < rx.eta*rx.interf {
+			rx.corrupted = true
+		}
+	}
+	return token
+}
+
+// RemoveTransmitter unregisters a transmitter. Interference subtractions
+// cannot un-corrupt a reception.
+func (m *RxMonitor) RemoveTransmitter(token int64) {
+	tx, ok := m.txs[token]
+	if !ok {
+		return
+	}
+	delete(m.txs, token)
+	for _, rx := range m.rxs {
+		if rx.ownTx == token {
+			continue
+		}
+		rx.interf -= receivedPower(tx.pos, tx.power, rx.rxPos, m.alpha)
+		if rx.interf < 0 {
+			rx.interf = 0 // floating point dust
+		}
+	}
+}
+
+// BeginReception registers an ongoing reception: receiver at rxPos decoding
+// the transmitter identified by ownTx (already or about-to-be registered)
+// with the given received-signal parameters and linear SIR threshold eta.
+// Call it BEFORE AddTransmitter for the same transmission so the initial
+// interference sum excludes the transmission's own signal. It returns a
+// reception token.
+func (m *RxMonitor) BeginReception(rxPos geom.Point, txPos geom.Point, txPower float64, eta float64, ownTx int64) int64 {
+	m.next++
+	token := m.next
+	rx := &monRx{
+		rxPos:  rxPos,
+		signal: receivedPower(txPos, txPower, rxPos, m.alpha),
+		eta:    eta,
+		ownTx:  ownTx,
+	}
+	for t, tx := range m.txs {
+		if t == ownTx {
+			continue
+		}
+		rx.interf += receivedPower(tx.pos, tx.power, rxPos, m.alpha)
+	}
+	if rx.signal < rx.eta*rx.interf {
+		rx.corrupted = true
+	}
+	m.rxs[token] = rx
+	return token
+}
+
+// EndReception removes the reception and reports whether it survived
+// uncorrupted.
+func (m *RxMonitor) EndReception(token int64) (ok bool) {
+	rx, found := m.rxs[token]
+	if !found {
+		return false
+	}
+	delete(m.rxs, token)
+	return !rx.corrupted
+}
+
+// Ongoing returns the number of ongoing receptions (for tests).
+func (m *RxMonitor) Ongoing() int { return len(m.rxs) }
+
+// ActiveTransmitters returns the number of registered transmitters.
+func (m *RxMonitor) ActiveTransmitters() int { return len(m.txs) }
+
+func receivedPower(txPos geom.Point, power float64, rxPos geom.Point, alpha float64) float64 {
+	d := txPos.Dist(rxPos)
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return power * math.Pow(d, -alpha)
+}

@@ -1,0 +1,274 @@
+package spectrum
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+	"addcrn/internal/sim"
+)
+
+// Interval is a half-open range of slots [Start, End) during which a PU
+// transmits.
+type Interval struct {
+	Start int64
+	End   int64
+}
+
+// Trace is a deterministic primary-user activity schedule: for each PU, a
+// sorted, non-overlapping list of active slot intervals. Traces substitute
+// for production spectrum-occupancy measurements (which the paper's setting
+// presumes but which are not publicly available): the generators below
+// produce synthetic traces with the paper's i.i.d. Bernoulli marginals or
+// with bursty Gilbert-Elliott dynamics, and the CSV codec lets externally
+// measured traces be replayed instead.
+type Trace struct {
+	// PU[i] lists PU i's active intervals.
+	PU [][]Interval
+	// Slots is the trace horizon; models repeat the trace cyclically past
+	// it.
+	Slots int64
+}
+
+// Validate reports structural errors: unsorted, overlapping or
+// out-of-horizon intervals.
+func (tr *Trace) Validate() error {
+	if tr.Slots <= 0 {
+		return fmt.Errorf("spectrum: trace horizon must be positive, got %d", tr.Slots)
+	}
+	for i, iv := range tr.PU {
+		prevEnd := int64(0)
+		for j, in := range iv {
+			if in.Start < prevEnd {
+				return fmt.Errorf("spectrum: PU %d interval %d overlaps or is unsorted", i, j)
+			}
+			if in.End <= in.Start {
+				return fmt.Errorf("spectrum: PU %d interval %d is empty or inverted", i, j)
+			}
+			if in.End > tr.Slots {
+				return fmt.Errorf("spectrum: PU %d interval %d exceeds horizon %d", i, j, tr.Slots)
+			}
+			prevEnd = in.End
+		}
+	}
+	return nil
+}
+
+// DutyCycle returns the fraction of (PU, slot) pairs that are active —
+// the empirical counterpart of p_t.
+func (tr *Trace) DutyCycle() float64 {
+	if tr.Slots == 0 || len(tr.PU) == 0 {
+		return 0
+	}
+	var active int64
+	for _, iv := range tr.PU {
+		for _, in := range iv {
+			active += in.End - in.Start
+		}
+	}
+	return float64(active) / float64(tr.Slots*int64(len(tr.PU)))
+}
+
+// GenerateBernoulliTrace samples the paper's i.i.d. Bernoulli(p_t) activity
+// for numPU users over the horizon, run-length encoded.
+func GenerateBernoulliTrace(numPU int, pt float64, slots int64, src *rng.Source) *Trace {
+	tr := &Trace{PU: make([][]Interval, numPU), Slots: slots}
+	for i := 0; i < numPU; i++ {
+		s := src.ChildN("trace/bernoulli", i)
+		var iv []Interval
+		slot := int64(0)
+		active := s.Bernoulli(pt)
+		for slot < slots {
+			var run int64
+			if active {
+				run = 1 + s.Geometric(1-pt)
+			} else {
+				run = 1 + s.Geometric(pt)
+			}
+			if slot+run > slots {
+				run = slots - slot
+			}
+			if active && run > 0 {
+				iv = append(iv, Interval{Start: slot, End: slot + run})
+			}
+			slot += run
+			active = !active
+		}
+		tr.PU[i] = iv
+	}
+	return tr
+}
+
+// GenerateGilbertTrace samples a bursty Gilbert-Elliott on/off process:
+// mean active burst meanOn slots, mean silence meanOff slots. The duty
+// cycle is meanOn/(meanOn+meanOff); unlike the Bernoulli model, activity
+// clusters, which is what measured spectrum occupancy looks like.
+func GenerateGilbertTrace(numPU int, meanOn, meanOff float64, slots int64, src *rng.Source) (*Trace, error) {
+	if meanOn < 1 || meanOff < 1 {
+		return nil, fmt.Errorf("spectrum: mean burst lengths must be >= 1 slot, got on=%v off=%v", meanOn, meanOff)
+	}
+	tr := &Trace{PU: make([][]Interval, numPU), Slots: slots}
+	for i := 0; i < numPU; i++ {
+		s := src.ChildN("trace/gilbert", i)
+		var iv []Interval
+		slot := int64(0)
+		active := s.Bernoulli(meanOn / (meanOn + meanOff))
+		for slot < slots {
+			var run int64
+			if active {
+				run = 1 + s.Geometric(1/meanOn)
+			} else {
+				run = 1 + s.Geometric(1/meanOff)
+			}
+			if slot+run > slots {
+				run = slots - slot
+			}
+			if active && run > 0 {
+				iv = append(iv, Interval{Start: slot, End: slot + run})
+			}
+			slot += run
+			active = !active
+		}
+		tr.PU[i] = iv
+	}
+	return tr, nil
+}
+
+// WriteCSV emits the trace as "pu,start,end" rows with a header.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# slots=%d\npu,start,end\n", tr.Slots); err != nil {
+		return err
+	}
+	for i, iv := range tr.PU {
+		for _, in := range iv {
+			if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", i, in.Start, in.End); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV. numPU fixes the PU count (a
+// silent PU has no rows).
+func ReadCSV(r io.Reader, numPU int) (*Trace, error) {
+	tr := &Trace{PU: make([][]Interval, numPU)}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if _, err := fmt.Sscanf(text, "# slots=%d", &tr.Slots); err != nil {
+				return nil, fmt.Errorf("spectrum: trace line %d: bad header %q", line, text)
+			}
+			continue
+		}
+		if text == "pu,start,end" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("spectrum: trace line %d: want 3 fields, got %q", line, text)
+		}
+		pu, err := strconv.Atoi(parts[0])
+		if err != nil || pu < 0 || pu >= numPU {
+			return nil, fmt.Errorf("spectrum: trace line %d: bad pu id %q", line, parts[0])
+		}
+		start, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("spectrum: trace line %d: bad start %q", line, parts[1])
+		}
+		end, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("spectrum: trace line %d: bad end %q", line, parts[2])
+		}
+		tr.PU[pu] = append(tr.PU[pu], Interval{Start: start, End: end})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// TraceModel replays a Trace against the tracker: PU i transmits exactly
+// during its scheduled intervals, repeating cyclically past the horizon.
+type TraceModel struct {
+	nw      *netmodel.Network
+	tracker *Tracker
+	trace   *Trace
+	slot    sim.Time
+
+	active    []bool
+	numActive int
+}
+
+var _ PUModel = (*TraceModel)(nil)
+
+// NewTraceModel binds trace to network nw; the trace must carry one entry
+// per PU.
+func NewTraceModel(nw *netmodel.Network, tracker *Tracker, trace *Trace) (*TraceModel, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	if len(trace.PU) != len(nw.PU) {
+		return nil, fmt.Errorf("spectrum: trace has %d PUs, network has %d", len(trace.PU), len(nw.PU))
+	}
+	return &TraceModel{
+		nw:      nw,
+		tracker: tracker,
+		trace:   trace,
+		slot:    sim.FromDuration(nw.Params.Slot),
+		active:  make([]bool, len(nw.PU)),
+	}, nil
+}
+
+// Start schedules every PU's first cycle of intervals.
+func (m *TraceModel) Start(eng *sim.Engine) {
+	for i := range m.trace.PU {
+		m.scheduleCycle(eng, int32(i), 0)
+	}
+}
+
+// ActiveCount returns the number of PUs currently transmitting.
+func (m *TraceModel) ActiveCount() int { return m.numActive }
+
+// IsActive reports whether PU i currently transmits.
+func (m *TraceModel) IsActive(i int) bool { return m.active[i] }
+
+// scheduleCycle arms one full repetition of PU i's intervals with the
+// given slot offset, then re-arms the next repetition.
+func (m *TraceModel) scheduleCycle(eng *sim.Engine, i int32, offset int64) {
+	for _, in := range m.trace.PU[i] {
+		start := sim.Time(offset+in.Start) * m.slot
+		end := sim.Time(offset+in.End) * m.slot
+		if _, err := eng.At(start, func(now sim.Time) {
+			m.active[i] = true
+			m.numActive++
+			m.tracker.AddTransmitter(m.nw.PU[i], TxPU, -1, now)
+		}); err != nil {
+			continue // start lies in the past only for offset 0 edge cases
+		}
+		_, _ = eng.At(end, func(now sim.Time) {
+			m.active[i] = false
+			m.numActive--
+			m.tracker.RemoveTransmitter(m.nw.PU[i], TxPU, -1, now)
+		})
+	}
+	// Re-arm the next repetition at the cycle boundary.
+	next := offset + m.trace.Slots
+	_, _ = eng.At(sim.Time(next)*m.slot, func(now sim.Time) {
+		m.scheduleCycle(eng, i, next)
+	})
+}

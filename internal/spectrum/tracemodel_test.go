@@ -1,0 +1,218 @@
+package spectrum
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"addcrn/internal/rng"
+	"addcrn/internal/sim"
+)
+
+func TestTraceValidate(t *testing.T) {
+	valid := &Trace{PU: [][]Interval{{{0, 5}, {7, 9}}}, Slots: 10}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		tr   *Trace
+	}{
+		{"zero horizon", &Trace{PU: [][]Interval{{}}, Slots: 0}},
+		{"overlap", &Trace{PU: [][]Interval{{{0, 5}, {4, 8}}}, Slots: 10}},
+		{"unsorted", &Trace{PU: [][]Interval{{{5, 8}, {0, 2}}}, Slots: 10}},
+		{"empty interval", &Trace{PU: [][]Interval{{{3, 3}}}, Slots: 10}},
+		{"inverted", &Trace{PU: [][]Interval{{{5, 2}}}, Slots: 10}},
+		{"beyond horizon", &Trace{PU: [][]Interval{{{8, 12}}}, Slots: 10}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.tr.Validate(); err == nil {
+				t.Errorf("%s accepted", tt.name)
+			}
+		})
+	}
+}
+
+func TestTraceDutyCycle(t *testing.T) {
+	tr := &Trace{PU: [][]Interval{{{0, 5}}, {}}, Slots: 10}
+	if got := tr.DutyCycle(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("duty cycle %v, want 0.25", got)
+	}
+	empty := &Trace{}
+	if empty.DutyCycle() != 0 {
+		t.Error("empty trace duty cycle != 0")
+	}
+}
+
+func TestGenerateBernoulliTraceDutyCycle(t *testing.T) {
+	tr := GenerateBernoulliTrace(20, 0.3, 20000, rng.New(1))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.DutyCycle(); math.Abs(got-0.3) > 0.02 {
+		t.Errorf("duty cycle %v, want ~0.3", got)
+	}
+}
+
+func TestGenerateBernoulliTraceDeterministic(t *testing.T) {
+	a := GenerateBernoulliTrace(3, 0.4, 1000, rng.New(7))
+	b := GenerateBernoulliTrace(3, 0.4, 1000, rng.New(7))
+	for i := range a.PU {
+		if len(a.PU[i]) != len(b.PU[i]) {
+			t.Fatal("traces with equal seeds diverged")
+		}
+		for j := range a.PU[i] {
+			if a.PU[i][j] != b.PU[i][j] {
+				t.Fatal("traces with equal seeds diverged")
+			}
+		}
+	}
+}
+
+func TestGenerateGilbertTrace(t *testing.T) {
+	tr, err := GenerateGilbertTrace(10, 20, 60, 50000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 20.0 / 80
+	if got := tr.DutyCycle(); math.Abs(got-want) > 0.03 {
+		t.Errorf("duty cycle %v, want ~%v", got, want)
+	}
+	// Burstiness: mean active run length should be near meanOn (clipped
+	// runs at the horizon bias it slightly low).
+	var runs, total float64
+	for _, iv := range tr.PU {
+		for _, in := range iv {
+			runs++
+			total += float64(in.End - in.Start)
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no active runs")
+	}
+	if meanRun := total / runs; meanRun < 14 || meanRun > 26 {
+		t.Errorf("mean burst %v, want ~20", meanRun)
+	}
+	if _, err := GenerateGilbertTrace(1, 0.5, 10, 100, rng.New(1)); err == nil {
+		t.Error("sub-slot burst length accepted")
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr := GenerateBernoulliTrace(5, 0.3, 500, rng.New(3))
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Slots != tr.Slots {
+		t.Errorf("horizon %d, want %d", back.Slots, tr.Slots)
+	}
+	for i := range tr.PU {
+		if len(back.PU[i]) != len(tr.PU[i]) {
+			t.Fatalf("PU %d: %d intervals, want %d", i, len(back.PU[i]), len(tr.PU[i]))
+		}
+		for j := range tr.PU[i] {
+			if back.PU[i][j] != tr.PU[i][j] {
+				t.Fatalf("PU %d interval %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad header", "# slotz=10\npu,start,end\n"},
+		{"bad fields", "# slots=10\npu,start,end\n1,2\n"},
+		{"bad pu", "# slots=10\npu,start,end\n9,0,5\n"},
+		{"bad start", "# slots=10\npu,start,end\n0,x,5\n"},
+		{"bad end", "# slots=10\npu,start,end\n0,1,y\n"},
+		{"invalid intervals", "# slots=10\npu,start,end\n0,5,2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in), 3); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestTraceModelReplaysExactly(t *testing.T) {
+	nw, tr := modelFixture(t, 21, 0.3)
+	trace := &Trace{PU: make([][]Interval, len(nw.PU)), Slots: 100}
+	trace.PU[0] = []Interval{{Start: 2, End: 5}, {Start: 10, End: 11}}
+	trace.PU[1] = []Interval{{Start: 4, End: 6}}
+	m, err := NewTraceModel(nw, tr, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	m.Start(eng)
+	slot := sim.FromDuration(nw.Params.Slot)
+	expect := func(slotIdx int64, wantActive ...bool) {
+		eng.RunUntil(sim.Time(slotIdx)*slot + slot/2)
+		for i, want := range wantActive {
+			if m.IsActive(i) != want {
+				t.Fatalf("slot %d: PU %d active=%v, want %v", slotIdx, i, m.IsActive(i), want)
+			}
+		}
+	}
+	expect(0, false, false)
+	expect(2, true, false)
+	expect(4, true, true)
+	expect(5, false, true)
+	expect(6, false, false)
+	expect(10, true, false)
+	expect(11, false, false)
+	// Cyclic repetition: slot 102 repeats slot 2.
+	expect(102, true, false)
+	expect(104, true, true)
+}
+
+func TestTraceModelRejectsMismatch(t *testing.T) {
+	nw, tr := modelFixture(t, 22, 0.3)
+	trace := &Trace{PU: make([][]Interval, len(nw.PU)+3), Slots: 10}
+	if _, err := NewTraceModel(nw, tr, trace); err == nil {
+		t.Error("PU count mismatch accepted")
+	}
+	bad := &Trace{PU: make([][]Interval, len(nw.PU)), Slots: 0}
+	if _, err := NewTraceModel(nw, tr, bad); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestTraceModelActiveCount(t *testing.T) {
+	nw, tr := modelFixture(t, 23, 0.3)
+	trace := GenerateBernoulliTrace(len(nw.PU), 0.4, 200, rng.New(9))
+	m, err := NewTraceModel(nw, tr, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	m.Start(eng)
+	slot := sim.FromDuration(nw.Params.Slot)
+	for s := int64(0); s < 400; s += 7 {
+		eng.RunUntil(sim.Time(s)*slot + slot/2)
+		count := 0
+		for i := range nw.PU {
+			if m.IsActive(i) {
+				count++
+			}
+		}
+		if count != m.ActiveCount() {
+			t.Fatalf("slot %d: ActiveCount %d, counted %d", s, m.ActiveCount(), count)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package spectrum models the shared radio medium: which transmitters (PU
+// or SU) are active, and what each secondary node's carrier sensor observes
+// within its Proper Carrier-sensing Range (PCR).
+//
+// The core abstraction is a per-SU busy counter — the number of active
+// transmitters within PCR of that SU — maintained incrementally through the
+// deployment's grid index. Counter transitions drive the MAC: 0 -> 1
+// freezes a backoff, -> 0 resumes it, and a PU arrival during a
+// transmission forces the spectrum handoff the paper's Section I requires.
+package spectrum
+
+import (
+	"fmt"
+
+	"addcrn/internal/geom"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/sim"
+)
+
+// Observer receives carrier-sense transitions for secondary nodes. The MAC
+// implements this interface.
+type Observer interface {
+	// SpectrumBusy fires when node's busy count rises from zero.
+	SpectrumBusy(node int32, now sim.Time)
+	// SpectrumFree fires when node's busy count returns to zero.
+	SpectrumFree(node int32, now sim.Time)
+	// PUArrived fires when a primary transmitter becomes active within
+	// node's PCR, regardless of the prior busy count. A transmitting node
+	// must abort (handoff) on this signal.
+	PUArrived(node int32, now sim.Time)
+}
+
+// TxKind distinguishes primary from secondary transmitters.
+type TxKind uint8
+
+// Transmitter kinds.
+const (
+	TxPU TxKind = iota + 1
+	TxSU
+)
+
+// Tracker maintains per-SU busy counters over a fixed deployment.
+//
+// Two sensing radii exist because primary protection and secondary
+// coordination are different obligations: an active PU freezes every SU
+// within puRange (the PCR-derived protection distance — mandatory for every
+// algorithm, since SUs must never disturb PUs), while an active SU freezes
+// SUs within suRange (ADDC sets it to the PCR; the generic-CSMA baseline
+// uses a conventional 2r guard and pays for it in collisions).
+//
+// Observer callbacks may reenter the tracker (a resumed node can start a
+// transmission, which registers a new transmitter). Each mutating call
+// therefore applies all of its counter updates before delivering any
+// callback, and works on a pooled buffer of its own rather than shared
+// scratch space.
+type Tracker struct {
+	nw       *netmodel.Network
+	puRange  float64
+	suRange  float64
+	observer Observer
+	busy     []int32
+	pool     [][]int32
+}
+
+// NewTracker builds a tracker for network nw with PU-protection sensing
+// range puRange and SU-coordination sensing range suRange, delivering
+// transitions to observer.
+func NewTracker(nw *netmodel.Network, puRange, suRange float64, observer Observer) (*Tracker, error) {
+	if puRange <= 0 || suRange <= 0 {
+		return nil, fmt.Errorf("spectrum: sensing ranges must be positive, got pu=%v su=%v", puRange, suRange)
+	}
+	if observer == nil {
+		return nil, fmt.Errorf("spectrum: nil observer")
+	}
+	return &Tracker{
+		nw:       nw,
+		puRange:  puRange,
+		suRange:  suRange,
+		observer: observer,
+		busy:     make([]int32, nw.NumNodes()),
+	}, nil
+}
+
+// Busy reports whether node currently senses the spectrum busy.
+func (t *Tracker) Busy(node int32) bool { return t.busy[node] > 0 }
+
+// BusyCount returns node's current busy counter (for tests).
+func (t *Tracker) BusyCount(node int32) int32 { return t.busy[node] }
+
+// PURange returns the primary-protection sensing range.
+func (t *Tracker) PURange() float64 { return t.puRange }
+
+// SURange returns the secondary-coordination sensing range.
+func (t *Tracker) SURange() float64 { return t.suRange }
+
+func (t *Tracker) rangeFor(kind TxKind) float64 {
+	if kind == TxPU {
+		return t.puRange
+	}
+	return t.suRange
+}
+
+func (t *Tracker) takeBuf() []int32 {
+	if n := len(t.pool); n > 0 {
+		buf := t.pool[n-1]
+		t.pool = t.pool[:n-1]
+		return buf[:0]
+	}
+	return make([]int32, 0, 64)
+}
+
+func (t *Tracker) putBuf(buf []int32) {
+	t.pool = append(t.pool, buf)
+}
+
+// AddTransmitter registers an active transmitter at pos. exclude names a
+// secondary node whose own counter must not change (the transmitter itself
+// when an SU transmits); pass -1 for primary transmitters. kind controls
+// whether PUArrived fires.
+func (t *Tracker) AddTransmitter(pos geom.Point, kind TxKind, exclude int32, now sim.Time) {
+	buf := t.takeBuf()
+	buf = t.nw.SUGrid.Within(pos, t.rangeFor(kind), buf)
+	rose := t.takeBuf()
+	// Phase 1: apply every counter update so the medium state is
+	// consistent before any observer reacts.
+	for _, node := range buf {
+		if node == exclude {
+			continue
+		}
+		t.busy[node]++
+		if t.busy[node] == 1 {
+			rose = append(rose, node)
+		}
+	}
+	// Phase 2: callbacks (may reenter the tracker). A reentrant call may
+	// have changed a counter again, so re-verify the level each callback
+	// reports; the reentrant call delivered its own transitions.
+	for _, node := range rose {
+		if t.busy[node] > 0 {
+			t.observer.SpectrumBusy(node, now)
+		}
+	}
+	if kind == TxPU {
+		for _, node := range buf {
+			if node != exclude {
+				t.observer.PUArrived(node, now)
+			}
+		}
+	}
+	t.putBuf(rose)
+	t.putBuf(buf)
+}
+
+// RemoveTransmitter unregisters a transmitter previously added with the
+// same position, kind and exclusion.
+func (t *Tracker) RemoveTransmitter(pos geom.Point, kind TxKind, exclude int32, now sim.Time) {
+	buf := t.takeBuf()
+	buf = t.nw.SUGrid.Within(pos, t.rangeFor(kind), buf)
+	fell := t.takeBuf()
+	for _, node := range buf {
+		if node == exclude {
+			continue
+		}
+		t.busy[node]--
+		if t.busy[node] == 0 {
+			fell = append(fell, node)
+		}
+		if t.busy[node] < 0 {
+			panic(fmt.Sprintf("spectrum: negative busy count at node %d", node))
+		}
+	}
+	t.putBuf(buf)
+	for _, node := range fell {
+		// Re-verify: a reentrant registration during an earlier callback
+		// may have re-raised this node's counter.
+		if t.busy[node] == 0 {
+			t.observer.SpectrumFree(node, now)
+		}
+	}
+	t.putBuf(fell)
+}
+
+// BlockNode raises node's busy counter by one without a spatial query; the
+// aggregate PU model uses it to impose a node-local primary blocking period.
+func (t *Tracker) BlockNode(node int32, now sim.Time) {
+	t.busy[node]++
+	if t.busy[node] == 1 {
+		t.observer.SpectrumBusy(node, now)
+	}
+	t.observer.PUArrived(node, now)
+}
+
+// UnblockNode reverses BlockNode.
+func (t *Tracker) UnblockNode(node int32, now sim.Time) {
+	t.busy[node]--
+	if t.busy[node] == 0 {
+		t.observer.SpectrumFree(node, now)
+	}
+	if t.busy[node] < 0 {
+		panic(fmt.Sprintf("spectrum: negative busy count at node %d", node))
+	}
+}

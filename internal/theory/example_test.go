@@ -1,0 +1,34 @@
+package theory_test
+
+import (
+	"fmt"
+
+	"addcrn/internal/netmodel"
+	"addcrn/internal/theory"
+)
+
+// ExampleBeta evaluates Lemma 4's disk-packing count.
+func ExampleBeta() {
+	fmt.Printf("beta_1 = %.4f\n", theory.Beta(1))
+	fmt.Printf("beta_2 = %.4f\n", theory.Beta(2))
+	// Output:
+	// beta_1 = 7.7692
+	// beta_2 = 21.7936
+}
+
+// ExampleComputeBounds prints the paper's analytical quantities for the
+// feasibility-scaled operating point.
+func ExampleComputeBounds() {
+	b, err := theory.ComputeBounds(netmodel.ScaledDefaultParams())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("kappa = %.3f\n", b.Kappa)
+	fmt.Printf("p_o = %.4f\n", b.OpportunityProb)
+	fmt.Printf("capacity in [%.1f, %.0f] bit/s\n", b.CapacityLower, b.CapacityUpper)
+	// Output:
+	// kappa = 3.908
+	// p_o = 0.2544
+	// capacity in [99.1, 1024000] bit/s
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBufferUnbounded(t *testing.T) {
+	b := NewBuffer(0)
+	for i := 0; i < 100; i++ {
+		b.Add(Record{Time: 0, Node: int32(i), Kind: KindTxStart})
+	}
+	if b.Len() != 100 || b.Dropped() != 0 {
+		t.Errorf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+}
+
+func TestBufferRing(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Add(Record{Node: int32(i), Kind: KindTxStart})
+	}
+	if b.Len() != 3 || b.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+	recs := b.Records()
+	// Oldest two (0, 1) evicted; order must be 2, 3, 4.
+	for i, want := range []int32{2, 3, 4} {
+		if recs[i].Node != want {
+			t.Errorf("record %d node %d, want %d", i, recs[i].Node, want)
+		}
+	}
+}
+
+func TestBufferFilter(t *testing.T) {
+	b := NewBuffer(0)
+	b.Add(Record{Node: 1, Kind: KindTxStart})
+	b.Add(Record{Node: 2, Kind: KindDeliver})
+	b.Add(Record{Node: 3, Kind: KindTxStart})
+	got := b.Filter(KindTxStart)
+	if len(got) != 2 || got[0].Node != 1 || got[1].Node != 3 {
+		t.Errorf("filtered: %+v", got)
+	}
+}
+
+func TestDump(t *testing.T) {
+	b := NewBuffer(2)
+	for i := 0; i < 3; i++ {
+		b.Add(Record{Node: int32(i), Kind: KindTxEnd})
+	}
+	out := b.Dump()
+	if !strings.Contains(out, "tx-end") {
+		t.Errorf("dump lacks kind: %q", out)
+	}
+	if !strings.Contains(out, "dropped") {
+		t.Errorf("dump lacks drop note: %q", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindTxStart, KindTxEnd, KindTxAbort, KindDeliver, KindBackoffDraw, Kind(77)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty string", k)
+		}
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Time: 1234, Node: 7, Kind: KindDeliver, Arg: 42}
+	s := r.String()
+	if !strings.Contains(s, "deliver") || !strings.Contains(s, "42") {
+		t.Errorf("record string %q", s)
+	}
+}

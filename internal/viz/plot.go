@@ -1,0 +1,176 @@
+// Package viz renders the reproduction's figures as standalone SVG files
+// using only the standard library: XY line charts for the Fig. 4 / Fig. 6
+// series, and a topology view showing CDS roles and tree edges (the
+// paper's Fig. 2).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Plot describes an XY line chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY switches the y axis to log10 scale (delay plots span decades).
+	LogY bool
+	// Width and Height in pixels; zero values default to 640x420.
+	Width  int
+	Height int
+}
+
+var _palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVG renders the plot. It returns an error when no series has data or a
+// log-scaled series contains non-positive values.
+func (p *Plot) SVG() (string, error) {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 55
+	)
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.Series {
+		if len(s.Xs) != len(s.Ys) {
+			return "", fmt.Errorf("viz: series %q has %d xs but %d ys", s.Name, len(s.Xs), len(s.Ys))
+		}
+		for i := range s.Xs {
+			y := s.Ys[i]
+			if p.LogY {
+				if y <= 0 {
+					return "", fmt.Errorf("viz: series %q has non-positive value %v on a log axis", s.Name, y)
+				}
+				y = math.Log10(y)
+			}
+			minX = math.Min(minX, s.Xs[i])
+			maxX = math.Max(maxX, s.Xs[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+			points++
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("viz: plot %q has no data", p.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	toX := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	toY := func(y float64) float64 {
+		if p.LogY {
+			y = math.Log10(y)
+		}
+		return marginT + plotH - (y-minY)/(maxY-minY)*plotH
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-size="15" text-anchor="middle">%s</text>`, w/2, escape(p.Title))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, h-marginB)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, h-marginB, w-marginR, h-marginB)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+		marginL+int(plotW/2), h-12, escape(p.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		marginT+int(plotH/2), marginT+int(plotH/2), escape(p.YLabel))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		px := toX(fx)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`,
+			px, h-marginB, px, h-marginB+5)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+			px, h-marginB+20, formatTick(fx))
+
+		fy := minY + (maxY-minY)*float64(i)/4
+		py := marginT + plotH - (fy-minY)/(maxY-minY)*plotH
+		label := fy
+		if p.LogY {
+			label = math.Pow(10, fy)
+		}
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`,
+			marginL-5, py, marginL, py)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`,
+			marginL-8, py+4, formatTick(label))
+	}
+
+	// Series lines, markers and legend.
+	for si, s := range p.Series {
+		color := _palette[si%len(_palette)]
+		var path strings.Builder
+		for i := range s.Xs {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, toX(s.Xs[i]), toY(s.Ys[i]))
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.TrimSpace(path.String()), color)
+		for i := range s.Xs {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`,
+				toX(s.Xs[i]), toY(s.Ys[i]), color)
+		}
+		ly := marginT + 8 + si*18
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			w-marginR-120, ly, w-marginR-95, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11">%s</text>`,
+			w-marginR-90, ly+4, escape(s.Name))
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String(), nil
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,63 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"addcrn/internal/cds"
+	"addcrn/internal/netmodel"
+)
+
+// TopologySVG renders a deployment with its CDS data collection tree — the
+// paper's Fig. 2, but for an actual random topology: dominators are black,
+// connectors blue, dominatees white, primary users red crosses; tree edges
+// are gray, with the base station marked by a double ring. Pass a nil tree
+// to render positions only.
+func TopologySVG(nw *netmodel.Network, tree *cds.Tree, size int) string {
+	if size <= 0 {
+		size = 600
+	}
+	const margin = 20
+	scale := float64(size-2*margin) / nw.Params.Area
+	px := func(x float64) float64 { return margin + x*scale }
+	py := func(y float64) float64 { return float64(size) - margin - y*scale }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, size, size)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white" stroke="black"/>`)
+
+	if tree != nil {
+		for v, parent := range tree.Parent {
+			if parent < 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bbbbbb" stroke-width="0.7"/>`,
+				px(nw.SU[v].X), py(nw.SU[v].Y), px(nw.SU[parent].X), py(nw.SU[parent].Y))
+		}
+	}
+	for i, p := range nw.PU {
+		x, y := px(p.X), py(p.Y)
+		fmt.Fprintf(&sb, `<path d="M%.1f %.1f L%.1f %.1f M%.1f %.1f L%.1f %.1f" stroke="#d62728" stroke-width="1.5"/>`,
+			x-4, y-4, x+4, y+4, x-4, y+4, x+4, y-4)
+		_ = i
+	}
+	for v, p := range nw.SU {
+		x, y := px(p.X), py(p.Y)
+		fill, radius := "#ffffff", 2.2
+		if tree != nil {
+			switch tree.Role[v] {
+			case cds.RoleDominator:
+				fill, radius = "#000000", 3.2
+			case cds.RoleConnector:
+				fill, radius = "#1f77b4", 2.8
+			}
+		}
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="black" stroke-width="0.6"/>`,
+			x, y, radius, fill)
+		if v == netmodel.BaseStationID {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="6.5" fill="none" stroke="black" stroke-width="1.2"/>`, x, y)
+		}
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"addcrn/internal/cds"
+	"addcrn/internal/graphx"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+)
+
+func simplePlot() *Plot {
+	return &Plot{
+		Title:  "delay vs p_t",
+		XLabel: "p_t",
+		YLabel: "slots",
+		Series: []Series{
+			{Name: "ADDC", Xs: []float64{0.1, 0.2, 0.3}, Ys: []float64{100, 200, 400}},
+			{Name: "Coolest", Xs: []float64{0.1, 0.2, 0.3}, Ys: []float64{150, 380, 900}},
+		},
+	}
+}
+
+func TestPlotSVGStructure(t *testing.T) {
+	svg, err := simplePlot().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "delay vs p_t", "ADDC", "Coolest",
+		"<path", "<circle", "p_t", "slots",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") < 6 {
+		t.Error("missing data point markers")
+	}
+}
+
+func TestPlotLogScale(t *testing.T) {
+	p := simplePlot()
+	p.LogY = true
+	if _, err := p.SVG(); err != nil {
+		t.Fatalf("log plot failed: %v", err)
+	}
+	p.Series[0].Ys[0] = 0
+	if _, err := p.SVG(); err == nil {
+		t.Error("log plot with zero value accepted")
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	empty := &Plot{Title: "empty"}
+	if _, err := empty.SVG(); err == nil {
+		t.Error("empty plot accepted")
+	}
+	ragged := &Plot{Series: []Series{{Name: "x", Xs: []float64{1, 2}, Ys: []float64{1}}}}
+	if _, err := ragged.SVG(); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestPlotSinglePointAndFlatSeries(t *testing.T) {
+	p := &Plot{
+		Title:  "flat",
+		Series: []Series{{Name: "s", Xs: []float64{1}, Ys: []float64{5}}},
+	}
+	if _, err := p.SVG(); err != nil {
+		t.Fatalf("degenerate ranges must render: %v", err)
+	}
+}
+
+func TestPlotEscapesMarkup(t *testing.T) {
+	p := simplePlot()
+	p.Title = `<script>"a&b"</script>`
+	svg, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<script>") {
+		t.Error("unescaped markup in SVG output")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		45000:   "45k",
+		150:     "150",
+		3.5:     "3.5",
+		0.25:    "0.25",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTopologySVG(t *testing.T) {
+	p := netmodel.ScaledDefaultParams()
+	p.NumSU = 100
+	p.Area = 60
+	p.NumPU = 4
+	nw, err := netmodel.DeployConnected(p, rng.New(1), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, p.RadiusSU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cds.Build(adj, netmodel.BaseStationID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := TopologySVG(nw, tree, 500)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// One circle per SU plus the base station ring.
+	if got := strings.Count(svg, "<circle"); got != nw.NumNodes()+1 {
+		t.Errorf("%d circles, want %d", got, nw.NumNodes()+1)
+	}
+	// One cross path per PU.
+	if got := strings.Count(svg, "<path"); got != len(nw.PU) {
+		t.Errorf("%d PU crosses, want %d", got, len(nw.PU))
+	}
+	// Tree edges: every node but the root has one.
+	if got := strings.Count(svg, "<line"); got != nw.NumNodes()-1 {
+		t.Errorf("%d edges, want %d", got, nw.NumNodes()-1)
+	}
+}
+
+func TestTopologySVGWithoutTree(t *testing.T) {
+	p := netmodel.ScaledDefaultParams()
+	p.NumSU = 20
+	p.Area = 60
+	p.NumPU = 2
+	nw, err := netmodel.Deploy(p, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := TopologySVG(nw, nil, 0) // default size
+	if !strings.Contains(svg, `width="600"`) {
+		t.Error("default size not applied")
+	}
+	if strings.Contains(svg, "<line") {
+		t.Error("edges rendered without a tree")
+	}
+}
