@@ -1,0 +1,21 @@
+# Verification tiers. `make check` is the fast pre-merge gate; `make race`
+# runs the full suite under the race detector (the worker-pool sweeps in
+# internal/experiment are the concurrent code it guards).
+
+GO ?= go
+
+.PHONY: check build vet test race
+
+check: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

@@ -9,6 +9,7 @@
 //	addc-experiments -fig 6c          # a single sweep
 //	addc-experiments -fig thm1        # Theorem 1 bound check (stand-alone)
 //	addc-experiments -fig ext1        # multi-channel extension sweep
+//	addc-experiments -fig ext2        # delivery ratio vs fault rate sweep
 //	addc-experiments -fig curves      # delivery-progress SVG for one run
 //	addc-experiments -fig thm2        # Theorem 2 bound check (with PUs)
 //	addc-experiments -paper-scale     # paper-nominal parameters (slow!)
@@ -66,6 +67,8 @@ func run(args []string) error {
 		return runBounds(*fig, base, *reps, *seed)
 	case "ext1":
 		return runChannelSweep(base, *reps, *seed)
+	case "ext2":
+		return runFaultSweep(base, *reps, *seed)
 	case "curves":
 		svg, err := experiment.DeliveryCurves(base, *seed)
 		if err != nil {
@@ -119,6 +122,22 @@ func runChannelSweep(base netmodel.Params, reps int, seed uint64) error {
 		Channels: []int{1, 2, 3, 4, 6, 8},
 		Reps:     reps,
 		Seed:     seed,
+	}
+	res, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.FormatTable())
+	return nil
+}
+
+func runFaultSweep(base netmodel.Params, reps int, seed uint64) error {
+	sweep := experiment.FaultSweep{
+		Base:       base,
+		CrashFracs: []float64{0, 0.05, 0.10, 0.20, 0.30},
+		LinkLoss:   0.05,
+		Reps:       reps,
+		Seed:       seed,
 	}
 	res, err := sweep.Run()
 	if err != nil {

@@ -1,6 +1,8 @@
 // Command addc-sim runs a single data collection simulation from command
 // line flags and prints the measured result, optionally for the Coolest
-// baseline instead of ADDC.
+// baseline instead of ADDC. The -fault-* flags inject SU crashes, link/ACK
+// loss and PU burst storms (see internal/fault); the run then reports its
+// outcome, delivery ratio and fault counters.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 
 	"addcrn/internal/coolest"
 	"addcrn/internal/core"
+	"addcrn/internal/fault"
 	"addcrn/internal/netmodel"
 	"addcrn/internal/pcr"
 	"addcrn/internal/spectrum"
@@ -43,6 +46,15 @@ func run(args []string) error {
 		model   = fs.String("pu-model", "exact", "PU model: exact or aggregate")
 		budget  = fs.Duration("max-virtual", 30*time.Minute, "virtual-time budget")
 		handoff = fs.Bool("handoff", true, "abort transmissions on PU arrival")
+
+		faultCrash    = fs.Float64("fault-crash", 0, "fraction of SUs that crash (0 disables)")
+		faultWindow   = fs.Duration("fault-crash-window", 0, "virtual window the crashes land in (0: fault package default)")
+		faultRecover  = fs.Duration("fault-recover", 0, "bring crashed SUs back after this long (0: crashed forever)")
+		faultLoss     = fs.Float64("fault-loss", 0, "per-transmission link loss probability")
+		faultAckLoss  = fs.Float64("fault-ack-loss", 0, "per-transmission ACK loss probability")
+		faultBursts   = fs.Int("fault-bursts", 0, "number of PU burst storms")
+		faultBurstLen = fs.Duration("fault-burst-len", 0, "burst storm duration (0: fault package default)")
+		faultRetryCap = fs.Int("fault-retry-cap", 0, "per-packet retransmission cap (0: MAC default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +99,19 @@ func run(args []string) error {
 		MaxVirtualTime: *budget,
 		DisableHandoff: !*handoff,
 	}
+	spec := fault.Spec{
+		CrashFrac:    *faultCrash,
+		CrashWindow:  *faultWindow,
+		RecoverAfter: *faultRecover,
+		LinkLoss:     *faultLoss,
+		AckLoss:      *faultAckLoss,
+		Bursts:       *faultBursts,
+		BurstLen:     *faultBurstLen,
+		RetryCap:     *faultRetryCap,
+	}
+	if !spec.Zero() {
+		cfg.Faults = &spec
+	}
 
 	var parents []int32
 	switch *alg {
@@ -96,6 +121,7 @@ func run(args []string) error {
 			return err
 		}
 		parents = tree.Parent
+		cfg.Tree = tree // repair prefers dominators/connectors
 	case "coolest":
 		consts, err := pcr.Compute(params)
 		if err != nil {
@@ -123,5 +149,11 @@ func run(args []string) error {
 	fmt.Printf("hops: %s\n", res.HopStats)
 	fmt.Printf("latency(slots): %s\n", res.LatencySlots)
 	fmt.Printf("engine steps: %d\n", res.EngineSteps)
+	if res.Fault != nil {
+		fmt.Printf("outcome=%s delivery-ratio=%.3f lost=%d\n", res.Outcome, res.DeliveryRatio, res.Lost)
+		fr := res.Fault
+		fmt.Printf("faults: crashes=%d recoveries=%d repairs=%d link-losses=%d ack-losses=%d retries=%d drops=%d\n",
+			fr.Crashes, fr.Recoveries, fr.Repairs, fr.LinkLosses, fr.AckLosses, fr.Retries, fr.Drops)
+	}
 	return nil
 }

@@ -1,0 +1,69 @@
+// Command faulttolerance demonstrates the fault-injection subsystem: the
+// same topology is collected three times — fault-free, under crashes and
+// link loss WITHOUT recovery, and with crashed nodes recovering mid-run —
+// and the outcomes are compared. Crashed relays orphan whole subtrees; the
+// self-healing repair rule re-parents them onto live dominators/connectors,
+// so the network degrades gracefully (a delivery ratio, not a timeout).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"addcrn/internal/core"
+	"addcrn/internal/fault"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	opts := core.DefaultOptions()
+	opts.Seed = 21
+	opts.Params.NumSU = 200
+	opts.Params.Area = 80
+
+	scenarios := []struct {
+		name string
+		spec *fault.Spec
+	}{
+		{"fault-free", nil},
+		{"10% crashes + 5% loss", &fault.Spec{
+			CrashFrac:   0.10,
+			CrashWindow: 500 * time.Millisecond,
+			LinkLoss:    0.05,
+		}},
+		{"same, nodes recover after 2s", &fault.Spec{
+			CrashFrac:    0.10,
+			CrashWindow:  500 * time.Millisecond,
+			LinkLoss:     0.05,
+			RecoverAfter: 2 * time.Second,
+		}},
+	}
+
+	fmt.Printf("%-28s %-10s %-10s %-9s %-9s %-9s %s\n",
+		"scenario", "outcome", "delivery", "crashes", "repairs", "drops", "delay(slots)")
+	for _, sc := range scenarios {
+		o := opts
+		o.Faults = sc.spec
+		res, err := core.Run(o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+		crashes, repairs, drops := 0, 0, 0
+		if res.Fault != nil {
+			crashes, repairs, drops = res.Fault.Crashes, res.Fault.Repairs, res.Fault.Drops
+		}
+		fmt.Printf("%-28s %-10s %-10.3f %-9d %-9d %-9d %.0f\n",
+			sc.name, res.Outcome, res.DeliveryRatio, crashes, repairs, drops, res.DelaySlots)
+	}
+
+	fmt.Println("\nCrashes without recovery destroy the victims' queued packets and force")
+	fmt.Println("orphaned subtrees through the repair rule; with recovery the relays come")
+	fmt.Println("back empty-handed and the bounded retries bridge the outage.")
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"addcrn/internal/cds"
+	"addcrn/internal/fault"
 	"addcrn/internal/graphx"
 	"addcrn/internal/mac"
 	"addcrn/internal/netmodel"
@@ -31,12 +32,70 @@ import (
 	"addcrn/internal/sim"
 	"addcrn/internal/spectrum"
 	"addcrn/internal/stats"
+	"addcrn/internal/trace"
 )
 
 // ErrDeadline is returned when a run's virtual-time budget expires before
 // every packet reaches the base station; the partial Result is still
-// returned alongside it.
+// returned alongside it. Errors on that path are always a
+// *DeadlineExceededError, which wraps this sentinel.
 var ErrDeadline = errors.New("core: virtual-time deadline exceeded before collection finished")
+
+// DeadlineExceededError is the typed form of ErrDeadline: it carries the
+// partial delivery statistics of the timed-out run so callers can degrade
+// gracefully without parsing an error string. errors.Is(err, ErrDeadline)
+// and errors.As(err, **DeadlineExceededError) both match it.
+type DeadlineExceededError struct {
+	// Delivered and Expected are the packet counts at expiry.
+	Delivered, Expected int
+	// Lost counts packets destroyed by faults before expiry.
+	Lost int
+	// Elapsed is the virtual time consumed.
+	Elapsed sim.Time
+}
+
+// Error implements the error interface.
+func (e *DeadlineExceededError) Error() string {
+	if e.Lost > 0 {
+		return fmt.Sprintf("core: %d/%d delivered (%d lost to faults) by %v: %v",
+			e.Delivered, e.Expected, e.Lost, e.Elapsed.Duration(), ErrDeadline)
+	}
+	return fmt.Sprintf("core: %d/%d delivered by %v: %v",
+		e.Delivered, e.Expected, e.Elapsed.Duration(), ErrDeadline)
+}
+
+// Unwrap makes errors.Is(err, ErrDeadline) work.
+func (e *DeadlineExceededError) Unwrap() error { return ErrDeadline }
+
+// Outcome classifies how a collection run ended.
+type Outcome uint8
+
+// Run outcomes.
+const (
+	// OutcomeComplete: every packet reached the base station.
+	OutcomeComplete Outcome = iota + 1
+	// OutcomePartial: every packet is accounted for but some were destroyed
+	// by injected faults; the Result carries the delivery ratio and the
+	// per-node loss/retry/repair counters. The run itself is not an error.
+	OutcomePartial
+	// OutcomeDeadline: the virtual-time budget expired first (the returned
+	// error is a *DeadlineExceededError).
+	OutcomeDeadline
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeComplete:
+		return "complete"
+	case OutcomePartial:
+		return "partial"
+	case OutcomeDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
 
 // Options configures a complete ADDC run.
 type Options struct {
@@ -53,6 +112,10 @@ type Options struct {
 	MaxVirtualTime time.Duration
 	// DeployAttempts bounds connectivity resampling (default 50).
 	DeployAttempts int
+	// Faults, when non-nil and non-zero, injects the described fault load
+	// (SU crashes, link/ACK loss, PU burst storms) and enables self-healing
+	// repair plus graceful degradation; see internal/fault.
+	Faults *fault.Spec
 }
 
 // DefaultOptions returns Options at the feasibility-scaled operating point
@@ -107,6 +170,44 @@ type Result struct {
 	// time (in slots) of the k-th delivery at index k-1 — the delivery
 	// curve of the run.
 	ProgressSlots []float64
+
+	// Outcome classifies how the run ended (complete, partial, deadline).
+	Outcome Outcome
+	// DeliveryRatio is Delivered/Expected — 1.0 for clean complete runs,
+	// below 1 when faults destroyed packets.
+	DeliveryRatio float64
+	// Lost counts packets destroyed by injected faults (crashed holders or
+	// exhausted retry budgets).
+	Lost int
+	// Fault aggregates fault-layer activity; nil when no faults were
+	// injected.
+	Fault *FaultReport
+}
+
+// FaultReport summarizes the fault layer of one run.
+type FaultReport struct {
+	// Crashes and Recoveries count SU crash/recover events that fired.
+	Crashes    int
+	Recoveries int
+	// Repairs counts re-parenting operations by the self-healing rule.
+	Repairs int
+	// LinkLosses, AckLosses, Retries and Drops aggregate the MAC's bounded
+	// retry machine over all nodes.
+	LinkLosses int
+	AckLosses  int
+	Retries    int
+	Drops      int
+	// PerNode holds the per-node counters for every node with fault
+	// activity (losses, retries, drops, crashes or repairs), ordered by id.
+	PerNode []NodeFaultStats
+}
+
+// NodeFaultStats is one node's fault-layer activity.
+type NodeFaultStats struct {
+	Node int32
+	// Down reports whether the node was still crashed when the run ended.
+	Down                                                 bool
+	Crashes, LinkLosses, AckLosses, Retries, Drops, Repairs int
 }
 
 // Run deploys a connected network, builds the CDS data collection tree, and
@@ -127,6 +228,8 @@ func Run(opts Options) (*Result, error) {
 		PUModel:        opts.PUModel,
 		MaxVirtualTime: opts.MaxVirtualTime,
 		TreeStats:      treeStats(nw, tree),
+		Faults:         opts.Faults,
+		Tree:           tree,
 	})
 }
 
@@ -207,6 +310,21 @@ type CollectConfig struct {
 	// ProgressSlots, enabling delivery-curve plots (memory cost: one
 	// float64 per packet).
 	RecordProgress bool
+
+	// Faults injects the described fault load (see internal/fault): SU
+	// crashes with self-healing tree repair, bounded-retry link/ACK loss,
+	// and PU burst storms. Nil or a zero Spec leaves the run bit-identical
+	// to the fault-free path.
+	Faults *fault.Spec
+	// Tree, when set, gives the repair rule the CDS roles and BFS levels of
+	// the routing tree so orphans re-parent onto dominators/connectors
+	// first (mirroring the construction). Without it repair still works,
+	// ranking candidates by BFS level and distance alone.
+	Tree *cds.Tree
+	// Trace, when non-nil, records deliveries and every fault-layer event
+	// (crash, recover, repair, packet loss) into the buffer. Two runs with
+	// equal seeds and equal fault specs produce byte-identical traces.
+	Trace *trace.Buffer
 }
 
 // Collect runs one data collection task over nw with the given routing
@@ -241,6 +359,17 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 	eng := sim.New()
 	src := rng.New(cfg.Seed)
 
+	// Fault layer: compile the deterministic plan up front so the MAC can
+	// carry the loss profile. A nil or zero Spec compiles to nothing and
+	// leaves every code path below bit-identical to the fault-free run.
+	var plan *fault.Plan
+	if cfg.Faults != nil && !cfg.Faults.Zero() {
+		plan, err = fault.Compile(*cfg.Faults, nw, consts.Range, rng.New(cfg.Seed).Child("fault/plan"))
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	res := &Result{
 		Expected:  nw.NumNodes() - 1,
 		PCR:       consts,
@@ -255,8 +384,22 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 		monitor = spectrum.NewRxMonitor(nw.Params.Alpha)
 	}
 
+	rec := func(k trace.Kind, node int32, arg int64) {
+		if cfg.Trace != nil {
+			cfg.Trace.Add(trace.Record{Time: eng.Now(), Node: node, Kind: k, Arg: arg})
+		}
+	}
+
+	// The run ends when every packet is accounted for: delivered to the
+	// base station or destroyed by a fault (graceful degradation).
 	done := false
-	m, err := mac.New(mac.Config{
+	accounted := func() {
+		if res.Delivered+res.Lost == res.Expected {
+			done = true
+		}
+	}
+
+	macCfg := mac.Config{
 		Network:      nw,
 		Parent:       parent,
 		PUSenseRange: puSense,
@@ -270,10 +413,11 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 			if cfg.RecordProgress {
 				res.ProgressSlots = append(res.ProgressSlots, float64(now)/float64(slot))
 			}
+			rec(trace.KindDeliver, int32(netmodel.BaseStationID), int64(pkt.Origin))
 			if res.Delivered == res.Expected {
 				res.Delay = now
-				done = true
 			}
+			accounted()
 		},
 		OnTxStart:      cfg.OnTxStart,
 		OnTxEnd:        cfg.OnTxEnd,
@@ -282,7 +426,27 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 		NoFairnessWait: cfg.GenericCSMA,
 		ExpBackoff:     cfg.GenericCSMA,
 		AggregateQueue: cfg.AggregateQueue,
-	})
+	}
+	if plan != nil {
+		res.Fault = &FaultReport{}
+		macCfg.Faults = &mac.FaultProfile{
+			LinkLoss: cfg.Faults.LinkLoss,
+			AckLoss:  cfg.Faults.AckLoss,
+			RetryCap: cfg.Faults.RetryCap,
+			Rand:     src.Child("mac/loss"),
+		}
+		macCfg.OnPacketLost = func(pkt mac.Packet, node int32, now sim.Time, cause error) {
+			res.Lost++
+			rec(trace.KindPacketLost, node, int64(pkt.Origin))
+			accounted()
+		}
+	}
+	m, err := mac.New(macCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rep, err := scheduleFaults(eng, nw, m, plan, cfg.Tree, parent, res, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -319,16 +483,141 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 		}
 		if eng.Now() > deadline {
 			finishResult(res, nw, m, eng, latencies, hops, slot)
-			return res, fmt.Errorf("core: %d/%d delivered by %v: %w",
-				res.Delivered, res.Expected, eng.Now().Duration(), ErrDeadline)
+			fillFaultReport(res, nw, m, rep)
+			res.Outcome = OutcomeDeadline
+			return res, &DeadlineExceededError{
+				Delivered: res.Delivered,
+				Expected:  res.Expected,
+				Lost:      res.Lost,
+				Elapsed:   eng.Now(),
+			}
 		}
 	}
-	if !done {
-		finishResult(res, nw, m, eng, latencies, hops, slot)
+	finishResult(res, nw, m, eng, latencies, hops, slot)
+	fillFaultReport(res, nw, m, rep)
+	switch {
+	case res.Delivered == res.Expected:
+		res.Outcome = OutcomeComplete
+	case done:
+		// Every missing packet is attributed to an injected fault: the run
+		// degraded gracefully rather than timing out.
+		res.Outcome = OutcomePartial
+	default:
 		return res, fmt.Errorf("core: simulation stalled with %d/%d delivered", res.Delivered, res.Expected)
 	}
-	finishResult(res, nw, m, eng, latencies, hops, slot)
 	return res, nil
+}
+
+// scheduleFaults places every compiled fault event on the engine and builds
+// the self-healing repairer when the plan contains crash/recover events. It
+// returns nil when there is nothing to schedule.
+func scheduleFaults(eng *sim.Engine, nw *netmodel.Network, m *mac.MAC, plan *fault.Plan,
+	tree *cds.Tree, parent []int32, res *Result,
+	rec func(trace.Kind, int32, int64)) (*repairer, error) {
+	if plan == nil || len(plan.Events) == 0 {
+		return nil, nil
+	}
+	var rep *repairer
+	for _, ev := range plan.Events {
+		if ev.Kind == fault.EventCrash || ev.Kind == fault.EventRecover {
+			adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, nw.Params.RadiusSU)
+			if err != nil {
+				return nil, fmt.Errorf("core: repair adjacency: %w", err)
+			}
+			rep = newRepairer(nw, adj, tree, parent, m.SetParent)
+			rep.onRepair = func(node, newParent int32, now sim.Time) {
+				res.Fault.Repairs++
+				rec(trace.KindRepair, node, int64(newParent))
+			}
+			break
+		}
+	}
+	for _, ev := range plan.Events {
+		ev := ev
+		var fn sim.EventFunc
+		switch ev.Kind {
+		case fault.EventCrash:
+			fn = func(now sim.Time) {
+				if !m.Crash(ev.Node, now) {
+					return
+				}
+				res.Fault.Crashes++
+				rec(trace.KindCrash, ev.Node, 0)
+				rep.nodeCrashed(ev.Node, now)
+			}
+		case fault.EventRecover:
+			fn = func(now sim.Time) {
+				if !m.Recover(ev.Node, now) {
+					return
+				}
+				res.Fault.Recoveries++
+				rec(trace.KindRecover, ev.Node, 0)
+				rep.nodeRecovered(ev.Node, now)
+			}
+		case fault.EventBurstStart:
+			fn = func(now sim.Time) { burstSet(nw, m, ev, now, true) }
+		case fault.EventBurstEnd:
+			fn = func(now sim.Time) { burstSet(nw, m, ev, now, false) }
+		default:
+			return nil, fmt.Errorf("core: unknown fault event kind %v", ev.Kind)
+		}
+		if _, err := eng.At(ev.At, fn); err != nil {
+			return nil, fmt.Errorf("core: schedule fault event at %v: %w", ev.At, err)
+		}
+	}
+	return rep, nil
+}
+
+// burstSet applies or lifts a PU burst storm: every SU within the storm's
+// radius is blocked (as if a primary transmitter appeared), which freezes
+// backoffs and forces spectrum handoff on ongoing transmissions.
+func burstSet(nw *netmodel.Network, m *mac.MAC, ev fault.Event, now sim.Time, on bool) {
+	var buf []int32
+	buf = nw.SUGrid.Within(ev.Pos, ev.Radius, buf)
+	for _, v := range buf {
+		if v == int32(netmodel.BaseStationID) {
+			continue
+		}
+		if on {
+			m.Tracker().BlockNode(v, now)
+		} else {
+			m.Tracker().UnblockNode(v, now)
+		}
+	}
+}
+
+// fillFaultReport aggregates the MAC's per-node fault counters and the
+// repairer's re-parenting counts into the Result.
+func fillFaultReport(res *Result, nw *netmodel.Network, m *mac.MAC, rep *repairer) {
+	fr := res.Fault
+	if fr == nil {
+		return
+	}
+	for v := 1; v < nw.NumNodes(); v++ {
+		id := int32(v)
+		st := m.Stats(id)
+		repairs := 0
+		if rep != nil {
+			repairs = rep.repairs[v]
+		}
+		fr.LinkLosses += st.LinkLosses
+		fr.AckLosses += st.AckLosses
+		fr.Retries += st.Retries
+		fr.Drops += st.Drops
+		if st.LinkLosses+st.AckLosses+st.Retries+st.Drops+st.Crashes+repairs == 0 {
+			continue
+		}
+		fr.PerNode = append(fr.PerNode, NodeFaultStats{
+			Node:       id,
+			Down:       m.Down(id),
+			Crashes:    st.Crashes,
+			LinkLosses: st.LinkLosses,
+			AckLosses:  st.AckLosses,
+			Retries:    st.Retries,
+			Drops:      st.Drops,
+			Repairs:    repairs,
+		})
+	}
 }
 
 func finishResult(res *Result, nw *netmodel.Network, m *mac.MAC, eng *sim.Engine,
@@ -337,6 +626,9 @@ func finishResult(res *Result, nw *netmodel.Network, m *mac.MAC, eng *sim.Engine
 		res.Delay = eng.Now()
 	}
 	res.DelaySlots = float64(res.Delay) / float64(slot)
+	if res.Expected > 0 {
+		res.DeliveryRatio = float64(res.Delivered) / float64(res.Expected)
+	}
 	if res.Delay > 0 {
 		res.Capacity = float64(res.Delivered) * nw.Params.PacketBits / res.Delay.Seconds()
 	}

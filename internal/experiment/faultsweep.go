@@ -1,0 +1,218 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"addcrn/internal/core"
+	"addcrn/internal/fault"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+	"addcrn/internal/stats"
+)
+
+// FaultSweep measures graceful degradation: ADDC delivery ratio and delay as
+// a function of the SU crash fraction, with a fixed link-loss floor
+// (experiment id "ext2"; not a paper artifact — the paper assumes reliable
+// nodes. See DESIGN.md Extensions and internal/fault).
+type FaultSweep struct {
+	Base netmodel.Params
+	// CrashFracs are the swept fault rates (fraction of SUs that crash).
+	CrashFracs []float64
+	// LinkLoss and AckLoss set the per-transmission loss floor applied at
+	// every point.
+	LinkLoss float64
+	AckLoss  float64
+	// CrashWindow bounds the crash times (default 1 virtual second, early in
+	// the run so the faults hit packets still in flight).
+	CrashWindow time.Duration
+	// RecoverAfter, when positive, brings crashed nodes back after that long.
+	RecoverAfter time.Duration
+	// RetryCap bounds per-packet retransmissions (default mac.DefaultRetryCap).
+	RetryCap int
+	Reps     int
+	Seed     uint64
+	// MaxVirtualTime bounds each run (default 2 virtual hours).
+	MaxVirtualTime time.Duration
+	Workers        int
+}
+
+// FaultPoint is one crash-fraction measurement.
+type FaultPoint struct {
+	CrashFrac float64
+	// Delivery summarizes the delivery ratio over repetitions.
+	Delivery stats.Summary
+	// Delay summarizes collection delay in slots (for partial runs: time
+	// until the last packet was accounted for).
+	Delay stats.Summary
+	// Repairs and Drops summarize the self-healing re-parenting count and
+	// retry-cap packet drops per run.
+	Repairs stats.Summary
+	Drops   stats.Summary
+	// Deadlines counts runs whose virtual budget expired (their partial
+	// delivery ratio still contributes); Failed counts hard errors.
+	Deadlines int
+	Failed    int
+}
+
+// FaultSweepResult is the outcome of FaultSweep.Run.
+type FaultSweepResult struct {
+	Points  []FaultPoint
+	Elapsed time.Duration
+}
+
+// Run executes the sweep with a worker pool, one deterministic simulation
+// per (crash fraction, repetition) pair.
+func (s *FaultSweep) Run() (*FaultSweepResult, error) {
+	if len(s.CrashFracs) == 0 {
+		return nil, fmt.Errorf("experiment: fault sweep has no crash fractions")
+	}
+	reps := s.Reps
+	if reps <= 0 {
+		reps = 10
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	window := s.CrashWindow
+	if window <= 0 {
+		window = time.Second
+	}
+	budget := s.MaxVirtualTime
+	if budget <= 0 {
+		budget = 2 * time.Hour // virtual
+	}
+	start := time.Now()
+
+	type outcome struct {
+		fi       int
+		delivery float64
+		delay    float64
+		repairs  float64
+		drops    float64
+		deadline bool
+		err      error
+	}
+	type job struct{ fi, rep int }
+	jobs := make(chan job)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				seed := rng.New(s.Seed).ChildN(fmt.Sprintf("ext2/f%g", s.CrashFracs[j.fi]), j.rep).Uint64()
+				res, err := core.Run(core.Options{
+					Params:         s.Base,
+					Seed:           seed,
+					MaxVirtualTime: budget,
+					Faults: &fault.Spec{
+						CrashFrac:    s.CrashFracs[j.fi],
+						CrashWindow:  window,
+						RecoverAfter: s.RecoverAfter,
+						LinkLoss:     s.LinkLoss,
+						AckLoss:      s.AckLoss,
+						RetryCap:     s.RetryCap,
+					},
+				})
+				var dl *core.DeadlineExceededError
+				deadline := errors.As(err, &dl)
+				if err != nil && !deadline {
+					results <- outcome{fi: j.fi, err: err}
+					continue
+				}
+				out := outcome{
+					fi:       j.fi,
+					delivery: res.DeliveryRatio,
+					delay:    res.DelaySlots,
+					deadline: deadline,
+				}
+				if res.Fault != nil {
+					out.repairs = float64(res.Fault.Repairs)
+					out.drops = float64(res.Fault.Drops)
+				}
+				results <- out
+			}
+		}()
+	}
+	go func() {
+		for fi := range s.CrashFracs {
+			for rep := 0; rep < reps; rep++ {
+				jobs <- job{fi: fi, rep: rep}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	delivery := make([][]float64, len(s.CrashFracs))
+	delay := make([][]float64, len(s.CrashFracs))
+	repairs := make([][]float64, len(s.CrashFracs))
+	drops := make([][]float64, len(s.CrashFracs))
+	deadlines := make([]int, len(s.CrashFracs))
+	failed := make([]int, len(s.CrashFracs))
+	var firstErr error
+	for out := range results {
+		if out.err != nil {
+			failed[out.fi]++
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		if out.deadline {
+			deadlines[out.fi]++
+		}
+		delivery[out.fi] = append(delivery[out.fi], out.delivery)
+		delay[out.fi] = append(delay[out.fi], out.delay)
+		repairs[out.fi] = append(repairs[out.fi], out.repairs)
+		drops[out.fi] = append(drops[out.fi], out.drops)
+	}
+	res := &FaultSweepResult{Elapsed: time.Since(start)}
+	total := 0
+	for fi, f := range s.CrashFracs {
+		res.Points = append(res.Points, FaultPoint{
+			CrashFrac: f,
+			Delivery:  stats.Summarize(delivery[fi]),
+			Delay:     stats.Summarize(delay[fi]),
+			Repairs:   stats.Summarize(repairs[fi]),
+			Drops:     stats.Summarize(drops[fi]),
+			Deadlines: deadlines[fi],
+			Failed:    failed[fi],
+		})
+		total += len(delivery[fi])
+	}
+	if total == 0 && firstErr != nil {
+		return nil, fmt.Errorf("experiment: fault sweep produced no results: %w", firstErr)
+	}
+	return res, nil
+}
+
+// FormatTable renders the fault sweep result.
+func (r *FaultSweepResult) FormatTable() string {
+	var sb strings.Builder
+	sb.WriteString("ADDC delivery ratio vs SU crash fraction (extension ext2)\n")
+	fmt.Fprintf(&sb, "%-12s %-20s %-22s %-10s %-10s %s\n",
+		"crash-frac", "delivery ratio", "delay (slots)", "repairs", "drops", "reps")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%-12.2f %8.3f ±%-9.3f %10.1f ±%-9.1f %8.1f %10.1f %8d",
+			p.CrashFrac, p.Delivery.Mean, p.Delivery.CI95(),
+			p.Delay.Mean, p.Delay.CI95(), p.Repairs.Mean, p.Drops.Mean, p.Delivery.N)
+		if p.Deadlines > 0 {
+			fmt.Fprintf(&sb, "  (%d deadline)", p.Deadlines)
+		}
+		if p.Failed > 0 {
+			fmt.Fprintf(&sb, "  (%d failed)", p.Failed)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "(wall clock %v)\n", r.Elapsed.Round(1e7))
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultSweep(t *testing.T) {
+	s := FaultSweep{
+		Base:        tinyBase(),
+		CrashFracs:  []float64{0, 0.2},
+		LinkLoss:    0.05,
+		CrashWindow: 300 * time.Millisecond,
+		Reps:        2,
+		Seed:        5,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+	clean, faulty := res.Points[0], res.Points[1]
+	if clean.Delivery.N != 2 || faulty.Delivery.N != 2 {
+		t.Fatalf("missing repetitions: %+v / %+v", clean.Delivery, faulty.Delivery)
+	}
+	if clean.Delivery.Mean != 1 {
+		t.Errorf("crash-free point delivered %v, want 1", clean.Delivery.Mean)
+	}
+	if faulty.Delivery.Mean >= 1 || faulty.Delivery.Mean <= 0 {
+		t.Errorf("20%% crash point delivery %v, want in (0,1)", faulty.Delivery.Mean)
+	}
+	table := res.FormatTable()
+	if !strings.Contains(table, "crash-frac") || !strings.Contains(table, "ext2") {
+		t.Errorf("table malformed:\n%s", table)
+	}
+}
+
+func TestFaultSweepDeterministic(t *testing.T) {
+	s := FaultSweep{
+		Base:        tinyBase(),
+		CrashFracs:  []float64{0.2},
+		LinkLoss:    0.05,
+		CrashWindow: 300 * time.Millisecond,
+		Reps:        2,
+		Seed:        7,
+	}
+	a, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0].Delivery != b.Points[0].Delivery || a.Points[0].Delay != b.Points[0].Delay {
+		t.Errorf("fault sweep not deterministic:\n%+v\n%+v", a.Points[0], b.Points[0])
+	}
+}
+
+func TestFaultSweepEmpty(t *testing.T) {
+	s := FaultSweep{Base: tinyBase()}
+	if _, err := s.Run(); err == nil {
+		t.Error("empty fault sweep accepted")
+	}
+}

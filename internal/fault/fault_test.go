@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"addcrn/internal/netmodel"
+	"addcrn/internal/rng"
+)
+
+func testNetwork(t *testing.T) *netmodel.Network {
+	t.Helper()
+	p := netmodel.ScaledDefaultParams()
+	p.NumSU = 100
+	p.Area = 60
+	p.NumPU = 2
+	nw, err := netmodel.DeployConnected(p, rng.New(7), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestSpecZero(t *testing.T) {
+	if !(Spec{}).Zero() {
+		t.Error("zero spec not Zero")
+	}
+	if !(Spec{CrashWindow: time.Second, RetryCap: 3}).Zero() {
+		t.Error("spec with only shape parameters should still be Zero")
+	}
+	for _, s := range []Spec{
+		{CrashFrac: 0.1},
+		{LinkLoss: 0.01},
+		{AckLoss: 0.01},
+		{Bursts: 1},
+	} {
+		if s.Zero() {
+			t.Errorf("spec %+v reported Zero", s)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{CrashFrac: -0.1},
+		{CrashFrac: 1.5},
+		{LinkLoss: 2},
+		{AckLoss: -1},
+		{CrashWindow: -time.Second},
+		{RecoverAfter: -time.Second},
+		{Bursts: -1},
+		{RetryCap: -1},
+		{BurstRadius: -3},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v validated", s)
+		}
+	}
+	good := Spec{CrashFrac: 0.2, LinkLoss: 0.05, AckLoss: 0.01, Bursts: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestCompileZeroSpecEmpty(t *testing.T) {
+	nw := testNetwork(t)
+	plan, err := Compile(Spec{}, nw, 40, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Events) != 0 || len(plan.Crashed) != 0 {
+		t.Errorf("zero spec compiled %d events", len(plan.Events))
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	nw := testNetwork(t)
+	spec := Spec{CrashFrac: 0.15, RecoverAfter: 2 * time.Second, Bursts: 3, LinkLoss: 0.05}
+	a, err := Compile(spec, nw, 40, rng.New(9).Child("fault/plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(spec, nw, 40, rng.New(9).Child("fault/plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	c, err := Compile(spec, nw, 40, rng.New(10).Child("fault/plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds compiled identical plans (suspicious)")
+	}
+}
+
+func TestCompileShape(t *testing.T) {
+	nw := testNetwork(t)
+	spec := Spec{
+		CrashFrac:    0.2,
+		CrashWindow:  4 * time.Second,
+		RecoverAfter: time.Second,
+		Bursts:       2,
+		BurstLen:     100 * time.Millisecond,
+	}
+	plan, err := Compile(spec, nw, 40, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nw.NumNodes() - 1
+	wantCrashes := int(spec.CrashFrac*float64(n) + 0.5)
+	var crashes, recovers, starts, ends int
+	seen := make(map[int32]bool)
+	for i, ev := range plan.Events {
+		if i > 0 && eventLess(ev, plan.Events[i-1]) {
+			t.Fatalf("events not sorted at %d", i)
+		}
+		switch ev.Kind {
+		case EventCrash:
+			crashes++
+			if ev.Node <= 0 || int(ev.Node) > n {
+				t.Errorf("crash victim %d out of range (base station is immune)", ev.Node)
+			}
+			if seen[ev.Node] {
+				t.Errorf("node %d crashes twice", ev.Node)
+			}
+			seen[ev.Node] = true
+			if ev.At <= 0 || ev.At > 4*1000*1000 {
+				t.Errorf("crash time %v outside window", ev.At)
+			}
+		case EventRecover:
+			recovers++
+		case EventBurstStart:
+			starts++
+			if ev.Radius != 40 {
+				t.Errorf("burst radius %v, want default 40", ev.Radius)
+			}
+			if !nw.Bounds().Contains(ev.Pos) {
+				t.Errorf("burst position %v outside deployment", ev.Pos)
+			}
+		case EventBurstEnd:
+			ends++
+		}
+	}
+	if crashes != wantCrashes {
+		t.Errorf("%d crash events, want %d", crashes, wantCrashes)
+	}
+	if recovers != crashes {
+		t.Errorf("%d recover events for %d crashes", recovers, crashes)
+	}
+	if starts != 2 || ends != 2 {
+		t.Errorf("burst events %d/%d, want 2/2", starts, ends)
+	}
+}
+
+func TestCompileForeverCrashNoRecover(t *testing.T) {
+	nw := testNetwork(t)
+	plan, err := Compile(Spec{CrashFrac: 0.1}, nw, 40, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range plan.Events {
+		if ev.Kind == EventRecover {
+			t.Fatal("RecoverAfter=0 produced a recover event")
+		}
+	}
+	if len(plan.Crashed) == 0 {
+		t.Fatal("no crash victims for CrashFrac=0.1")
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	nw := testNetwork(t)
+	if _, err := Compile(Spec{CrashFrac: 2}, nw, 40, rng.New(1)); err == nil {
+		t.Error("invalid spec compiled")
+	}
+	if _, err := Compile(Spec{Bursts: 1}, nw, 0, rng.New(1)); err == nil {
+		t.Error("burst with no radius and no default compiled")
+	}
+}

@@ -19,6 +19,7 @@
 package mac
 
 import (
+	"errors"
 	"fmt"
 
 	"addcrn/internal/netmodel"
@@ -26,6 +27,15 @@ import (
 	"addcrn/internal/sim"
 	"addcrn/internal/spectrum"
 )
+
+// ErrRetriesExhausted is the cause reported through Config.OnPacketLost when
+// a packet burns through the bounded-retry budget and is dropped.
+var ErrRetriesExhausted = errors.New("mac: retry cap exhausted")
+
+// ErrNodeCrashed is the cause reported through Config.OnPacketLost when a
+// packet is destroyed because the node holding it crashed (or a packet was
+// handed to a crashed node).
+var ErrNodeCrashed = errors.New("mac: node crashed")
 
 // Packet is one snapshot datum traveling toward the base station.
 type Packet struct {
@@ -47,6 +57,7 @@ const (
 	stateAwaiting // backoff expired while busy; transmit on next free
 	stateTransmitting
 	statePostWait
+	stateDown // crashed; inert until Recover
 )
 
 func (s state) String() string {
@@ -63,6 +74,8 @@ func (s state) String() string {
 		return "transmitting"
 	case statePostWait:
 		return "post-wait"
+	case stateDown:
+		return "down"
 	default:
 		return fmt.Sprintf("state(%d)", uint8(s))
 	}
@@ -84,12 +97,31 @@ type NodeStats struct {
 	// MaxServiceTime is the longest span from starting to contend for a
 	// packet until its transmission completed (Theorem 1's quantity).
 	MaxServiceTime sim.Time
+
+	// The remaining counters are only non-zero when a FaultProfile is
+	// attached (see Config.Faults).
+	//
+	// LinkLosses counts data frames lost in flight or sent to a crashed
+	// receiver; AckLosses counts exchanges voided by a lost acknowledgement.
+	LinkLosses int
+	AckLosses  int
+	// Retries counts retransmission attempts charged against the bounded
+	// retry budget; Drops counts packets abandoned at the cap.
+	Retries int
+	Drops   int
+	// Crashes counts how many times this node crashed.
+	Crashes int
 }
 
 type node struct {
 	st    state
+	down  bool
 	queue []Packet
 	head  int
+
+	// retries counts bounded-retry attempts charged to the head packet
+	// (fault profile only; zero otherwise).
+	retries int
 
 	draw      sim.Time // t_i of the current contention round
 	remaining sim.Time // backoff left when frozen
@@ -175,7 +207,39 @@ type Config struct {
 	// aggregation; this flag exists for the companion comparison, turning
 	// per-node work from O(subtree) into O(1) transmissions.
 	AggregateQueue bool
+
+	// Faults, when non-nil, attaches the bounded-retry fault machine: data
+	// frames are lost with FaultProfile.LinkLoss probability (or always,
+	// when the receiver is down), acknowledgements with AckLoss, and the
+	// sender retries with an exponentially growing contention window until
+	// RetryCap attempts are burned, at which point the packet is dropped
+	// with ErrRetriesExhausted. Nil leaves every legacy code path
+	// bit-identical to the pre-fault MAC.
+	Faults *FaultProfile
+	// OnPacketLost fires when a packet is irrecoverably destroyed: its
+	// retry budget ran out (cause ErrRetriesExhausted) or the node holding
+	// it crashed (cause ErrNodeCrashed). May be nil.
+	OnPacketLost func(pkt Packet, node int32, now sim.Time, cause error)
 }
+
+// FaultProfile parameterizes the bounded-retry fault machine (Config.Faults).
+type FaultProfile struct {
+	// LinkLoss is the per-transmission probability a data frame vanishes.
+	LinkLoss float64
+	// AckLoss is the per-transmission probability the acknowledgement of a
+	// delivered frame vanishes; the exchange then fails at both ends.
+	AckLoss float64
+	// RetryCap bounds attempts per packet; <= 0 means DefaultRetryCap.
+	RetryCap int
+	// Rand is the dedicated loss stream; nil derives "mac/loss" from
+	// Config.Rand. Keeping it separate from the backoff stream means a
+	// zero-probability profile consumes no randomness and perturbs nothing.
+	Rand *rng.Source
+}
+
+// DefaultRetryCap is the retry budget per packet when the profile leaves
+// RetryCap unset.
+const DefaultRetryCap = 8
 
 // maxCWScale caps binary exponential backoff growth.
 const maxCWScale = 64
@@ -187,10 +251,18 @@ type MAC struct {
 	nodes   []node
 	src     *rng.Source
 
+	// parent is the MAC's own routing view, a copy of Config.Parent so that
+	// self-healing repair (SetParent) never mutates the caller's tree.
+	parent []int32
+
 	slot    sim.Time
 	window  sim.Time // tau_c in microseconds
 	root    int32
 	nActive int // currently transmitting SUs
+
+	// Bounded-retry fault machine (zero-valued when Config.Faults is nil).
+	lossSrc  *rng.Source
+	retryCap int
 }
 
 var _ spectrum.Observer = (*MAC)(nil)
@@ -238,9 +310,23 @@ func New(cfg Config) (*MAC, error) {
 		cfg:    cfg,
 		nodes:  make([]node, nn),
 		src:    cfg.Rand.Child("mac/backoff"),
+		parent: append([]int32(nil), cfg.Parent...),
 		slot:   sim.FromDuration(cfg.Network.Params.Slot),
 		window: window,
 		root:   root,
+	}
+	if f := cfg.Faults; f != nil {
+		if f.LinkLoss < 0 || f.LinkLoss > 1 || f.AckLoss < 0 || f.AckLoss > 1 {
+			return nil, fmt.Errorf("mac: fault probabilities outside [0,1]: link=%v ack=%v", f.LinkLoss, f.AckLoss)
+		}
+		m.retryCap = f.RetryCap
+		if m.retryCap <= 0 {
+			m.retryCap = DefaultRetryCap
+		}
+		m.lossSrc = f.Rand
+		if m.lossSrc == nil {
+			m.lossSrc = cfg.Rand.Child("mac/loss")
+		}
 	}
 	for i := range m.nodes {
 		m.nodes[i].st = stateIdle
@@ -259,6 +345,77 @@ func (m *MAC) Tracker() *spectrum.Tracker { return m.tracker }
 
 // Root returns the base station node id.
 func (m *MAC) Root() int32 { return m.root }
+
+// Parent returns node id's current routing parent (-1 at the root). It
+// reflects repair re-parenting, unlike the Config.Parent slice.
+func (m *MAC) Parent(id int32) int32 { return m.parent[id] }
+
+// SetParent re-points node id's routing parent; the self-healing repair rule
+// in internal/core calls it after a crash re-parents an orphaned subtree.
+// The caller is responsible for keeping the routing graph acyclic and rooted.
+func (m *MAC) SetParent(id, parent int32) { m.parent[id] = parent }
+
+// Down reports whether node id is currently crashed.
+func (m *MAC) Down(id int32) bool { return m.nodes[id].down }
+
+// Crash takes node id off the air: any ongoing transmission is torn down,
+// every queued packet is destroyed (reported through OnPacketLost with cause
+// ErrNodeCrashed), and the node ignores all spectrum activity until Recover.
+// Crashing the base station is refused; crashing a crashed node is a no-op.
+// It reports whether the node transitioned.
+func (m *MAC) Crash(id int32, now sim.Time) bool {
+	if id == m.root {
+		return false
+	}
+	n := &m.nodes[id]
+	if n.down {
+		return false
+	}
+	wasTransmitting := n.st == stateTransmitting
+	n.timer.Cancel()
+	n.st = stateDown
+	n.down = true
+	n.stats.Crashes++
+	n.serviceActive = false
+	n.retries = 0
+	if wasTransmitting {
+		m.nActive--
+		// Same teardown order as endTx: finalize the monitor before the
+		// medium release so reentrant transmission starts are not
+		// misattributed.
+		if mon := m.cfg.Monitor; mon != nil {
+			mon.EndReception(n.rxToken)
+			mon.RemoveTransmitter(n.txToken)
+		}
+		m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+		if m.cfg.OnTxEnd != nil {
+			m.cfg.OnTxEnd(id, now, false)
+		}
+	}
+	for n.queueLen() > 0 {
+		pkt := n.pop()
+		if m.cfg.OnPacketLost != nil {
+			m.cfg.OnPacketLost(pkt, id, now, ErrNodeCrashed)
+		}
+	}
+	return true
+}
+
+// Recover brings a crashed node back as an empty-handed relay: its snapshot
+// queue stayed lost, but it resumes forwarding traffic enqueued to it. It
+// reports whether the node transitioned.
+func (m *MAC) Recover(id int32, now sim.Time) bool {
+	n := &m.nodes[id]
+	if !n.down {
+		return false
+	}
+	n.down = false
+	n.st = stateIdle
+	if n.queueLen() > 0 {
+		m.startContending(id, now)
+	}
+	return true
+}
 
 // Start injects the snapshot: every node except the root produces one
 // packet at the current virtual time and begins contending.
@@ -283,6 +440,14 @@ func (m *MAC) Enqueue(id int32, pkt Packet) {
 		return
 	}
 	n := &m.nodes[id]
+	if n.down {
+		// Handing a packet to a crashed node destroys it; endTx guards the
+		// normal path, so this only covers callers enqueueing directly.
+		if m.cfg.OnPacketLost != nil {
+			m.cfg.OnPacketLost(pkt, id, now, ErrNodeCrashed)
+		}
+		return
+	}
 	n.push(pkt)
 	if n.st == stateIdle {
 		m.startContending(id, now)
@@ -304,6 +469,15 @@ func (m *MAC) startContending(id int32, now sim.Time) {
 	window := int64(m.window)
 	if m.cfg.ExpBackoff {
 		window *= n.cwScale
+	}
+	if m.cfg.Faults != nil && n.retries > 0 {
+		// Exponential backoff on repeated loss: each failed attempt doubles
+		// the contention window, capped at maxCWScale.
+		shift := n.retries
+		if shift > 6 {
+			shift = 6 // 1<<6 == maxCWScale
+		}
+		window *= int64(1) << uint(shift)
 	}
 	n.draw = sim.Time(m.src.UniformInt(1, window))
 	n.remaining = n.draw
@@ -349,7 +523,7 @@ func (m *MAC) beginTx(id int32, now sim.Time) {
 	m.nActive++
 	if mon := m.cfg.Monitor; mon != nil {
 		selfPos := m.cfg.Network.SU[id]
-		rxPos := m.cfg.Network.SU[m.cfg.Parent[id]]
+		rxPos := m.cfg.Network.SU[m.parent[id]]
 		power := m.cfg.Network.Params.PowerSU
 		n.txToken = mon.AddTransmitter(selfPos, power)
 		n.rxToken = mon.BeginReception(rxPos, selfPos, power, m.cfg.Network.Params.EtaSU(), n.txToken)
@@ -389,10 +563,15 @@ func (m *MAC) endTx(id int32, now sim.Time) {
 		m.enterPostWait(id, now)
 		return
 	}
+	if m.cfg.Faults != nil && !m.faultOutcome(id) {
+		m.failTx(id, now)
+		return
+	}
 	pkt := n.pop()
 	pkt.Hops++
 	n.stats.Transmissions++
 	n.cwScale = 1
+	n.retries = 0
 	n.serviceActive = false
 	if svc := now - n.serviceStart; svc > n.stats.MaxServiceTime {
 		n.stats.MaxServiceTime = svc
@@ -400,15 +579,60 @@ func (m *MAC) endTx(id int32, now sim.Time) {
 	if m.cfg.OnTxEnd != nil {
 		m.cfg.OnTxEnd(id, now, true)
 	}
-	m.Enqueue(m.cfg.Parent[id], pkt)
+	m.Enqueue(m.parent[id], pkt)
 	if m.cfg.AggregateQueue {
 		// Perfect aggregation: the rest of the queue rode along in the
 		// same slot.
 		for n.queueLen() > 0 {
 			extra := n.pop()
 			extra.Hops++
-			m.Enqueue(m.cfg.Parent[id], extra)
+			m.Enqueue(m.parent[id], extra)
 		}
+	}
+	m.enterPostWait(id, now)
+}
+
+// faultOutcome rolls the fault dice for a transmission that survived the
+// physical layer: a crashed receiver or a link-loss draw voids the data
+// frame, a lost acknowledgement voids the exchange. It reports whether the
+// exchange succeeded, charging the loss counters otherwise.
+func (m *MAC) faultOutcome(id int32) bool {
+	n := &m.nodes[id]
+	parent := m.parent[id]
+	if parent != m.root && m.nodes[parent].down {
+		n.stats.LinkLosses++
+		return false
+	}
+	f := m.cfg.Faults
+	if m.lossSrc.Bernoulli(f.LinkLoss) {
+		n.stats.LinkLosses++
+		return false
+	}
+	if m.lossSrc.Bernoulli(f.AckLoss) {
+		n.stats.AckLosses++
+		return false
+	}
+	return true
+}
+
+// failTx charges one retry for the head packet and drops it with
+// ErrRetriesExhausted once the bounded budget is burned; either way the node
+// proceeds through the fairness wait like any failed transmission.
+func (m *MAC) failTx(id int32, now sim.Time) {
+	n := &m.nodes[id]
+	n.retries++
+	n.stats.Retries++
+	if n.retries >= m.retryCap {
+		pkt := n.pop()
+		n.stats.Drops++
+		n.retries = 0
+		n.serviceActive = false
+		if m.cfg.OnPacketLost != nil {
+			m.cfg.OnPacketLost(pkt, id, now, ErrRetriesExhausted)
+		}
+	}
+	if m.cfg.OnTxEnd != nil {
+		m.cfg.OnTxEnd(id, now, false)
 	}
 	m.enterPostWait(id, now)
 }

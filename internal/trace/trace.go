@@ -20,6 +20,13 @@ const (
 	KindTxAbort
 	KindDeliver
 	KindBackoffDraw
+	// Fault-layer kinds (internal/fault): node crash/recover events, a
+	// self-healing re-parenting (Arg = new parent id), and a packet destroyed
+	// by a fault (Arg = origin id).
+	KindCrash
+	KindRecover
+	KindRepair
+	KindPacketLost
 )
 
 // String implements fmt.Stringer.
@@ -35,6 +42,14 @@ func (k Kind) String() string {
 		return "deliver"
 	case KindBackoffDraw:
 		return "backoff-draw"
+	case KindCrash:
+		return "crash"
+	case KindRecover:
+		return "recover"
+	case KindRepair:
+		return "repair"
+	case KindPacketLost:
+		return "packet-lost"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
