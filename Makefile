@@ -1,10 +1,12 @@
 # Verification tiers. `make check` is the fast pre-merge gate; `make race`
 # runs the full suite under the race detector (the worker-pool sweeps in
-# internal/experiment are the concurrent code it guards).
+# internal/experiment are the concurrent code it guards). `make bench` runs
+# the paper-shaped benchmark suite once and records it as BENCH_addc.json
+# (benchmark name → ns/op, delay-slots, ... metrics).
 
 GO ?= go
 
-.PHONY: check build vet test race
+.PHONY: check build vet test race bench
 
 check: vet build test
 
@@ -19,3 +21,6 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./... | $(GO) run ./cmd/addc-benchjson -out BENCH_addc.json

@@ -17,11 +17,13 @@ import (
 	"addcrn/internal/coolest"
 	"addcrn/internal/core"
 	"addcrn/internal/experiment"
+	"addcrn/internal/metrics"
 	"addcrn/internal/multichannel"
 	"addcrn/internal/netmodel"
 	"addcrn/internal/pcr"
 	"addcrn/internal/spectrum"
 	"addcrn/internal/theory"
+	"addcrn/internal/trace"
 )
 
 // benchParams is a trimmed operating point so a full -bench=. pass stays in
@@ -286,6 +288,60 @@ func benchMultiChannel(b *testing.B, channels int) {
 		delay += res.DelaySlots
 	}
 	b.ReportMetric(delay/float64(b.N), "delay-slots")
+}
+
+// benchCollectOnce runs one ADDC collection at the bench operating point
+// with the given instrumentation attached (nil values = bare run).
+func benchCollectOnce(b *testing.B, seed uint64, reg *metrics.Registry, sink trace.Sink) float64 {
+	b.Helper()
+	opts := core.Options{
+		Params:         benchParams(),
+		Seed:           seed,
+		PUModel:        spectrum.ModelExact,
+		MaxVirtualTime: 2 * time.Hour,
+	}
+	nw, err := core.BuildNetwork(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := core.BuildTree(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Collect(nw, tree.Parent, core.CollectConfig{
+		Seed:           seed,
+		MaxVirtualTime: 2 * time.Hour,
+		Metrics:        reg,
+		Sink:           sink,
+		TraceMAC:       sink != nil,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.DelaySlots
+}
+
+// BenchmarkCollectBare is the uninstrumented reference for the observability
+// overhead comparison: no registry, no sink.
+func BenchmarkCollectBare(b *testing.B) {
+	var slots float64
+	for i := 0; i < b.N; i++ {
+		slots += benchCollectOnce(b, uint64(i)+1, nil, nil)
+	}
+	b.ReportMetric(slots/float64(b.N), "delay-slots")
+}
+
+// BenchmarkCollectInstrumented runs the identical collection with a full
+// metrics registry and MAC-level tracing into a null sink. The acceptance
+// bar for the observability layer is that this stays within 5% of
+// BenchmarkCollectBare's ns/op.
+func BenchmarkCollectInstrumented(b *testing.B) {
+	var slots float64
+	for i := 0; i < b.N; i++ {
+		reg := metrics.NewRegistry()
+		slots += benchCollectOnce(b, uint64(i)+1, reg, trace.NullSink{})
+	}
+	b.ReportMetric(slots/float64(b.N), "delay-slots")
 }
 
 // BenchmarkSweepFig6cFull runs the entire Fig. 6c sweep (all x values, 2

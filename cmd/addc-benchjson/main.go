@@ -1,0 +1,97 @@
+// Command addc-benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON file: benchmark name → iterations and every reported
+// metric (ns/op, delay-slots, allocs/op, ...). The input stream is echoed to
+// stdout unchanged so it can sit at the end of a pipe without hiding the
+// human-readable run. `make bench` uses it to produce BENCH_addc.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's parsed measurement.
+type BenchResult struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_addc.json", "output JSON path")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "addc-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, echo io.Writer, outPath string) error {
+	results, err := parse(r, echo)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+// parse scans benchmark result lines ("BenchmarkName-8  10  123 ns/op  4
+// extra-metric ...") and echoes every input line verbatim.
+func parse(r io.Reader, echo io.Writer) (map[string]BenchResult, error) {
+	results := make(map[string]BenchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		res, name, ok := parseLine(line)
+		if ok {
+			results[name] = res
+		}
+	}
+	return results, sc.Err()
+}
+
+func parseLine(line string) (BenchResult, string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, "", false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, "", false
+	}
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := BenchResult{Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break // trailing non-metric annotation
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return BenchResult{}, "", false
+	}
+	return res, name, true
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: addcrn
+BenchmarkCollectBare-8         	       3	  27076512 ns/op	      8258 delay-slots
+BenchmarkCollectInstrumented-8 	       3	  27650339 ns/op	      8258 delay-slots
+BenchmarkHotPath-8             	123456789	         9.7 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	addcrn	0.256s
+`
+
+func TestParse(t *testing.T) {
+	var echo bytes.Buffer
+	results, err := parse(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(results))
+	}
+	bare, ok := results["BenchmarkCollectBare"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if bare.Iterations != 3 {
+		t.Errorf("iterations = %d", bare.Iterations)
+	}
+	if bare.Metrics["ns/op"] != 27076512 || bare.Metrics["delay-slots"] != 8258 {
+		t.Errorf("metrics = %v", bare.Metrics)
+	}
+	hot := results["BenchmarkHotPath"]
+	if hot.Metrics["allocs/op"] != 0 || hot.Metrics["ns/op"] != 9.7 {
+		t.Errorf("hot-path metrics = %v", hot.Metrics)
+	}
+	if echo.String() != sample {
+		t.Error("input not echoed verbatim")
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	addcrn	0.256s",
+		"Benchmark only-a-name",
+		"BenchmarkNoMetrics-8 10",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

@@ -9,15 +9,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"addcrn/internal/coolest"
 	"addcrn/internal/core"
 	"addcrn/internal/fault"
+	"addcrn/internal/metrics"
 	"addcrn/internal/netmodel"
 	"addcrn/internal/pcr"
 	"addcrn/internal/spectrum"
+	"addcrn/internal/trace"
 )
+
+// writeMetrics dumps the registry's full snapshot (wall timings included) as
+// indented JSON.
+func writeMetrics(path string, reg *metrics.Registry) error {
+	data, err := reg.Snapshot().Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -46,6 +59,11 @@ func run(args []string) error {
 		model   = fs.String("pu-model", "exact", "PU model: exact or aggregate")
 		budget  = fs.Duration("max-virtual", 30*time.Minute, "virtual-time budget")
 		handoff = fs.Bool("handoff", true, "abort transmissions on PU arrival")
+
+		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+		traceOut   = fs.String("trace-out", "", "stream the run's trace as JSONL to this file")
+		traceMAC   = fs.Bool("trace-mac", false, "with -trace-out: also record every transmission and backoff draw (high volume)")
+		pprofOut   = fs.String("pprof", "", "write a CPU profile to this file")
 
 		faultCrash    = fs.Float64("fault-crash", 0, "fraction of SUs that crash (0 disables)")
 		faultWindow   = fs.Duration("fault-crash-window", 0, "virtual window the crashes land in (0: fault package default)")
@@ -113,6 +131,34 @@ func run(args []string) error {
 		cfg.Faults = &spec
 	}
 
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	var sink *trace.JSONLSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = trace.NewJSONLSink(f)
+		cfg.Sink = sink
+		cfg.TraceMAC = *traceMAC
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var parents []int32
 	switch *alg {
 	case "addc":
@@ -136,6 +182,16 @@ func run(args []string) error {
 	}
 
 	res, err := core.Collect(nw, parents, cfg)
+	if sink != nil {
+		if ferr := sink.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if reg != nil {
+		if werr := writeMetrics(*metricsOut, reg); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -149,6 +205,10 @@ func run(args []string) error {
 	fmt.Printf("hops: %s\n", res.HopStats)
 	fmt.Printf("latency(slots): %s\n", res.LatencySlots)
 	fmt.Printf("engine steps: %d\n", res.EngineSteps)
+	if th := res.Theory; th != nil {
+		fmt.Printf("theorem1 bound %.0f slots, service tightness %.3f, per-hop tightness %.3f\n",
+			th.Theorem1Slots, th.ServiceTightness, th.PerHopTightness)
+	}
 	if res.Fault != nil {
 		fmt.Printf("outcome=%s delivery-ratio=%.3f lost=%d\n", res.Outcome, res.DeliveryRatio, res.Lost)
 		fr := res.Fault

@@ -26,6 +26,7 @@ import (
 	"addcrn/internal/fault"
 	"addcrn/internal/graphx"
 	"addcrn/internal/mac"
+	"addcrn/internal/metrics"
 	"addcrn/internal/netmodel"
 	"addcrn/internal/pcr"
 	"addcrn/internal/rng"
@@ -116,6 +117,12 @@ type Options struct {
 	// (SU crashes, link/ACK loss, PU burst storms) and enables self-healing
 	// repair plus graceful degradation; see internal/fault.
 	Faults *fault.Spec
+	// Metrics, when non-nil, instruments the run (and Run's construction
+	// phases) on the given registry; see CollectConfig.Metrics.
+	Metrics *metrics.Registry
+	// Sink, when non-nil, receives the run's trace records; see
+	// CollectConfig.Sink.
+	Sink trace.Sink
 }
 
 // DefaultOptions returns Options at the feasibility-scaled operating point
@@ -171,6 +178,13 @@ type Result struct {
 	// curve of the run.
 	ProgressSlots []float64
 
+	// Theory compares the observed service behavior against Theorem 1's
+	// bound (nil only for degenerate parameter sets); see TheoryReport.
+	Theory *TheoryReport
+	// maxPerHopWait is the largest observed per-packet mean wait per hop,
+	// in slots (feeds TheoryReport.MaxPerHopWaitSlots).
+	maxPerHopWait float64
+
 	// Outcome classifies how the run ended (complete, partial, deadline).
 	Outcome Outcome
 	// DeliveryRatio is Delivered/Expected — 1.0 for clean complete runs,
@@ -206,7 +220,7 @@ type FaultReport struct {
 type NodeFaultStats struct {
 	Node int32
 	// Down reports whether the node was still crashed when the run ended.
-	Down                                                 bool
+	Down                                                    bool
 	Crashes, LinkLosses, AckLosses, Retries, Drops, Repairs int
 }
 
@@ -215,11 +229,15 @@ type NodeFaultStats struct {
 // BuildNetwork/BuildTree/Collect for multi-algorithm comparisons on a fixed
 // topology.
 func Run(opts Options) (*Result, error) {
+	stop := opts.Metrics.StartPhase("network-build")
 	nw, err := BuildNetwork(opts)
+	stop(0)
 	if err != nil {
 		return nil, err
 	}
+	stop = opts.Metrics.StartPhase("cds-tree")
 	tree, err := BuildTree(nw)
+	stop(0)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +248,8 @@ func Run(opts Options) (*Result, error) {
 		TreeStats:      treeStats(nw, tree),
 		Faults:         opts.Faults,
 		Tree:           tree,
+		Metrics:        opts.Metrics,
+		Sink:           opts.Sink,
 	})
 }
 
@@ -325,12 +345,29 @@ type CollectConfig struct {
 	// (crash, recover, repair, packet loss) into the buffer. Two runs with
 	// equal seeds and equal fault specs produce byte-identical traces.
 	Trace *trace.Buffer
+	// Sink, when non-nil, receives the same records as Trace through the
+	// generic trace.Sink interface (both may be set; they see identical
+	// streams). Use trace.NewJSONLSink to stream a run to disk.
+	Sink trace.Sink
+	// TraceMAC additionally records every transmission start/end/abort and
+	// every backoff draw (high volume: O(engine events) records).
+	TraceMAC bool
+	// Metrics, when non-nil, instruments the run on this registry: MAC
+	// contention activity, delivery latency and per-hop wait histograms,
+	// spectrum busy fraction, phase timings and the Theorem 1 comparator
+	// gauges. The hot path stays allocation-free; a nil registry costs a
+	// handful of nil checks. Snapshots taken after the run are
+	// deterministic for equal seeds (wall-clock timings excluded — see
+	// metrics.Snapshot.MarshalDeterministic).
+	Metrics *metrics.Registry
 }
 
 // Collect runs one data collection task over nw with the given routing
 // parents (parent[v] is v's next hop; -1 exactly at the base station).
 func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, error) {
+	stopPhase := cfg.Metrics.StartPhase("pcr")
 	consts, err := pcr.Compute(nw.Params)
+	stopPhase(0)
 	if err != nil {
 		return nil, err
 	}
@@ -384,11 +421,24 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 		monitor = spectrum.NewRxMonitor(nw.Params.Alpha)
 	}
 
+	// Trace fan-out: the legacy ring Buffer and the pluggable Sink see the
+	// same stream.
+	var sink trace.Sink
+	switch {
+	case cfg.Trace != nil && cfg.Sink != nil:
+		sink = trace.MultiSink{cfg.Trace, cfg.Sink}
+	case cfg.Trace != nil:
+		sink = cfg.Trace
+	case cfg.Sink != nil:
+		sink = cfg.Sink
+	}
 	rec := func(k trace.Kind, node int32, arg int64) {
-		if cfg.Trace != nil {
-			cfg.Trace.Add(trace.Record{Time: eng.Now(), Node: node, Kind: k, Arg: arg})
+		if sink != nil {
+			sink.Add(trace.Record{Time: eng.Now(), Node: node, Kind: k, Arg: arg})
 		}
 	}
+
+	obs := newObserver(cfg.Metrics, slot)
 
 	// The run ends when every packet is accounted for: delivered to the
 	// base station or destroyed by a fault (graceful degradation).
@@ -408,8 +458,15 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 		Rand:         src,
 		OnDeliver: func(pkt mac.Packet, now sim.Time) {
 			res.Delivered++
-			latencies = append(latencies, float64(now-pkt.Born)/float64(slot))
+			latSlots := float64(now-pkt.Born) / float64(slot)
+			latencies = append(latencies, latSlots)
 			hops = append(hops, float64(pkt.Hops))
+			if pkt.Hops > 0 {
+				if perHop := latSlots / float64(pkt.Hops); perHop > res.maxPerHopWait {
+					res.maxPerHopWait = perHop
+				}
+			}
+			obs.deliver(latSlots, pkt.Hops)
 			if cfg.RecordProgress {
 				res.ProgressSlots = append(res.ProgressSlots, float64(now)/float64(slot))
 			}
@@ -421,6 +478,7 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 		},
 		OnTxStart:      cfg.OnTxStart,
 		OnTxEnd:        cfg.OnTxEnd,
+		Metrics:        obs.macMetrics(),
 		DisableHandoff: cfg.DisableHandoff,
 		Monitor:        monitor,
 		NoFairnessWait: cfg.GenericCSMA,
@@ -437,8 +495,31 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 		}
 		macCfg.OnPacketLost = func(pkt mac.Packet, node int32, now sim.Time, cause error) {
 			res.Lost++
+			obs.packetLost()
 			rec(trace.KindPacketLost, node, int64(pkt.Origin))
 			accounted()
+		}
+	}
+	if cfg.TraceMAC && sink != nil {
+		prevStart, prevEnd := macCfg.OnTxStart, macCfg.OnTxEnd
+		macCfg.OnTxStart = func(node int32, now sim.Time) {
+			rec(trace.KindTxStart, node, 0)
+			if prevStart != nil {
+				prevStart(node, now)
+			}
+		}
+		macCfg.OnTxEnd = func(node int32, now sim.Time, completed bool) {
+			k := trace.KindTxEnd
+			if !completed {
+				k = trace.KindTxAbort
+			}
+			rec(k, node, 0)
+			if prevEnd != nil {
+				prevEnd(node, now, completed)
+			}
+		}
+		macCfg.OnBackoffDraw = func(node int32, draw, now sim.Time) {
+			rec(trace.KindBackoffDraw, node, int64(draw))
 		}
 	}
 	m, err := mac.New(macCfg)
@@ -476,14 +557,17 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 	model.Start(eng)
 	m.Start()
 
+	stopCollect := cfg.Metrics.StartPhase("collect")
 	deadline := sim.FromDuration(cfg.MaxVirtualTime)
 	for !done {
 		if !eng.Step() {
 			break // queue drained: nothing can make progress anymore
 		}
 		if eng.Now() > deadline {
+			stopCollect(eng.Now())
 			finishResult(res, nw, m, eng, latencies, hops, slot)
 			fillFaultReport(res, nw, m, rep)
+			obs.finish(res, nw, m, cfg.Tree, model.BusyFraction(eng.Now()))
 			res.Outcome = OutcomeDeadline
 			return res, &DeadlineExceededError{
 				Delivered: res.Delivered,
@@ -493,8 +577,10 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 			}
 		}
 	}
+	stopCollect(eng.Now())
 	finishResult(res, nw, m, eng, latencies, hops, slot)
 	fillFaultReport(res, nw, m, rep)
+	obs.finish(res, nw, m, cfg.Tree, model.BusyFraction(eng.Now()))
 	switch {
 	case res.Delivered == res.Expected:
 		res.Outcome = OutcomeComplete

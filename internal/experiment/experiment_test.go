@@ -92,6 +92,15 @@ func TestSweepRunTiny(t *testing.T) {
 		if r := p.DelayRatio(); math.IsNaN(r) || r <= 0 {
 			t.Errorf("x=%v: ratio %v", p.X, r)
 		}
+		if p.ADDCTightness.N != 2 || p.ADDCTightness.Mean <= 0 || p.ADDCTightness.Mean > 1.05 {
+			t.Errorf("x=%v: tightness summary %+v", p.X, p.ADDCTightness)
+		}
+		if p.ADDCPUBusy.N != 2 || p.ADDCPUBusy.Mean < 0 || p.ADDCPUBusy.Mean > 1 {
+			t.Errorf("x=%v: pu-busy summary %+v", p.X, p.ADDCPUBusy)
+		}
+		if p.ADDCFairness.N != 2 || p.ADDCFairness.Mean <= 0 || p.ADDCFairness.Mean > 1 {
+			t.Errorf("x=%v: fairness summary %+v", p.X, p.ADDCFairness)
+		}
 	}
 	if res.MeanDelayRatio() <= 0 {
 		t.Error("mean ratio non-positive")

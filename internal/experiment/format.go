@@ -13,13 +13,14 @@ import (
 func (r *SweepResult) FormatTable() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s\n", r.Sweep.Title)
-	fmt.Fprintf(&sb, "%-12s %-22s %-22s %-10s %s\n",
-		r.Sweep.XLabel, "ADDC delay (slots)", "Coolest delay (slots)", "ratio", "reps")
+	fmt.Fprintf(&sb, "%-12s %-22s %-22s %-10s %-9s %-8s %s\n",
+		r.Sweep.XLabel, "ADDC delay (slots)", "Coolest delay (slots)", "ratio", "tightness", "pu-busy", "reps")
 	for _, p := range r.Points {
 		ratio := p.DelayRatio()
-		fmt.Fprintf(&sb, "%-12.4g %10.1f ±%-9.1f %10.1f ±%-9.1f %8.2fx %4d",
+		fmt.Fprintf(&sb, "%-12.4g %10.1f ±%-9.1f %10.1f ±%-9.1f %8.2fx %9.3f %8.3f %4d",
 			p.X, p.ADDCDelay.Mean, p.ADDCDelay.CI95(),
-			p.CoolestDelay.Mean, p.CoolestDelay.CI95(), ratio, p.ADDCDelay.N)
+			p.CoolestDelay.Mean, p.CoolestDelay.CI95(), ratio,
+			p.ADDCTightness.Mean, p.ADDCPUBusy.Mean, p.ADDCDelay.N)
 		if p.Failed > 0 {
 			fmt.Fprintf(&sb, "  (%d failed)", p.Failed)
 		}
@@ -61,14 +62,16 @@ func (r *SweepResult) SVG() (string, error) {
 func (r *SweepResult) FormatCSV() string {
 	var sb strings.Builder
 	sb.WriteString("x,addc_delay_mean,addc_delay_ci95,coolest_delay_mean,coolest_delay_ci95," +
-		"addc_capacity_mean,coolest_capacity_mean,addc_aborts_mean,coolest_aborts_mean,ratio,reps,failed\n")
+		"addc_capacity_mean,coolest_capacity_mean,addc_aborts_mean,coolest_aborts_mean,ratio," +
+		"addc_tightness_mean,addc_pu_busy_mean,addc_fairness_mean,reps,failed\n")
 	for _, p := range r.Points {
-		fmt.Fprintf(&sb, "%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d\n",
+		fmt.Fprintf(&sb, "%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d\n",
 			p.X, p.ADDCDelay.Mean, p.ADDCDelay.CI95(),
 			p.CoolestDelay.Mean, p.CoolestDelay.CI95(),
 			p.ADDCCapacity.Mean, p.CoolestCapacity.Mean,
 			p.ADDCAborts.Mean, p.CoolestAborts.Mean,
-			p.DelayRatio(), p.ADDCDelay.N, p.Failed)
+			p.DelayRatio(), p.ADDCTightness.Mean, p.ADDCPUBusy.Mean, p.ADDCFairness.Mean,
+			p.ADDCDelay.N, p.Failed)
 	}
 	return sb.String()
 }

@@ -14,9 +14,11 @@ import (
 	"sync"
 	"time"
 
+	"addcrn/internal/cds"
 	"addcrn/internal/coolest"
 	"addcrn/internal/core"
 	"addcrn/internal/graphx"
+	"addcrn/internal/metrics"
 	"addcrn/internal/netmodel"
 	"addcrn/internal/pcr"
 	"addcrn/internal/rng"
@@ -71,6 +73,14 @@ type PointResult struct {
 	// ADDCAborts and CoolestAborts summarize PU handoffs per run.
 	ADDCAborts    stats.Summary
 	CoolestAborts stats.Summary
+	// ADDCTightness summarizes each ADDC repetition's Theorem 1 service
+	// tightness (observed worst service / bound); ADDCPUBusy the empirical
+	// PU busy fraction; ADDCFairness Jain's index over per-node
+	// transmissions. Together they are the per-point metric summary the
+	// observability layer attaches to every sweep.
+	ADDCTightness stats.Summary
+	ADDCPUBusy    stats.Summary
+	ADDCFairness  stats.Summary
 	// Failed counts repetitions that errored (deadline or deployment).
 	Failed int
 }
@@ -111,8 +121,13 @@ type runOutcome struct {
 	delay    float64
 	capacity float64
 	aborts   float64
-	coolest  bool
-	err      error
+	// tightness, puBusy and fairness are ADDC-only metric summaries
+	// (negative tightness means "no TheoryReport for this run").
+	tightness float64
+	puBusy    float64
+	fairness  float64
+	coolest   bool
+	err       error
 }
 
 // Run executes the sweep: for every x and repetition it deploys one
@@ -168,6 +183,9 @@ func (s *Sweep) Run() (*SweepResult, error) {
 		caps[b] = make([][]float64, len(s.Xs))
 		aborts[b] = make([][]float64, len(s.Xs))
 	}
+	tight := make([][]float64, len(s.Xs))
+	puBusy := make([][]float64, len(s.Xs))
+	fair := make([][]float64, len(s.Xs))
 	failed := make([]int, len(s.Xs))
 	var firstErr error
 	for out := range results {
@@ -181,6 +199,13 @@ func (s *Sweep) Run() (*SweepResult, error) {
 		delays[out.coolest][out.xi] = append(delays[out.coolest][out.xi], out.delay)
 		caps[out.coolest][out.xi] = append(caps[out.coolest][out.xi], out.capacity)
 		aborts[out.coolest][out.xi] = append(aborts[out.coolest][out.xi], out.aborts)
+		if !out.coolest {
+			if out.tightness >= 0 {
+				tight[out.xi] = append(tight[out.xi], out.tightness)
+			}
+			puBusy[out.xi] = append(puBusy[out.xi], out.puBusy)
+			fair[out.xi] = append(fair[out.xi], out.fairness)
+		}
 	}
 
 	res := &SweepResult{Sweep: s, Elapsed: time.Since(start)}
@@ -193,6 +218,9 @@ func (s *Sweep) Run() (*SweepResult, error) {
 			CoolestCapacity: stats.Summarize(caps[true][xi]),
 			ADDCAborts:      stats.Summarize(aborts[false][xi]),
 			CoolestAborts:   stats.Summarize(aborts[true][xi]),
+			ADDCTightness:   stats.Summarize(tight[xi]),
+			ADDCPUBusy:      stats.Summarize(puBusy[xi]),
+			ADDCFairness:    stats.Summarize(fair[xi]),
 			Failed:          failed[xi],
 		})
 	}
@@ -206,6 +234,14 @@ func (s *Sweep) Run() (*SweepResult, error) {
 		return nil, fmt.Errorf("experiment: sweep %q produced no results: %w", s.ID, firstErr)
 	}
 	return res, nil
+}
+
+// collectADDC runs ADDC over the CDS tree with the realized tree statistics
+// attached (so the Theorem 1 comparator evaluates the per-deployment bound).
+func collectADDC(nw *netmodel.Network, tree *cds.Tree, adj graphx.Adjacency, cfg core.CollectConfig) (*core.Result, error) {
+	cfg.TreeStats = tree.ComputeStats(adj)
+	cfg.Tree = tree
+	return core.Collect(nw, tree.Parent, cfg)
 }
 
 // runOne executes both algorithms for one (x, repetition) pair on a shared
@@ -239,13 +275,30 @@ func (s *Sweep) runOne(xi, rep int, metric coolest.Metric, results chan<- runOut
 		DisableHandoff: s.DisableHandoff,
 	}
 
-	// ADDC over the CDS tree.
-	if tree, err := core.BuildTree(nw); err != nil {
+	// ADDC over the CDS tree, instrumented so the point summaries carry the
+	// Theorem 1 tightness, PU busy fraction and fairness of every rep.
+	addcCfg := cfg
+	reg := metrics.NewRegistry()
+	addcCfg.Metrics = reg
+	tree, err := core.BuildTree(nw)
+	if err != nil {
 		results <- runOutcome{xi: xi, err: err}
-	} else if r, err := core.Collect(nw, tree.Parent, cfg); err != nil {
+	} else if r, err := collectADDC(nw, tree, adj, addcCfg); err != nil {
 		results <- runOutcome{xi: xi, err: err}
 	} else {
-		results <- runOutcome{xi: xi, delay: r.DelaySlots, capacity: r.Capacity, aborts: float64(r.TotalAborts)}
+		out := runOutcome{
+			xi:        xi,
+			delay:     r.DelaySlots,
+			capacity:  r.Capacity,
+			aborts:    float64(r.TotalAborts),
+			tightness: -1,
+			puBusy:    reg.Gauge("spectrum_pu_busy_fraction").Value(),
+			fairness:  r.FairnessIndex,
+		}
+		if r.Theory != nil {
+			out.tightness = r.Theory.ServiceTightness
+		}
+		results <- out
 	}
 
 	// Coolest over its temperature tree, same topology, same seeds. By

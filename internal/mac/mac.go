@@ -208,6 +208,14 @@ type Config struct {
 	// per-node work from O(subtree) into O(1) transmissions.
 	AggregateQueue bool
 
+	// Metrics, when non-nil, drives the observability instruments (backoff
+	// draws, freezes, contention wins/losses, retries) on the hot path; see
+	// NewMetrics. Nil costs nothing.
+	Metrics *Metrics
+	// OnBackoffDraw observes every contention draw (trace sinks use it);
+	// nil costs nothing.
+	OnBackoffDraw func(node int32, draw, now sim.Time)
+
 	// Faults, when non-nil, attaches the bounded-retry fault machine: data
 	// frames are lost with FaultProfile.LinkLoss probability (or always,
 	// when the receiver is down), acknowledgements with AckLoss, and the
@@ -481,6 +489,12 @@ func (m *MAC) startContending(id int32, now sim.Time) {
 	}
 	n.draw = sim.Time(m.src.UniformInt(1, window))
 	n.remaining = n.draw
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.BackoffDraws.Observe(float64(n.draw) / float64(m.slot))
+	}
+	if m.cfg.OnBackoffDraw != nil {
+		m.cfg.OnBackoffDraw(id, n.draw, now)
+	}
 	// Service time spans all retries of the head packet: the clock starts
 	// at its first contention round only.
 	if !n.serviceActive {
@@ -490,6 +504,9 @@ func (m *MAC) startContending(id int32, now sim.Time) {
 	if m.tracker.Busy(id) {
 		n.st = stateBackoffFrozen
 		n.frozenSince = now
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.Freezes.Inc()
+		}
 		return
 	}
 	m.armBackoff(id)
@@ -512,6 +529,9 @@ func (m *MAC) expire(id int32, now sim.Time) {
 	if m.tracker.Busy(id) {
 		n.st = stateAwaiting
 		n.frozenSince = now
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.Freezes.Inc()
+		}
 		return
 	}
 	m.beginTx(id, now)
@@ -554,6 +574,9 @@ func (m *MAC) endTx(id int32, now sim.Time) {
 	if !received {
 		// Collision: the packet stays at the head of the queue.
 		n.stats.Collisions++
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.Losses.Inc()
+		}
 		if m.cfg.ExpBackoff && n.cwScale < maxCWScale {
 			n.cwScale *= 2
 		}
@@ -570,6 +593,9 @@ func (m *MAC) endTx(id int32, now sim.Time) {
 	pkt := n.pop()
 	pkt.Hops++
 	n.stats.Transmissions++
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.Wins.Inc()
+	}
 	n.cwScale = 1
 	n.retries = 0
 	n.serviceActive = false
@@ -622,9 +648,16 @@ func (m *MAC) failTx(id int32, now sim.Time) {
 	n := &m.nodes[id]
 	n.retries++
 	n.stats.Retries++
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.Losses.Inc()
+		mm.Retries.Inc()
+	}
 	if n.retries >= m.retryCap {
 		pkt := n.pop()
 		n.stats.Drops++
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.Drops.Inc()
+		}
 		n.retries = 0
 		n.serviceActive = false
 		if m.cfg.OnPacketLost != nil {
@@ -649,6 +682,10 @@ func (m *MAC) abortTx(id int32, now sim.Time) {
 	}
 	m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
 	n.stats.Aborts++
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.Handoffs.Inc()
+		mm.Losses.Inc()
+	}
 	if m.cfg.ExpBackoff && n.cwScale < maxCWScale {
 		n.cwScale *= 2
 	}
@@ -700,6 +737,9 @@ func (m *MAC) SpectrumBusy(id int32, now sim.Time) {
 	n.timer.Cancel()
 	n.st = stateBackoffFrozen
 	n.frozenSince = now
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.Freezes.Inc()
+	}
 }
 
 // SpectrumFree implements spectrum.Observer: resume a frozen backoff, or
@@ -709,6 +749,9 @@ func (m *MAC) SpectrumFree(id int32, now sim.Time) {
 	switch n.st {
 	case stateBackoffFrozen:
 		n.stats.FrozenTime += now - n.frozenSince
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.FrozenSlots.Observe(float64(now-n.frozenSince) / float64(m.slot))
+		}
 		if n.remaining <= 0 {
 			m.beginTx(id, now)
 			return
@@ -716,6 +759,9 @@ func (m *MAC) SpectrumFree(id int32, now sim.Time) {
 		m.armBackoff(id)
 	case stateAwaiting:
 		n.stats.FrozenTime += now - n.frozenSince
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.FrozenSlots.Observe(float64(now-n.frozenSince) / float64(m.slot))
+		}
 		m.beginTx(id, now)
 	default:
 	}

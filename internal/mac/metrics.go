@@ -1,0 +1,53 @@
+package mac
+
+import (
+	"addcrn/internal/metrics"
+)
+
+// Metrics bundles the registry instruments the MAC drives on its hot path.
+// Attach one via Config.Metrics; a nil Metrics keeps every code path free of
+// instrumentation cost, and individual nil instruments inside a non-nil
+// Metrics are inert (metrics instruments are nil-receiver safe).
+//
+// All duration-valued observations are in slots (units of tau), matching
+// the paper's analysis and Theorem 1's bound.
+type Metrics struct {
+	// BackoffDraws observes every contention draw t_i, in slots.
+	BackoffDraws *metrics.Histogram
+	// Freezes counts backoff freezes (busy spectrum pausing a countdown or
+	// deferring an expired timer); FrozenSlots observes each frozen
+	// episode's length in slots.
+	Freezes     *metrics.Counter
+	FrozenSlots *metrics.Histogram
+	// Wins counts contention rounds that ended in a completed, accepted
+	// transmission; Losses counts rounds lost to a PU handoff, an SIR
+	// collision, or a fault-voided exchange.
+	Wins   *metrics.Counter
+	Losses *metrics.Counter
+	// Handoffs counts the subset of Losses caused by spectrum handoff
+	// (a PU arriving mid-transmission).
+	Handoffs *metrics.Counter
+	// Retries and Drops mirror the bounded-retry fault machine.
+	Retries *metrics.Counter
+	Drops   *metrics.Counter
+}
+
+// NewMetrics registers the MAC's instrument set on reg and returns it.
+// Returns nil on a nil registry, which Config.Metrics treats as "off".
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	// Draws live in (0, tau_c] ≈ (0, 32] slots; freezes can last orders of
+	// magnitude longer under heavy PU activity.
+	return &Metrics{
+		BackoffDraws: reg.Histogram("mac_backoff_draw_slots", metrics.ExpBuckets(1, 2, 8)),
+		Freezes:      reg.Counter("mac_freezes_total"),
+		FrozenSlots:  reg.Histogram("mac_frozen_slots", metrics.ExpBuckets(1, 4, 10)),
+		Wins:         reg.Counter("mac_contention_wins_total"),
+		Losses:       reg.Counter("mac_contention_losses_total"),
+		Handoffs:     reg.Counter("mac_handoffs_total"),
+		Retries:      reg.Counter("mac_retries_total"),
+		Drops:        reg.Counter("mac_drops_total"),
+	}
+}

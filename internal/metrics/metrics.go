@@ -1,0 +1,294 @@
+// Package metrics is the simulator's instrumentation registry: counters,
+// gauges and fixed-bucket histograms keyed by a metric name plus optional
+// labels (node, role, phase, ...).
+//
+// The design constraints come from the discrete-event engine it observes:
+//
+//   - Deterministic: a Snapshot is a pure function of the run's inputs.
+//     Wall-clock phase timings are the one non-deterministic quantity; they
+//     are quarantined in the snapshot's "wall" section, which
+//     MarshalDeterministic strips (DESIGN.md §7 states the rule).
+//   - Zero-allocation hot path: instruments are created once at setup
+//     (Registry.Counter and friends intern by key) and the returned handles
+//     only increment machine words. Instrument methods are nil-receiver
+//     safe, so call sites need no nil guards of their own.
+//   - Single-threaded, like the engine: one Registry per run, no locks.
+//     Parallel experiment repetitions each build their own registry.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is one key=value dimension attached to a metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds delta. Safe on a nil receiver (no-op).
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v += delta
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time float metric.
+type Gauge struct {
+	v float64
+}
+
+// Set stores v. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations <= Bounds[i]; one implicit overflow bucket catches the rest.
+// Observe is allocation-free.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records v. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the mean observation, or 0 before any observation.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest observation, or 0 before any observation.
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+type metricEntry struct {
+	name   string
+	labels []Label // sorted by key
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry interns instruments by (name, labels). It is not safe for
+// concurrent use; one registry belongs to one simulation run.
+type Registry struct {
+	entries map[string]*metricEntry
+	wall    []WallTiming
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*metricEntry)}
+}
+
+// key renders the canonical identity "name{k1=v1,k2=v2}" with sorted label
+// keys; a label-less metric's key is just its name.
+func key(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup returns the interned entry for (name, labels), creating it via
+// build on first use. Requesting an existing key as a different metric kind
+// is an instrumentation bug and panics.
+func (r *Registry) lookup(name string, labels []Label, kind metricKind, build func(*metricEntry)) *metricEntry {
+	ls := sortedLabels(labels)
+	k := key(name, ls)
+	if e, ok := r.entries[k]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %q registered as %v, requested as %v", k, e.kind, kind))
+		}
+		return e
+	}
+	e := &metricEntry{name: name, labels: ls, kind: kind}
+	build(e)
+	r.entries[k] = e
+	return e
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// Safe on a nil registry (returns a nil, no-op handle).
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindCounter, func(e *metricEntry) {
+		e.counter = &Counter{}
+	}).counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+// Safe on a nil registry (returns a nil, no-op handle).
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindGauge, func(e *metricEntry) {
+		e.gauge = &Gauge{}
+	}).gauge
+}
+
+// Histogram returns the histogram for (name, labels) with the given ascending
+// bucket upper bounds, creating it on first use; later calls ignore bounds
+// and return the interned instrument. Safe on a nil registry (returns a nil,
+// no-op handle).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindHistogram, func(e *metricEntry) {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("metrics: histogram %q bounds not strictly ascending: %v", name, bounds))
+			}
+		}
+		e.hist = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+	}).hist
+}
+
+// ExpBuckets returns n upper bounds growing geometrically from start by
+// factor — the standard shape for latency-style histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

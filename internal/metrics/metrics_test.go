@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"addcrn/internal/sim"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tx_total", L("role", "dominator"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Same (name, labels) interns to the same instrument regardless of
+	// label order.
+	again := r.Counter("tx_total", L("role", "dominator"))
+	if again != c {
+		t.Error("counter not interned")
+	}
+	g := r.Gauge("delay_slots")
+	g.Set(12.5)
+	if g.Value() != 12.5 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("b", "2"), L("a", "1"))
+	b := r.Counter("m", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Error("label order changed instrument identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	want := []uint64{2, 1, 1, 1} // <=1: {0.5, 1}; <=10: {5}; <=100: {50}; overflow: {5000}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+	if hs.Count != 5 || hs.Min != 0.5 || hs.Max != 5000 {
+		t.Errorf("count=%d min=%v max=%v", hs.Count, hs.Min, hs.Max)
+	}
+	if h.Mean() != hs.Sum/5 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramEmptySnapshotIsFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", []float64{1})
+	s := r.Snapshot()
+	if s.Histograms[0].Min != 0 || s.Histograms[0].Max != 0 {
+		t.Errorf("empty histogram min/max = %v/%v, want 0/0",
+			s.Histograms[0].Min, s.Histograms[0].Max)
+	}
+	// Must survive JSON marshaling (NaN would not).
+	if _, err := s.MarshalDeterministic(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("nil instruments not inert")
+	}
+	if len(r.Snapshot().Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	r.RecordPhase("p", time.Second, 1)
+	r.StartPhase("p")(5)
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Inc()
+		}
+		r.Gauge("g", L("phase", "collect")).Set(3)
+		out, err := r.Snapshot().MarshalDeterministic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := build([]string{"alpha", "beta", "gamma"})
+	b := build([]string{"gamma", "alpha", "beta"})
+	if !bytes.Equal(a, b) {
+		t.Errorf("creation order leaked into snapshot:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestWallQuarantine(t *testing.T) {
+	r := NewRegistry()
+	r.RecordPhase("collect", 123*time.Millisecond, sim.Time(5000))
+	r.RecordPhase("collect", 1*time.Millisecond, sim.Time(100))
+	s := r.Snapshot()
+	if len(s.Wall) != 1 || s.Wall[0].Nanos != (124*time.Millisecond).Nanoseconds() {
+		t.Errorf("wall timings: %+v", s.Wall)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 5100 {
+		t.Errorf("virtual gauge: %+v", s.Gauges)
+	}
+	det, err := s.MarshalDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(det), "wall") {
+		t.Error("deterministic marshal leaked wall section")
+	}
+	full, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(full), "wall") {
+		t.Error("full marshal lacks wall section")
+	}
+}
+
+func TestStartPhase(t *testing.T) {
+	r := NewRegistry()
+	stop := r.StartPhase("build")
+	stop(0)
+	s := r.Snapshot()
+	if len(s.Wall) != 1 || s.Wall[0].Phase != "build" || s.Wall[0].Nanos < 0 {
+		t.Errorf("wall: %+v", s.Wall)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v", got)
+		}
+	}
+	if ExpBuckets(0, 2, 4) != nil || ExpBuckets(1, 1, 4) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Error("degenerate bucket specs should return nil")
+	}
+}
+
+func BenchmarkHotPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", ExpBuckets(1, 2, 16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(float64(i % 1000))
+	}
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+
+	"addcrn/internal/sim"
+)
+
+// CounterSnapshot is one counter's state in a Snapshot.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's state in a Snapshot.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's state in a Snapshot. Counts[i] counts
+// observations <= Bounds[i]; the final Counts entry is the overflow bucket.
+// Min and Max are zero before the first observation.
+type HistogramSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Bounds []float64         `json:"bounds"`
+	Counts []uint64          `json:"counts"`
+	Count  uint64            `json:"count"`
+	Sum    float64           `json:"sum"`
+	Min    float64           `json:"min"`
+	Max    float64           `json:"max"`
+}
+
+// WallTiming is one phase's wall-clock duration — the only non-deterministic
+// quantity a Registry holds.
+type WallTiming struct {
+	Phase string `json:"phase"`
+	Nanos int64  `json:"nanos"`
+}
+
+// Snapshot is a registry's full state, ordered deterministically (metrics
+// sorted by canonical key, wall timings in recording order).
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+	Wall       []WallTiming        `json:"wall,omitempty"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot captures the registry's current state. Safe on a nil registry
+// (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := r.entries[k]
+		switch e.kind {
+		case kindCounter:
+			s.Counters = append(s.Counters, CounterSnapshot{
+				Name:   e.name,
+				Labels: labelMap(e.labels),
+				Value:  e.counter.Value(),
+			})
+		case kindGauge:
+			s.Gauges = append(s.Gauges, GaugeSnapshot{
+				Name:   e.name,
+				Labels: labelMap(e.labels),
+				Value:  e.gauge.Value(),
+			})
+		case kindHistogram:
+			h := e.hist
+			hs := HistogramSnapshot{
+				Name:   e.name,
+				Labels: labelMap(e.labels),
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: append([]uint64(nil), h.counts...),
+				Count:  h.count,
+				Sum:    h.sum,
+			}
+			if h.count > 0 {
+				hs.Min, hs.Max = h.min, h.max
+			}
+			s.Histograms = append(s.Histograms, hs)
+		}
+	}
+	s.Wall = append(s.Wall, r.wall...)
+	return s
+}
+
+// Marshal renders the full snapshot as indented JSON, wall-clock section
+// included (what addc-sim -metrics-out writes).
+func (s Snapshot) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// MarshalDeterministic renders the snapshot as indented JSON with the
+// wall-clock section stripped: two runs with equal seeds and equal fault
+// specs produce byte-identical output (the determinism tests compare it).
+func (s Snapshot) MarshalDeterministic() ([]byte, error) {
+	det := s
+	det.Wall = nil
+	return json.MarshalIndent(det, "", "  ")
+}
+
+// RecordPhase records one named phase's wall-clock duration (into the
+// quarantined wall section; repeated phases accumulate) and its virtual
+// duration as the gauge phase_virtual_us{phase=...}. Safe on a nil registry
+// (no-op).
+func (r *Registry) RecordPhase(phase string, wall time.Duration, virtual sim.Time) {
+	if r == nil {
+		return
+	}
+	found := false
+	for i := range r.wall {
+		if r.wall[i].Phase == phase {
+			r.wall[i].Nanos += wall.Nanoseconds()
+			found = true
+			break
+		}
+	}
+	if !found {
+		r.wall = append(r.wall, WallTiming{Phase: phase, Nanos: wall.Nanoseconds()})
+	}
+	g := r.Gauge("phase_virtual_us", L("phase", phase))
+	g.Set(g.Value() + float64(virtual))
+}
+
+// StartPhase starts a wall-clock stopwatch for phase; the returned stop
+// function records the elapsed wall time together with the virtual time the
+// phase consumed. Safe on a nil registry (the stop function is a no-op).
+func (r *Registry) StartPhase(phase string) func(virtual sim.Time) {
+	if r == nil {
+		return func(sim.Time) {}
+	}
+	start := time.Now()
+	return func(virtual sim.Time) {
+		r.RecordPhase(phase, time.Since(start), virtual)
+	}
+}

@@ -32,6 +32,7 @@ type AggregateModel struct {
 	blockProb []float64
 	blocked   []bool
 	numActive int
+	busy      busyIntegral
 }
 
 var _ PUModel = (*AggregateModel)(nil)
@@ -83,13 +84,21 @@ func (m *AggregateModel) ActiveCount() int { return m.numActive }
 // Blocked reports whether node is currently blocked by primary activity.
 func (m *AggregateModel) Blocked(node int32) bool { return m.blocked[node] }
 
+// BusyFraction implements PUModel: the time-averaged fraction of nodes that
+// were inside a blocking period.
+func (m *AggregateModel) BusyFraction(now sim.Time) float64 {
+	return m.busy.fraction(now, m.numActive, m.nw.NumNodes())
+}
+
 func (m *AggregateModel) block(node int32, now sim.Time) {
+	m.busy.update(now, m.numActive)
 	m.blocked[node] = true
 	m.numActive++
 	m.tracker.BlockNode(node, now)
 }
 
 func (m *AggregateModel) unblock(node int32, now sim.Time) {
+	m.busy.update(now, m.numActive)
 	m.blocked[node] = false
 	m.numActive--
 	m.tracker.UnblockNode(node, now)

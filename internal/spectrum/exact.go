@@ -29,6 +29,7 @@ type ExactModel struct {
 
 	monitor   *RxMonitor
 	monTokens []int64
+	busy      busyIntegral
 }
 
 var _ PUModel = (*ExactModel)(nil)
@@ -95,7 +96,14 @@ func (m *ExactModel) ActivePUs(dst []int32) []int32 {
 // Receiver returns the synthetic intended receiver of PU i.
 func (m *ExactModel) Receiver(i int) geom.Point { return m.receivers[i] }
 
+// BusyFraction implements PUModel: the time-averaged fraction of PUs that
+// were transmitting (the empirical p_t).
+func (m *ExactModel) BusyFraction(now sim.Time) float64 {
+	return m.busy.fraction(now, m.numActive, len(m.nw.PU))
+}
+
 func (m *ExactModel) activate(i int32, now sim.Time) {
+	m.busy.update(now, m.numActive)
 	m.active[i] = true
 	m.numActive++
 	if m.monitor != nil {
@@ -105,6 +113,7 @@ func (m *ExactModel) activate(i int32, now sim.Time) {
 }
 
 func (m *ExactModel) deactivate(i int32, now sim.Time) {
+	m.busy.update(now, m.numActive)
 	m.active[i] = false
 	m.numActive--
 	if m.monitor != nil {

@@ -14,6 +14,12 @@ type PUModel interface {
 	// transmitters (virtual ones count per blocked node in the aggregate
 	// model); used by tests and progress reporting.
 	ActiveCount() int
+	// BusyFraction returns the time-averaged fraction of the model's
+	// transmitters (PUs, or blocked nodes for the aggregate model) that
+	// were active through virtual time now — the observed counterpart of
+	// the paper's activity probability p_t. It is 0 before any time has
+	// elapsed.
+	BusyFraction(now sim.Time) float64
 }
 
 // ModelKind selects a PU activity model.

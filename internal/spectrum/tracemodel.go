@@ -212,6 +212,7 @@ type TraceModel struct {
 
 	active    []bool
 	numActive int
+	busy      busyIntegral
 }
 
 var _ PUModel = (*TraceModel)(nil)
@@ -247,6 +248,12 @@ func (m *TraceModel) ActiveCount() int { return m.numActive }
 // IsActive reports whether PU i currently transmits.
 func (m *TraceModel) IsActive(i int) bool { return m.active[i] }
 
+// BusyFraction implements PUModel: the time-averaged fraction of PUs that
+// were transmitting under the replayed trace.
+func (m *TraceModel) BusyFraction(now sim.Time) float64 {
+	return m.busy.fraction(now, m.numActive, len(m.nw.PU))
+}
+
 // scheduleCycle arms one full repetition of PU i's intervals with the
 // given slot offset, then re-arms the next repetition.
 func (m *TraceModel) scheduleCycle(eng *sim.Engine, i int32, offset int64) {
@@ -254,6 +261,7 @@ func (m *TraceModel) scheduleCycle(eng *sim.Engine, i int32, offset int64) {
 		start := sim.Time(offset+in.Start) * m.slot
 		end := sim.Time(offset+in.End) * m.slot
 		if _, err := eng.At(start, func(now sim.Time) {
+			m.busy.update(now, m.numActive)
 			m.active[i] = true
 			m.numActive++
 			m.tracker.AddTransmitter(m.nw.PU[i], TxPU, -1, now)
@@ -261,6 +269,7 @@ func (m *TraceModel) scheduleCycle(eng *sim.Engine, i int32, offset int64) {
 			continue // start lies in the past only for offset 0 edge cases
 		}
 		_, _ = eng.At(end, func(now sim.Time) {
+			m.busy.update(now, m.numActive)
 			m.active[i] = false
 			m.numActive--
 			m.tracker.RemoveTransmitter(m.nw.PU[i], TxPU, -1, now)

@@ -144,6 +144,88 @@ func TestRatio(t *testing.T) {
 	}
 }
 
+func TestSummarizeTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want Summary
+	}{
+		{"nil", nil, Summary{}},
+		{"empty", []float64{}, Summary{}},
+		{"single", []float64{7}, Summary{N: 1, Mean: 7, Min: 7, Max: 7, Median: 7}},
+		{"single-zero", []float64{0}, Summary{N: 1}},
+		{"single-negative", []float64{-3}, Summary{N: 1, Mean: -3, Min: -3, Max: -3, Median: -3}},
+		{"pair", []float64{1, 3}, Summary{N: 2, Mean: 2, StdDev: math.Sqrt2, Min: 1, Max: 3, Median: 2}},
+		{"constant", []float64{4, 4, 4, 4}, Summary{N: 4, Mean: 4, Min: 4, Max: 4, Median: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Summarize(tc.xs)
+			if got.N != tc.want.N || math.Abs(got.Mean-tc.want.Mean) > 1e-12 ||
+				math.Abs(got.StdDev-tc.want.StdDev) > 1e-12 ||
+				got.Min != tc.want.Min || got.Max != tc.want.Max ||
+				math.Abs(got.Median-tc.want.Median) > 1e-12 {
+				t.Errorf("Summarize(%v) = %+v, want %+v", tc.xs, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestJainIndexTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"nil", nil, 0},
+		{"empty", []float64{}, 0},
+		{"single", []float64{5}, 1},
+		{"single-zero", []float64{0}, 0},
+		{"two-equal", []float64{2, 2}, 1},
+		{"two-skewed", []float64{1, 3}, 16.0 / 20},
+		{"monopoly-of-5", []float64{7, 0, 0, 0, 0}, 0.2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := JainIndex(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("JainIndex(%v) = %v, want %v", tc.xs, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs     []float64
+		lo, hi float64
+		nbins  int
+		want   []int
+	}{
+		{"empty-input", nil, 0, 1, 2, []int{0, 0}},
+		{"zero-bins", []float64{1}, 0, 1, 0, nil},
+		{"negative-bins", []float64{1}, 0, 1, -3, nil},
+		{"inverted-range", []float64{1}, 1, 0, 2, nil},
+		{"degenerate-range", []float64{1}, 1, 1, 2, nil},
+		{"single-value", []float64{0.4}, 0, 1, 2, []int{1, 0}},
+		{"boundary-value", []float64{0.5}, 0, 1, 2, []int{0, 1}},
+		{"boundary-clamps", []float64{-1, 2}, 0, 1, 2, []int{1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Histogram(tc.xs, tc.lo, tc.hi, tc.nbins)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Histogram = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Histogram = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	if s := Summarize([]float64{1, 2, 3}).String(); s == "" {
 		t.Error("empty summary string")
