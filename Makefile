@@ -1,12 +1,17 @@
 # Verification tiers. `make check` is the fast pre-merge gate; `make race`
 # runs the full suite under the race detector (the worker-pool sweeps in
-# internal/experiment are the concurrent code it guards). `make bench` runs
-# the paper-shaped benchmark suite once and records it as BENCH_addc.json
-# (benchmark name → ns/op, delay-slots, ... metrics).
+# internal/experiment are the concurrent code it guards). `make guard` runs
+# the suite with runtime invariant guards force-enabled (ADDC_GUARD=1):
+# every simulation in every test then asserts concurrent-set separation,
+# tree integrity and packet conservation. `make vuln` audits dependencies
+# with govulncheck when it is installed (skipped gracefully otherwise —
+# the module is stdlib-only). `make bench` runs the paper-shaped benchmark
+# suite once and records it as BENCH_addc.json (benchmark name → ns/op,
+# delay-slots, ... metrics).
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race guard vuln bench
 
 check: vet build test
 
@@ -21,6 +26,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+guard:
+	ADDC_GUARD=1 $(GO) test -count=1 ./...
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./... | $(GO) run ./cmd/addc-benchjson -out BENCH_addc.json

@@ -14,13 +14,23 @@
 //	addc-experiments -fig thm2        # Theorem 2 bound check (with PUs)
 //	addc-experiments -paper-scale     # paper-nominal parameters (slow!)
 //	addc-experiments -csv             # machine-readable output
+//
+// Long sweeps are interruptible and resumable: -checkpoint journals every
+// completed repetition to a crash-safe JSONL file, SIGINT/SIGTERM stop the
+// sweep cooperatively (the partial table goes to stderr), and -resume picks
+// up exactly where the journal stops, reproducing the uninterrupted output
+// byte for byte. -guard runs every simulation with runtime invariant guards.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"addcrn/internal/experiment"
@@ -47,10 +57,21 @@ func run(args []string) error {
 		budget     = fs.Duration("max-virtual", 2*time.Hour, "virtual-time budget per run")
 		sameMAC    = fs.Bool("same-mac", false, "run Coolest on ADDC's PCR MAC (routing-only ablation)")
 		svgDir     = fs.String("svg", "", "directory to also write one SVG chart per figure")
+		checkpoint = fs.String("checkpoint", "", "journal completed repetitions to this JSONL file (per-figure suffix added when sweeping several figures)")
+		resume     = fs.Bool("resume", false, "with -checkpoint: skip repetitions the journal already records")
+		guard      = fs.Bool("guard", false, "run every simulation with runtime invariant guards")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+
+	// SIGINT/SIGTERM stop sweeps cooperatively; completed repetitions are
+	// already journaled when -checkpoint is set.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	base := netmodel.ScaledDefaultParams()
 	model := spectrum.ModelExact
@@ -68,7 +89,7 @@ func run(args []string) error {
 	case "ext1":
 		return runChannelSweep(base, *reps, *seed)
 	case "ext2":
-		return runFaultSweep(base, *reps, *seed)
+		return runFaultSweep(ctx, base, *reps, *seed)
 	case "curves":
 		svg, err := experiment.DeliveryCurves(base, *seed)
 		if err != nil {
@@ -93,8 +114,20 @@ func run(args []string) error {
 		sweep.DisableHandoff = !*handoff
 		sweep.MaxVirtualTime = *budget
 		sweep.SameMAC = *sameMAC
-		res, err := sweep.Run()
+		sweep.Guard = *guard
+		if *checkpoint != "" {
+			sweep.Checkpoint = checkpointPath(*checkpoint, id, len(figures) > 1)
+			sweep.Resume = *resume
+		}
+		res, err := sweep.RunContext(ctx)
 		if err != nil {
+			if res != nil && ctx.Err() != nil {
+				// Interrupted: the partial table goes to stderr so stdout
+				// stays a clean sequence of completed figures, and the
+				// error names the checkpoint to resume from.
+				fmt.Fprintf(os.Stderr, "addc-experiments: interrupted; partial fig %s results:\n%s",
+					id, res.FormatTable())
+			}
 			return err
 		}
 		if *csv {
@@ -131,7 +164,7 @@ func runChannelSweep(base netmodel.Params, reps int, seed uint64) error {
 	return nil
 }
 
-func runFaultSweep(base netmodel.Params, reps int, seed uint64) error {
+func runFaultSweep(ctx context.Context, base netmodel.Params, reps int, seed uint64) error {
 	sweep := experiment.FaultSweep{
 		Base:       base,
 		CrashFracs: []float64{0, 0.05, 0.10, 0.20, 0.30},
@@ -139,12 +172,26 @@ func runFaultSweep(base netmodel.Params, reps int, seed uint64) error {
 		Reps:       reps,
 		Seed:       seed,
 	}
-	res, err := sweep.Run()
+	res, err := sweep.RunContext(ctx)
 	if err != nil {
+		if res != nil && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "addc-experiments: interrupted; partial ext2 results:\n%s", res.FormatTable())
+		}
 		return err
 	}
 	fmt.Print(res.FormatTable())
 	return nil
+}
+
+// checkpointPath derives the journal path for one figure: a multi-figure
+// invocation gets a per-figure file (cp.jsonl -> cp-6a.jsonl) so a fresh
+// sweep of one figure never truncates another's journal.
+func checkpointPath(base, fig string, multi bool) string {
+	if !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + fig + ext
 }
 
 func runBounds(which string, base netmodel.Params, reps int, seed uint64) error {

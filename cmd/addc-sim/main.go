@@ -3,13 +3,20 @@
 // baseline instead of ADDC. The -fault-* flags inject SU crashes, link/ACK
 // loss and PU burst storms (see internal/fault); the run then reports its
 // outcome, delivery ratio and fault counters.
+//
+// SIGINT/SIGTERM cancel the run cooperatively: the partial delivery state
+// is reported on stderr before exiting nonzero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"addcrn/internal/coolest"
@@ -59,6 +66,7 @@ func run(args []string) error {
 		model   = fs.String("pu-model", "exact", "PU model: exact or aggregate")
 		budget  = fs.Duration("max-virtual", 30*time.Minute, "virtual-time budget")
 		handoff = fs.Bool("handoff", true, "abort transmissions on PU arrival")
+		guard   = fs.Bool("guard", false, "enable runtime invariant guards (concurrent-set separation, tree integrity, packet conservation)")
 
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
 		traceOut   = fs.String("trace-out", "", "stream the run's trace as JSONL to this file")
@@ -116,6 +124,7 @@ func run(args []string) error {
 		PUModel:        kind,
 		MaxVirtualTime: *budget,
 		DisableHandoff: !*handoff,
+		Guard:          *guard,
 	}
 	spec := fault.Spec{
 		CrashFrac:    *faultCrash,
@@ -181,7 +190,12 @@ func run(args []string) error {
 		return fmt.Errorf("unknown algorithm %q", *alg)
 	}
 
-	res, err := core.Collect(nw, parents, cfg)
+	// SIGINT/SIGTERM cancel the simulation at event-loop granularity; the
+	// partial result still flushes traces and metrics below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	res, err := core.CollectContext(ctx, nw, parents, cfg)
 	if sink != nil {
 		if ferr := sink.Flush(); ferr != nil && err == nil {
 			err = ferr
@@ -191,6 +205,17 @@ func run(args []string) error {
 		if werr := writeMetrics(*metricsOut, reg); werr != nil && err == nil {
 			err = werr
 		}
+	}
+	var ce *core.CanceledError
+	if errors.As(err, &ce) {
+		fmt.Fprintf(os.Stderr, "addc-sim: interrupted at %v (virtual): %d/%d delivered, %d lost\n",
+			ce.Elapsed.Duration(), ce.Delivered, ce.Expected, ce.Lost)
+		if res != nil && res.Guard != nil {
+			fmt.Fprintf(os.Stderr, "addc-sim: guard: %d checks, %d violations before interruption\n",
+				res.Guard.ConcurrencyChecks+res.Guard.TreeChecks+res.Guard.ConservationChecks,
+				res.Guard.ViolationCount())
+		}
+		return err
 	}
 	if err != nil {
 		return err
@@ -208,6 +233,10 @@ func run(args []string) error {
 	if th := res.Theory; th != nil {
 		fmt.Printf("theorem1 bound %.0f slots, service tightness %.3f, per-hop tightness %.3f\n",
 			th.Theorem1Slots, th.ServiceTightness, th.PerHopTightness)
+	}
+	if g := res.Guard; g != nil {
+		fmt.Printf("guard: concurrency=%d tree=%d conservation=%d checks, %d violations\n",
+			g.ConcurrencyChecks, g.TreeChecks, g.ConservationChecks, g.ViolationCount())
 	}
 	if res.Fault != nil {
 		fmt.Printf("outcome=%s delivery-ratio=%.3f lost=%d\n", res.Outcome, res.DeliveryRatio, res.Lost)

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"addcrn/internal/sim"
+)
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, smallOptions(1))
+	if res != nil {
+		t.Fatalf("pre-canceled run returned a result: %+v", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled through Unwrap", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *CanceledError", err)
+	}
+}
+
+func TestRunContextExpiredWallClockDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := RunContext(ctx, smallOptions(1))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded through Unwrap", err)
+	}
+}
+
+// Cancel mid-run via a MAC hook: the event loop must stop within the poll
+// granularity and hand back the partial Result.
+func TestCollectContextCancelMidRun(t *testing.T) {
+	opts := smallOptions(2)
+	nw, err := BuildNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	starts := 0
+	res, err := CollectContext(ctx, nw, tree.Parent, CollectConfig{
+		Seed: opts.Seed,
+		OnTxStart: func(node int32, now sim.Time) {
+			starts++
+			if starts == 5 {
+				cancel()
+			}
+		},
+	})
+	if res == nil {
+		t.Fatal("canceled run returned no partial result")
+	}
+	if res.Outcome != OutcomeCanceled {
+		t.Fatalf("Outcome = %v, want canceled", res.Outcome)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T (%v), want *CanceledError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled through Unwrap", err)
+	}
+	if ce.Expected != res.Expected || ce.Delivered != res.Delivered {
+		t.Fatalf("error stats (%d/%d) disagree with result (%d/%d)",
+			ce.Delivered, ce.Expected, res.Delivered, res.Expected)
+	}
+	if res.Delivered >= res.Expected {
+		t.Fatalf("run canceled after 5 tx starts but delivered %d/%d", res.Delivered, res.Expected)
+	}
+	if res.EngineSteps == 0 {
+		t.Fatal("partial result reports zero engine steps")
+	}
+}
+
+// An uncanceled context must leave the run identical to the no-context path.
+func TestCollectContextNoCancelMatchesCollect(t *testing.T) {
+	opts := smallOptions(4)
+	nw, err := BuildNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Collect(nw, tree.Parent, CollectConfig{Seed: opts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := CollectContext(ctx, nw, tree.Parent, CollectConfig{Seed: opts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Delay != withCtx.Delay || plain.EngineSteps != withCtx.EngineSteps ||
+		plain.Capacity != withCtx.Capacity {
+		t.Fatalf("context plumbing changed the run: delay %v vs %v, steps %d vs %d",
+			plain.Delay, withCtx.Delay, plain.EngineSteps, withCtx.EngineSteps)
+	}
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -68,6 +69,41 @@ func (e *DeadlineExceededError) Error() string {
 // Unwrap makes errors.Is(err, ErrDeadline) work.
 func (e *DeadlineExceededError) Unwrap() error { return ErrDeadline }
 
+// CanceledError is returned by RunContext/CollectContext when the caller's
+// context is canceled or passes its wall-clock deadline mid-run. It mirrors
+// DeadlineExceededError (the virtual-time counterpart): the partial Result
+// is returned alongside it, and it carries the delivery statistics at the
+// point of interruption. errors.Is(err, context.Canceled) or
+// errors.Is(err, context.DeadlineExceeded) match through Unwrap, so callers
+// distinguish user cancellation from wall-clock expiry without string
+// parsing.
+type CanceledError struct {
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+	// Delivered and Expected are the packet counts at interruption.
+	Delivered, Expected int
+	// Lost counts packets destroyed by faults before interruption.
+	Lost int
+	// Elapsed is the virtual time consumed.
+	Elapsed sim.Time
+}
+
+// Error implements the error interface.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: run canceled with %d/%d delivered by %v: %v",
+		e.Delivered, e.Expected, e.Elapsed.Duration(), e.Cause)
+}
+
+// Unwrap makes errors.Is(err, context.Canceled/DeadlineExceeded) work.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// cancelPollEvents is how many engine events run between context polls: at
+// typical event rates (millions/second) this bounds cancellation latency
+// well under a millisecond while keeping the per-event cost to a counter
+// decrement.
+const cancelPollEvents = 256
+
 // Outcome classifies how a collection run ended.
 type Outcome uint8
 
@@ -82,6 +118,9 @@ const (
 	// OutcomeDeadline: the virtual-time budget expired first (the returned
 	// error is a *DeadlineExceededError).
 	OutcomeDeadline
+	// OutcomeCanceled: the caller's context was canceled or passed its
+	// wall-clock deadline (the returned error is a *CanceledError).
+	OutcomeCanceled
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +132,8 @@ func (o Outcome) String() string {
 		return "partial"
 	case OutcomeDeadline:
 		return "deadline"
+	case OutcomeCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("outcome(%d)", uint8(o))
 	}
@@ -123,6 +164,8 @@ type Options struct {
 	// Sink, when non-nil, receives the run's trace records; see
 	// CollectConfig.Sink.
 	Sink trace.Sink
+	// Guard enables runtime invariant guards; see CollectConfig.Guard.
+	Guard bool
 }
 
 // DefaultOptions returns Options at the feasibility-scaled operating point
@@ -196,6 +239,9 @@ type Result struct {
 	// Fault aggregates fault-layer activity; nil when no faults were
 	// injected.
 	Fault *FaultReport
+	// Guard reports invariant-guard activity; nil unless guards were enabled
+	// (CollectConfig.Guard or ADDC_GUARD=1).
+	Guard *GuardReport
 }
 
 // FaultReport summarizes the fault layer of one run.
@@ -227,13 +273,28 @@ type NodeFaultStats struct {
 // Run deploys a connected network, builds the CDS data collection tree, and
 // collects one snapshot with ADDC. It is the one-call entry point; use
 // BuildNetwork/BuildTree/Collect for multi-algorithm comparisons on a fixed
-// topology.
+// topology, and RunContext for cooperative cancellation.
 func Run(opts Options) (*Result, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cooperative cancellation: canceling ctx (or
+// letting its wall-clock deadline pass) stops the simulation at event-loop
+// granularity and returns the partial Result alongside a *CanceledError.
+// The construction phases (deployment, tree build) check ctx between
+// phases; the event loop polls it every cancelPollEvents events.
+func RunContext(ctx context.Context, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Cause: err}
+	}
 	stop := opts.Metrics.StartPhase("network-build")
 	nw, err := BuildNetwork(opts)
 	stop(0)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Cause: err}
 	}
 	stop = opts.Metrics.StartPhase("cds-tree")
 	tree, err := BuildTree(nw)
@@ -241,7 +302,7 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Collect(nw, tree.Parent, CollectConfig{
+	return CollectContext(ctx, nw, tree.Parent, CollectConfig{
 		Seed:           opts.Seed,
 		PUModel:        opts.PUModel,
 		MaxVirtualTime: opts.MaxVirtualTime,
@@ -250,6 +311,7 @@ func Run(opts Options) (*Result, error) {
 		Tree:           tree,
 		Metrics:        opts.Metrics,
 		Sink:           opts.Sink,
+		Guard:          opts.Guard,
 	})
 }
 
@@ -360,11 +422,34 @@ type CollectConfig struct {
 	// deterministic for equal seeds (wall-clock timings excluded — see
 	// metrics.Snapshot.MarshalDeterministic).
 	Metrics *metrics.Registry
+
+	// Guard enables runtime invariant guards: concurrent-set separation on
+	// every transmission start (Lemmas 2-3 under PCR sensing), routing-tree
+	// acyclicity after every self-healing repair, and packet conservation on
+	// every delivery and loss. Violations are recorded in Result.Guard,
+	// counted on the metrics registry, and returned as an *InvariantError
+	// when the run would otherwise succeed. Guards read simulator state only
+	// — they draw no randomness, so enabling them leaves results
+	// bit-identical. Setting ADDC_GUARD=1 in the environment force-enables
+	// them process-wide (the `make guard` tier).
+	Guard bool
 }
 
 // Collect runs one data collection task over nw with the given routing
 // parents (parent[v] is v's next hop; -1 exactly at the base station).
 func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, error) {
+	return CollectContext(context.Background(), nw, parent, cfg)
+}
+
+// CollectContext is Collect with cooperative cancellation: canceling ctx
+// (or letting its wall-clock deadline pass) interrupts the event loop
+// within cancelPollEvents events and returns the partial Result alongside a
+// *CanceledError, mirroring how the virtual-time budget returns a
+// *DeadlineExceededError.
+func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Cause: err}
+	}
 	stopPhase := cfg.Metrics.StartPhase("pcr")
 	consts, err := pcr.Compute(nw.Params)
 	stopPhase(0)
@@ -440,6 +525,13 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 
 	obs := newObserver(cfg.Metrics, slot)
 
+	// Invariant guards (opt-in; ADDC_GUARD=1 force-enables the mode for the
+	// `make guard` test tier).
+	var grd *guard
+	if cfg.Guard || guardEnv {
+		grd = newGuard(nw, res, suSense, cfg.Metrics)
+	}
+
 	// The run ends when every packet is accounted for: delivered to the
 	// base station or destroyed by a fault (graceful degradation).
 	done := false
@@ -475,6 +567,9 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 				res.Delay = now
 			}
 			accounted()
+			if grd != nil {
+				grd.conservation(now)
+			}
 		},
 		OnTxStart:      cfg.OnTxStart,
 		OnTxEnd:        cfg.OnTxEnd,
@@ -498,6 +593,26 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 			obs.packetLost()
 			rec(trace.KindPacketLost, node, int64(pkt.Origin))
 			accounted()
+			if grd != nil {
+				grd.conservation(now)
+			}
+		}
+	}
+	if grd != nil {
+		// Guard hooks run before any user/trace hooks so violations are
+		// detected against the MAC's state transition itself.
+		prevStart, prevEnd := macCfg.OnTxStart, macCfg.OnTxEnd
+		macCfg.OnTxStart = func(node int32, now sim.Time) {
+			grd.txStart(node, now)
+			if prevStart != nil {
+				prevStart(node, now)
+			}
+		}
+		macCfg.OnTxEnd = func(node int32, now sim.Time, completed bool) {
+			grd.txEnd(node)
+			if prevEnd != nil {
+				prevEnd(node, now, completed)
+			}
 		}
 	}
 	if cfg.TraceMAC && sink != nil {
@@ -526,10 +641,24 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	if grd != nil {
+		grd.attach(m)
+		grd.checkTree(eng.Now()) // validate the initial routing tree
+	}
 
 	rep, err := scheduleFaults(eng, nw, m, plan, cfg.Tree, parent, res, rec)
 	if err != nil {
 		return nil, err
+	}
+	if grd != nil && rep != nil {
+		// Re-validate tree integrity after every self-healing re-parenting.
+		prevRepair := rep.onRepair
+		rep.onRepair = func(node, newParent int32, now sim.Time) {
+			if prevRepair != nil {
+				prevRepair(node, newParent, now)
+			}
+			grd.checkTree(now)
+		}
 	}
 
 	var model spectrum.PUModel
@@ -558,16 +687,38 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 	m.Start()
 
 	stopCollect := cfg.Metrics.StartPhase("collect")
+	if ctx.Done() != nil {
+		// Cooperative cancellation at event-loop granularity: the engine
+		// polls ctx every cancelPollEvents executed events.
+		eng.SetInterrupt(cancelPollEvents, ctx.Err)
+	}
 	deadline := sim.FromDuration(cfg.MaxVirtualTime)
+	finish := func() {
+		stopCollect(eng.Now())
+		finishResult(res, nw, m, eng, latencies, hops, slot)
+		fillFaultReport(res, nw, m, rep)
+		obs.finish(res, nw, m, cfg.Tree, model.BusyFraction(eng.Now()))
+		if grd != nil {
+			grd.finish(eng.Now())
+		}
+	}
 	for !done {
 		if !eng.Step() {
+			if cause := eng.InterruptErr(); cause != nil {
+				finish()
+				res.Outcome = OutcomeCanceled
+				return res, &CanceledError{
+					Cause:     cause,
+					Delivered: res.Delivered,
+					Expected:  res.Expected,
+					Lost:      res.Lost,
+					Elapsed:   eng.Now(),
+				}
+			}
 			break // queue drained: nothing can make progress anymore
 		}
 		if eng.Now() > deadline {
-			stopCollect(eng.Now())
-			finishResult(res, nw, m, eng, latencies, hops, slot)
-			fillFaultReport(res, nw, m, rep)
-			obs.finish(res, nw, m, cfg.Tree, model.BusyFraction(eng.Now()))
+			finish()
 			res.Outcome = OutcomeDeadline
 			return res, &DeadlineExceededError{
 				Delivered: res.Delivered,
@@ -577,10 +728,7 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 			}
 		}
 	}
-	stopCollect(eng.Now())
-	finishResult(res, nw, m, eng, latencies, hops, slot)
-	fillFaultReport(res, nw, m, rep)
-	obs.finish(res, nw, m, cfg.Tree, model.BusyFraction(eng.Now()))
+	finish()
 	switch {
 	case res.Delivered == res.Expected:
 		res.Outcome = OutcomeComplete
@@ -590,6 +738,9 @@ func Collect(nw *netmodel.Network, parent []int32, cfg CollectConfig) (*Result, 
 		res.Outcome = OutcomePartial
 	default:
 		return res, fmt.Errorf("core: simulation stalled with %d/%d delivered", res.Delivered, res.Expected)
+	}
+	if err := grd.err(); err != nil {
+		return res, err
 	}
 	return res, nil
 }

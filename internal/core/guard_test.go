@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"addcrn/internal/fault"
+	"addcrn/internal/mac"
+	"addcrn/internal/pcr"
+	"addcrn/internal/rng"
+	"addcrn/internal/sim"
+)
+
+// A clean guarded run must report zero violations and positive check counts
+// for every invariant class.
+func TestGuardCleanRun(t *testing.T) {
+	opts := smallOptions(1)
+	opts.Guard = true
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Guard == nil {
+		t.Fatal("Result.Guard not populated on a guarded run")
+	}
+	if n := res.Guard.ViolationCount(); n != 0 {
+		t.Fatalf("clean run reported %d violations, first: %v", n, res.Guard.Violations[0])
+	}
+	if res.Guard.ConcurrencyChecks == 0 || res.Guard.TreeChecks == 0 || res.Guard.ConservationChecks == 0 {
+		t.Fatalf("guard ran but checked nothing: %+v", res.Guard)
+	}
+	// Conservation runs once per delivery plus the final check.
+	if got, want := res.Guard.ConservationChecks, res.Expected+1; got < want {
+		t.Fatalf("ConservationChecks = %d, want >= %d", got, want)
+	}
+}
+
+// Fault-injected runs exercise repair, crash teardown and packet loss; the
+// invariants must hold through all of them.
+func TestGuardCleanFaultRun(t *testing.T) {
+	opts := smallOptions(7)
+	opts.Guard = true
+	opts.Faults = &fault.Spec{
+		CrashFrac:    0.1,
+		RecoverAfter: 2 * time.Second,
+		LinkLoss:     0.05,
+		AckLoss:      0.02,
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Guard == nil {
+		t.Fatal("Result.Guard not populated")
+	}
+	if n := res.Guard.ViolationCount(); n != 0 {
+		t.Fatalf("guarded fault run reported %d violations, first: %v", n, res.Guard.Violations[0])
+	}
+	if res.Fault == nil || res.Fault.Crashes == 0 {
+		t.Fatalf("fault spec injected nothing (report: %+v)", res.Fault)
+	}
+	// Tree integrity is re-checked after every repair, on top of the
+	// initial validation.
+	if res.Guard.TreeChecks < 1+res.Fault.Repairs {
+		t.Fatalf("TreeChecks = %d with %d repairs", res.Guard.TreeChecks, res.Fault.Repairs)
+	}
+}
+
+// Guards read state only — enabling them must not change any result.
+func TestGuardBitIdentical(t *testing.T) {
+	plain, err := Run(smallOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOptions(3)
+	opts.Guard = true
+	guarded, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Delay != guarded.Delay || plain.Delivered != guarded.Delivered ||
+		plain.EngineSteps != guarded.EngineSteps || plain.Capacity != guarded.Capacity {
+		t.Fatalf("guard changed the run: delay %v vs %v, steps %d vs %d",
+			plain.Delay, guarded.Delay, plain.EngineSteps, guarded.EngineSteps)
+	}
+}
+
+// testGuard builds a guard over a real deployed network and MAC so the
+// structural checks can be driven directly.
+func testGuard(t *testing.T, minSep float64) (*guard, *mac.MAC) {
+	t.Helper()
+	opts := smallOptions(5)
+	nw, err := BuildNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts, err := pcr.Compute(nw.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mac.New(mac.Config{
+		Network:      nw,
+		Parent:       tree.Parent,
+		PUSenseRange: consts.Range,
+		SUSenseRange: consts.Range,
+		Engine:       sim.New(),
+		Rand:         rng.New(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{Expected: nw.NumNodes() - 1}
+	g := newGuard(nw, res, minSep, nil)
+	g.attach(m)
+	return g, m
+}
+
+func TestGuardFlagsConcurrentSetBreach(t *testing.T) {
+	// An absurd separation requirement makes any concurrent pair a breach.
+	g, _ := testGuard(t, 1e9)
+	g.txStart(1, 0)
+	if n := g.report.ViolationCount(); n != 0 {
+		t.Fatalf("single transmitter flagged: %d violations", n)
+	}
+	g.txStart(2, 10)
+	if n := g.report.ViolationCount(); n != 1 {
+		t.Fatalf("overlapping pair: got %d violations, want 1", n)
+	}
+	v := g.report.Violations[0]
+	if v.Kind != ViolationConcurrentSet || v.Node != 2 {
+		t.Fatalf("unexpected violation %v", v)
+	}
+	if !strings.Contains(v.String(), "concurrent-set") {
+		t.Fatalf("String() = %q", v.String())
+	}
+	// Sequential reuse after txEnd is legal.
+	g.txEnd(1)
+	g.txEnd(2)
+	g.txStart(3, 20)
+	if n := g.report.ViolationCount(); n != 1 {
+		t.Fatalf("sequential transmitter flagged: %d violations", n)
+	}
+}
+
+func TestGuardFlagsTreeCorruption(t *testing.T) {
+	g, m := testGuard(t, 1)
+	g.checkTree(0)
+	if n := g.report.ViolationCount(); n != 0 {
+		t.Fatalf("valid CDS tree flagged: %v", g.report.Violations[0])
+	}
+
+	// A two-node cycle between non-root nodes.
+	a, b := int32(1), int32(2)
+	oldA, oldB := m.Parent(a), m.Parent(b)
+	m.SetParent(a, b)
+	m.SetParent(b, a)
+	g.checkTree(1)
+	if n := g.report.ViolationCount(); n == 0 {
+		t.Fatal("parent cycle not detected")
+	}
+	if k := g.report.Violations[0].Kind; k != ViolationTree {
+		t.Fatalf("violation kind = %v, want tree", k)
+	}
+	m.SetParent(a, oldA)
+	m.SetParent(b, oldB)
+
+	// A self-parented node.
+	before := g.report.ViolationCount()
+	m.SetParent(3, 3)
+	g.checkTree(2)
+	if g.report.ViolationCount() <= before {
+		t.Fatal("self-parent not detected")
+	}
+
+	// An InvariantError surfaces the report.
+	err := g.err()
+	if err == nil {
+		t.Fatal("err() = nil with recorded violations")
+	}
+	var inv *InvariantError
+	if !errors.As(err, &inv) || inv.Report.ViolationCount() == 0 {
+		t.Fatalf("err() = %v, want *InvariantError with report", err)
+	}
+}
+
+func TestGuardViolationCap(t *testing.T) {
+	g, _ := testGuard(t, 1e9)
+	// Each new transmitter breaches against every active one; the report
+	// must cap retained violations and count the overflow.
+	for v := int32(1); v <= 10; v++ {
+		g.txStart(v, sim.Time(v))
+	}
+	if len(g.report.Violations) != maxGuardViolations {
+		t.Fatalf("retained %d violations, want cap %d", len(g.report.Violations), maxGuardViolations)
+	}
+	if g.report.Dropped == 0 {
+		t.Fatal("overflow not counted in Dropped")
+	}
+	if got, want := g.report.ViolationCount(), 45; got != want { // sum 0..9
+		t.Fatalf("ViolationCount = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,143 @@
+// Checkpoint journal: a crash-safe JSONL record of completed sweep
+// repetitions, enabling interrupted sweeps to resume without redoing work.
+//
+// Every completed (x index, repetition, algorithm) outcome — success or
+// deterministic failure — is one JSON object on its own line. Flush rewrites
+// the whole file through a temporary sibling and an atomic rename, so a
+// crash mid-write never leaves a torn journal: the reader sees either the
+// previous complete state or the new one. Go's encoding/json round-trips
+// float64 exactly (shortest-representation encoding), so a resumed sweep
+// reproduces the uninterrupted summary byte for byte.
+package experiment
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Algorithm labels used in checkpoint entries.
+const (
+	algoADDC    = "addc"
+	algoCoolest = "coolest"
+)
+
+// CheckpointEntry is one journaled repetition outcome.
+type CheckpointEntry struct {
+	// Sweep is the owning sweep's ID; one journal file can hold entries from
+	// several sweeps (readers filter by ID).
+	Sweep string `json:"sweep"`
+	// Xi and Rep locate the repetition: index into Sweep.Xs and repetition
+	// number.
+	Xi  int `json:"xi"`
+	Rep int `json:"rep"`
+	// Algo is "addc" or "coolest".
+	Algo string `json:"algo"`
+	// Err, when non-empty, records that the repetition failed with this
+	// error (a deterministic failure is as final as a success: rerunning it
+	// would reproduce it).
+	Err string `json:"err,omitempty"`
+	// The measured values, meaningful when Err is empty.
+	Delay    float64 `json:"delay"`
+	Capacity float64 `json:"capacity"`
+	Aborts   float64 `json:"aborts"`
+	// Tightness is -1 when the run produced no Theorem 1 report.
+	Tightness float64 `json:"tightness"`
+	PUBusy    float64 `json:"pu_busy"`
+	Fairness  float64 `json:"fairness"`
+}
+
+// Journal accumulates checkpoint entries and persists them crash-safely.
+type Journal struct {
+	path    string
+	entries []CheckpointEntry
+}
+
+// NewJournal returns an empty journal that will persist to path on Flush.
+func NewJournal(path string) *Journal { return &Journal{path: path} }
+
+// LoadJournal reads an existing journal; a missing file yields an empty
+// journal (resuming a sweep that never checkpointed is a fresh start, not an
+// error). Lines that do not parse are rejected: a corrupt journal should be
+// deleted deliberately, not silently half-trusted.
+func LoadJournal(path string) (*Journal, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &Journal{path: path}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	j := &Journal{path: path}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e CheckpointEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint %s line %d: %w", path, line, err)
+		}
+		j.entries = append(j.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: read checkpoint: %w", err)
+	}
+	return j, nil
+}
+
+// Entries returns the journaled outcomes in file order.
+func (j *Journal) Entries() []CheckpointEntry { return j.entries }
+
+// Len returns the number of journaled outcomes.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Add appends entries to the in-memory journal; call Flush to persist.
+func (j *Journal) Add(entries ...CheckpointEntry) {
+	j.entries = append(j.entries, entries...)
+}
+
+// Flush persists the journal crash-safely: the full state is written to a
+// temporary file in the same directory and atomically renamed over the
+// journal path.
+func (j *Journal) Flush() error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint temp: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, e := range j.entries {
+		if err := enc.Encode(e); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("experiment: encode checkpoint: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: rename checkpoint: %w", err)
+	}
+	return nil
+}

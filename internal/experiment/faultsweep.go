@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -68,6 +70,13 @@ type FaultSweepResult struct {
 // Run executes the sweep with a worker pool, one deterministic simulation
 // per (crash fraction, repetition) pair.
 func (s *FaultSweep) Run() (*FaultSweepResult, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: canceling ctx stops
+// feeding work, interrupts in-flight simulations, and returns the partial
+// result alongside an error wrapping the context's.
+func (s *FaultSweep) RunContext(ctx context.Context) (*FaultSweepResult, error) {
 	if len(s.CrashFracs) == 0 {
 		return nil, fmt.Errorf("experiment: fault sweep has no crash fractions")
 	}
@@ -96,9 +105,56 @@ func (s *FaultSweep) Run() (*FaultSweepResult, error) {
 		repairs  float64
 		drops    float64
 		deadline bool
+		canceled bool
 		err      error
 	}
 	type job struct{ fi, rep int }
+	// runJob isolates one repetition: a panic anywhere in the simulation
+	// stack becomes a per-point failure carrying the stack, never a
+	// process crash.
+	runJob := func(j job) (out outcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = outcome{fi: j.fi, err: fmt.Errorf(
+					"experiment: fault sweep f=%g rep %d panicked: %v\n%s",
+					s.CrashFracs[j.fi], j.rep, r, debug.Stack())}
+			}
+		}()
+		seed := rng.New(s.Seed).ChildN(fmt.Sprintf("ext2/f%g", s.CrashFracs[j.fi]), j.rep).Uint64()
+		res, err := core.RunContext(ctx, core.Options{
+			Params:         s.Base,
+			Seed:           seed,
+			MaxVirtualTime: budget,
+			Faults: &fault.Spec{
+				CrashFrac:    s.CrashFracs[j.fi],
+				CrashWindow:  window,
+				RecoverAfter: s.RecoverAfter,
+				LinkLoss:     s.LinkLoss,
+				AckLoss:      s.AckLoss,
+				RetryCap:     s.RetryCap,
+			},
+		})
+		var ce *core.CanceledError
+		if errors.As(err, &ce) {
+			return outcome{fi: j.fi, err: err, canceled: true}
+		}
+		var dl *core.DeadlineExceededError
+		deadline := errors.As(err, &dl)
+		if err != nil && !deadline {
+			return outcome{fi: j.fi, err: err}
+		}
+		out = outcome{
+			fi:       j.fi,
+			delivery: res.DeliveryRatio,
+			delay:    res.DelaySlots,
+			deadline: deadline,
+		}
+		if res.Fault != nil {
+			out.repairs = float64(res.Fault.Repairs)
+			out.drops = float64(res.Fault.Drops)
+		}
+		return out
+	}
 	jobs := make(chan job)
 	results := make(chan outcome)
 	var wg sync.WaitGroup
@@ -107,49 +163,29 @@ func (s *FaultSweep) Run() (*FaultSweepResult, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				seed := rng.New(s.Seed).ChildN(fmt.Sprintf("ext2/f%g", s.CrashFracs[j.fi]), j.rep).Uint64()
-				res, err := core.Run(core.Options{
-					Params:         s.Base,
-					Seed:           seed,
-					MaxVirtualTime: budget,
-					Faults: &fault.Spec{
-						CrashFrac:    s.CrashFracs[j.fi],
-						CrashWindow:  window,
-						RecoverAfter: s.RecoverAfter,
-						LinkLoss:     s.LinkLoss,
-						AckLoss:      s.AckLoss,
-						RetryCap:     s.RetryCap,
-					},
-				})
-				var dl *core.DeadlineExceededError
-				deadline := errors.As(err, &dl)
-				if err != nil && !deadline {
-					results <- outcome{fi: j.fi, err: err}
+				if cause := ctx.Err(); cause != nil {
+					results <- outcome{fi: j.fi, err: cause, canceled: true}
 					continue
 				}
-				out := outcome{
-					fi:       j.fi,
-					delivery: res.DeliveryRatio,
-					delay:    res.DelaySlots,
-					deadline: deadline,
-				}
-				if res.Fault != nil {
-					out.repairs = float64(res.Fault.Repairs)
-					out.drops = float64(res.Fault.Drops)
-				}
-				results <- out
+				results <- runJob(j)
 			}
 		}()
 	}
 	go func() {
+		defer func() {
+			close(jobs)
+			wg.Wait()
+			close(results)
+		}()
 		for fi := range s.CrashFracs {
 			for rep := 0; rep < reps; rep++ {
-				jobs <- job{fi: fi, rep: rep}
+				select {
+				case jobs <- job{fi: fi, rep: rep}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
 	}()
 
 	delivery := make([][]float64, len(s.CrashFracs))
@@ -160,6 +196,9 @@ func (s *FaultSweep) Run() (*FaultSweepResult, error) {
 	failed := make([]int, len(s.CrashFracs))
 	var firstErr error
 	for out := range results {
+		if out.canceled {
+			continue // cut short, not failed: the point just has fewer reps
+		}
 		if out.err != nil {
 			failed[out.fi]++
 			if firstErr == nil {
@@ -188,6 +227,9 @@ func (s *FaultSweep) Run() (*FaultSweepResult, error) {
 			Failed:    failed[fi],
 		})
 		total += len(delivery[fi])
+	}
+	if cause := ctx.Err(); cause != nil {
+		return res, fmt.Errorf("experiment: fault sweep interrupted: %w", cause)
 	}
 	if total == 0 && firstErr != nil {
 		return nil, fmt.Errorf("experiment: fault sweep produced no results: %w", firstErr)

@@ -22,7 +22,7 @@ func (r *SweepResult) FormatTable() string {
 			p.CoolestDelay.Mean, p.CoolestDelay.CI95(), ratio,
 			p.ADDCTightness.Mean, p.ADDCPUBusy.Mean, p.ADDCDelay.N)
 		if p.Failed > 0 {
-			fmt.Fprintf(&sb, "  (%d failed)", p.Failed)
+			fmt.Fprintf(&sb, "  (%d failed: %s)", p.Failed, firstLine(p.LastError, 100))
 		}
 		sb.WriteByte('\n')
 	}
@@ -63,15 +63,35 @@ func (r *SweepResult) FormatCSV() string {
 	var sb strings.Builder
 	sb.WriteString("x,addc_delay_mean,addc_delay_ci95,coolest_delay_mean,coolest_delay_ci95," +
 		"addc_capacity_mean,coolest_capacity_mean,addc_aborts_mean,coolest_aborts_mean,ratio," +
-		"addc_tightness_mean,addc_pu_busy_mean,addc_fairness_mean,reps,failed\n")
+		"addc_tightness_mean,addc_pu_busy_mean,addc_fairness_mean,reps,failed,last_error\n")
 	for _, p := range r.Points {
-		fmt.Fprintf(&sb, "%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d\n",
+		fmt.Fprintf(&sb, "%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d,%s\n",
 			p.X, p.ADDCDelay.Mean, p.ADDCDelay.CI95(),
 			p.CoolestDelay.Mean, p.CoolestDelay.CI95(),
 			p.ADDCCapacity.Mean, p.CoolestCapacity.Mean,
 			p.ADDCAborts.Mean, p.CoolestAborts.Mean,
 			p.DelayRatio(), p.ADDCTightness.Mean, p.ADDCPUBusy.Mean, p.ADDCFairness.Mean,
-			p.ADDCDelay.N, p.Failed)
+			p.ADDCDelay.N, p.Failed, csvField(firstLine(p.LastError, 0)))
 	}
 	return sb.String()
+}
+
+// firstLine truncates s to its first line, and to max runes when max > 0
+// (panic messages carry multi-line stacks that would wreck tabular output).
+func firstLine(s string, max int) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if max > 0 && len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}
+
+// csvField quotes a free-form string for a CSV cell when it needs it.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }

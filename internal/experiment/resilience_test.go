@@ -1,0 +1,250 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"addcrn/internal/netmodel"
+)
+
+// tinySweep is a fast two-point, two-rep sweep over the tiny operating
+// point; every resilience test derives from it.
+func tinySweep(seed uint64) *Sweep {
+	return &Sweep{
+		ID:     "test",
+		Title:  "resilience test sweep",
+		XLabel: "n",
+		Base:   tinyBase(),
+		Xs:     []float64{70, 80},
+		Apply: func(p netmodel.Params, x float64) netmodel.Params {
+			p.NumSU = int(x)
+			return p
+		},
+		Reps:           2,
+		Seed:           seed,
+		MaxVirtualTime: 30 * time.Minute,
+	}
+}
+
+// A repetition that panics must become a per-point failure carrying the
+// stack trace — never a worker crash that kills the sweep.
+func TestSweepPanicIsolation(t *testing.T) {
+	s := tinySweep(1)
+	apply := s.Apply
+	s.Apply = func(p netmodel.Params, x float64) netmodel.Params {
+		if x == 80 {
+			panic("injected test panic")
+		}
+		return apply(p, x)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("sweep aborted instead of isolating the panic: %v", err)
+	}
+	healthy, poisoned := res.Points[0], res.Points[1]
+	if healthy.Failed != 0 || healthy.ADDCDelay.N != 2 {
+		t.Fatalf("healthy point damaged: %d failed, %d reps", healthy.Failed, healthy.ADDCDelay.N)
+	}
+	if poisoned.Failed != 2*s.Reps { // both algorithms of both reps
+		t.Fatalf("poisoned point Failed = %d, want %d", poisoned.Failed, 2*s.Reps)
+	}
+	if !strings.Contains(poisoned.LastError, "injected test panic") {
+		t.Fatalf("LastError does not carry the panic: %q", poisoned.LastError)
+	}
+	if !strings.Contains(poisoned.LastError, "goroutine") {
+		t.Fatalf("LastError does not carry the stack: %q", firstLine(poisoned.LastError, 120))
+	}
+	// The failure must be diagnosable from the rendered outputs.
+	if table := res.FormatTable(); !strings.Contains(table, "injected test panic") {
+		t.Fatalf("table hides the failure:\n%s", table)
+	}
+	if csv := res.FormatCSV(); !strings.Contains(csv, "injected test panic") {
+		t.Fatalf("CSV hides the failure:\n%s", csv)
+	}
+}
+
+// Interrupt a checkpointed sweep after one completed pair, resume it, and
+// require the byte-identical summary of an uninterrupted run.
+func TestSweepResumeDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	full := tinySweep(2)
+	full.Checkpoint = filepath.Join(dir, "full.jsonl")
+	fullRes, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := fullRes.FormatCSV()
+
+	// Simulate an interruption: keep only the journal's first completed
+	// pair (two lines — the per-pair flush keeps a pair's entries adjacent).
+	data, err := os.ReadFile(full.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 2*len(full.Xs)*full.Reps {
+		t.Fatalf("journal has %d lines, want %d", len(lines), 2*len(full.Xs)*full.Reps)
+	}
+	truncated := filepath.Join(dir, "interrupted.jsonl")
+	if err := os.WriteFile(truncated, []byte(lines[0]+lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := tinySweep(2)
+	resumed.Checkpoint = truncated
+	resumed.Resume = true
+	resumedRes, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumedRes.Resumed != 1 {
+		t.Fatalf("Resumed = %d, want 1", resumedRes.Resumed)
+	}
+	if got := resumedRes.FormatCSV(); got != wantCSV {
+		t.Fatalf("resumed summary differs from uninterrupted run:\n--- want\n%s--- got\n%s", wantCSV, got)
+	}
+
+	// Resuming the now-complete journal replays everything.
+	replay := tinySweep(2)
+	replay.Checkpoint = truncated
+	replay.Resume = true
+	replayRes, err := replay.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(replay.Xs) * replay.Reps; replayRes.Resumed != want {
+		t.Fatalf("full replay resumed %d pairs, want %d", replayRes.Resumed, want)
+	}
+	if got := replayRes.FormatCSV(); got != wantCSV {
+		t.Fatal("replayed summary differs from uninterrupted run")
+	}
+
+	// Checkpointing itself must not perturb results.
+	plain := tinySweep(2)
+	plainRes, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plainRes.FormatCSV(); got != wantCSV {
+		t.Fatal("checkpointed run differs from plain run")
+	}
+}
+
+func TestSweepCancelImmediate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := tinySweep(3)
+	s.Checkpoint = filepath.Join(t.TempDir(), "cp.jsonl")
+	res, err := s.RunContext(ctx)
+	if res == nil {
+		t.Fatal("canceled sweep returned no partial result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "resume from") {
+		t.Fatalf("error does not point at the checkpoint: %v", err)
+	}
+	for _, p := range res.Points {
+		if p.Failed != 0 || p.ADDCDelay.N != 0 {
+			t.Fatalf("canceled reps leaked into the summary: %+v", p)
+		}
+	}
+}
+
+// A guard-enabled sweep over the tiny operating point must report zero
+// violations (they would surface as per-point failures).
+func TestSweepGuardedClean(t *testing.T) {
+	s := tinySweep(4)
+	s.Xs = s.Xs[:1]
+	s.Guard = true
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Failed != 0 {
+			t.Fatalf("guarded sweep failed %d reps: %s", p.Failed, p.LastError)
+		}
+		if p.ADDCDelay.N != s.Reps || p.CoolestDelay.N != s.Reps {
+			t.Fatalf("missing reps: %d/%d", p.ADDCDelay.N, p.CoolestDelay.N)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	wrapped := fmt.Errorf("deploy: %w", netmodel.ErrDisconnected)
+	cases := []struct {
+		outs []runOutcome
+		want bool
+	}{
+		{[]runOutcome{{err: wrapped}}, true},
+		{[]runOutcome{{}, {coolest: true, err: wrapped}}, true},
+		{[]runOutcome{{err: errors.New("deterministic")}}, false},
+		{[]runOutcome{{err: wrapped, canceled: true}}, false},
+		{[]runOutcome{{}, {coolest: true}}, false},
+	}
+	for i, c := range cases {
+		if got := retryable(c.outs); got != c.want {
+			t.Errorf("case %d: retryable = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// Retries re-derive seeds but cannot rescue a hopeless deployment: the
+// sweep must still terminate and report the disconnection.
+func TestSweepRetryExhaustion(t *testing.T) {
+	s := tinySweep(5)
+	s.Xs = s.Xs[:1]
+	s.Reps = 1
+	s.Retries = 1
+	s.Apply = func(p netmodel.Params, x float64) netmodel.Params {
+		p.NumSU = 12
+		p.Area = 500 // density far below the connectivity threshold
+		return p
+	}
+	_, err := s.Run()
+	if !errors.Is(err, netmodel.ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := LoadJournal(path)
+	if err != nil || j.Len() != 0 {
+		t.Fatalf("missing journal: len=%d err=%v", j.Len(), err)
+	}
+	j.Add(
+		CheckpointEntry{Sweep: "t", Xi: 0, Rep: 0, Algo: algoADDC, Delay: 123.456789012345, Tightness: -1, PUBusy: 0.1},
+		CheckpointEntry{Sweep: "t", Xi: 0, Rep: 0, Algo: algoCoolest, Err: "boom, with \"quotes\"\nand a newline"},
+	)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2", back.Len())
+	}
+	for i, e := range back.Entries() {
+		if e != j.Entries()[i] {
+			t.Fatalf("entry %d round-trip mismatch: %+v vs %+v", i, e, j.Entries()[i])
+		}
+	}
+	// A corrupt line is an error, not a silent skip.
+	if err := os.WriteFile(path, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJournal(path); err == nil {
+		t.Fatal("corrupt journal loaded silently")
+	}
+}

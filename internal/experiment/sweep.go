@@ -5,12 +5,20 @@
 //
 // Each sweep point is repeated over several independent topologies (the
 // paper averages 10 repetitions); repetitions run in parallel, one
-// deterministic discrete-event simulation per goroutine.
+// deterministic discrete-event simulation per goroutine. The execution
+// engine is resilient: sweeps cancel cooperatively (RunContext), a
+// panicking repetition becomes a per-point failure instead of a process
+// crash, transiently failing repetitions retry with fresh derived seeds,
+// and completed repetitions journal to a crash-safe checkpoint so an
+// interrupted sweep resumes without redoing work.
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -58,6 +66,25 @@ type Sweep struct {
 	SameMAC bool
 	// Workers caps parallelism (default GOMAXPROCS).
 	Workers int
+
+	// Guard enables runtime invariant guards in every run (see
+	// core.CollectConfig.Guard); violations surface as per-point failures.
+	Guard bool
+	// Retries bounds automatic re-attempts of a repetition that failed
+	// transiently (deployment connectivity exhaustion). Each attempt draws
+	// a fresh derived seed; attempt 0 keeps the historical derivation so
+	// existing sweeps stay bit-identical. Deterministic failures (deadline,
+	// invariant violation, panic) are never retried — rerunning them would
+	// reproduce them.
+	Retries int
+	// Checkpoint, when non-empty, journals every completed repetition to
+	// this JSONL file (crash-safe: full-state rewrite through a temp file
+	// and atomic rename on every completed pair).
+	Checkpoint string
+	// Resume, when set alongside Checkpoint, loads the journal first and
+	// skips repetitions it already records; the resumed sweep's summaries
+	// are byte-identical to an uninterrupted run.
+	Resume bool
 }
 
 // PointResult aggregates both algorithms at one x value.
@@ -81,8 +108,12 @@ type PointResult struct {
 	ADDCTightness stats.Summary
 	ADDCPUBusy    stats.Summary
 	ADDCFairness  stats.Summary
-	// Failed counts repetitions that errored (deadline or deployment).
-	Failed int
+	// Failed counts repetitions that errored (deadline, deployment,
+	// invariant violation or panic); LastError carries the most recent
+	// failure's message so a failing point is diagnosable from the table
+	// or CSV without rerunning.
+	Failed    int
+	LastError string
 }
 
 // DelayRatio returns mean Coolest delay / mean ADDC delay.
@@ -96,6 +127,9 @@ type SweepResult struct {
 	Points []PointResult
 	// Elapsed is wall-clock runtime.
 	Elapsed time.Duration
+	// Resumed counts repetitions replayed from the checkpoint journal
+	// instead of executed.
+	Resumed int
 }
 
 // MeanDelayRatio averages the per-point Coolest/ADDC delay ratio.
@@ -118,6 +152,7 @@ func isNaN(f float64) bool { return f != f }
 
 type runOutcome struct {
 	xi       int
+	rep      int
 	delay    float64
 	capacity float64
 	aborts   float64
@@ -128,12 +163,67 @@ type runOutcome struct {
 	fairness  float64
 	coolest   bool
 	err       error
+	// canceled marks an outcome cut short by context cancellation: it is
+	// neither a result nor a failure, and is never journaled.
+	canceled bool
+}
+
+// entry converts the outcome to its checkpoint form.
+func (o runOutcome) entry(sweepID string) CheckpointEntry {
+	e := CheckpointEntry{
+		Sweep:     sweepID,
+		Xi:        o.xi,
+		Rep:       o.rep,
+		Algo:      algoADDC,
+		Delay:     o.delay,
+		Capacity:  o.capacity,
+		Aborts:    o.aborts,
+		Tightness: o.tightness,
+		PUBusy:    o.puBusy,
+		Fairness:  o.fairness,
+	}
+	if o.coolest {
+		e.Algo = algoCoolest
+	}
+	if o.err != nil {
+		e.Err = o.err.Error()
+	}
+	return e
+}
+
+// entryOutcome reconstructs a journaled outcome for replay.
+func entryOutcome(e CheckpointEntry) runOutcome {
+	o := runOutcome{
+		xi:        e.Xi,
+		rep:       e.Rep,
+		delay:     e.Delay,
+		capacity:  e.Capacity,
+		aborts:    e.Aborts,
+		tightness: e.Tightness,
+		puBusy:    e.PUBusy,
+		fairness:  e.Fairness,
+		coolest:   e.Algo == algoCoolest,
+	}
+	if e.Err != "" {
+		o.err = errors.New(e.Err)
+	}
+	return o
 }
 
 // Run executes the sweep: for every x and repetition it deploys one
 // connected topology, builds the ADDC CDS tree and the Coolest routing tree
 // over the same topology, runs both collections, and summarizes.
 func (s *Sweep) Run() (*SweepResult, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: canceling ctx stops
+// feeding work, interrupts in-flight simulations at event-loop granularity,
+// flushes the checkpoint journal (when configured), and returns the partial
+// SweepResult built from every repetition that did finish, alongside an
+// error wrapping the context's. A checkpointed sweep canceled this way
+// resumes exactly where it stopped.
+func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 	if len(s.Xs) == 0 {
 		return nil, fmt.Errorf("experiment: sweep %q has no x values", s.ID)
 	}
@@ -151,117 +241,280 @@ func (s *Sweep) Run() (*SweepResult, error) {
 	}
 	start := time.Now()
 
+	// The outcome grid keyed (x index, repetition) is what makes resumed
+	// and interrupted sweeps deterministic: summaries are assembled by
+	// walking the grid in index order, never in the nondeterministic order
+	// repetitions happen to finish in.
+	grid := make([][][]runOutcome, len(s.Xs))
+	for xi := range grid {
+		grid[xi] = make([][]runOutcome, reps)
+	}
+
+	jr, resumed, err := s.loadCheckpoint(grid, reps)
+	if err != nil {
+		return nil, err
+	}
+
 	type job struct{ xi, rep int }
+	var pending []job
+	for xi := range s.Xs {
+		for rep := 0; rep < reps; rep++ {
+			if grid[xi][rep] == nil {
+				pending = append(pending, job{xi: xi, rep: rep})
+			}
+		}
+	}
+
 	jobs := make(chan job)
-	results := make(chan runOutcome)
+	results := make(chan []runOutcome)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				s.runOne(j.xi, j.rep, metric, results)
+				if cause := ctx.Err(); cause != nil {
+					// Drain without running: mark the pair canceled so it
+					// is neither summarized nor journaled.
+					results <- []runOutcome{
+						{xi: j.xi, rep: j.rep, err: cause, canceled: true},
+						{xi: j.xi, rep: j.rep, coolest: true, err: cause, canceled: true},
+					}
+					continue
+				}
+				results <- s.runPair(ctx, j.xi, j.rep, metric)
 			}
 		}()
 	}
 	go func() {
-		for xi := range s.Xs {
-			for rep := 0; rep < reps; rep++ {
-				jobs <- job{xi: xi, rep: rep}
+		defer func() {
+			close(jobs)
+			wg.Wait()
+			close(results)
+		}()
+		for _, j := range pending {
+			select {
+			case jobs <- j:
+			case <-ctx.Done():
+				return
 			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
 	}()
 
-	delays := make(map[bool][][]float64, 2)
-	caps := make(map[bool][][]float64, 2)
-	aborts := make(map[bool][][]float64, 2)
-	for _, b := range []bool{false, true} {
-		delays[b] = make([][]float64, len(s.Xs))
-		caps[b] = make([][]float64, len(s.Xs))
-		aborts[b] = make([][]float64, len(s.Xs))
-	}
-	tight := make([][]float64, len(s.Xs))
-	puBusy := make([][]float64, len(s.Xs))
-	fair := make([][]float64, len(s.Xs))
-	failed := make([]int, len(s.Xs))
-	var firstErr error
-	for out := range results {
-		if out.err != nil {
-			failed[out.xi]++
-			if firstErr == nil {
-				firstErr = out.err
-			}
+	var flushErr error
+	for outs := range results {
+		if len(outs) == 0 {
 			continue
 		}
-		delays[out.coolest][out.xi] = append(delays[out.coolest][out.xi], out.delay)
-		caps[out.coolest][out.xi] = append(caps[out.coolest][out.xi], out.capacity)
-		aborts[out.coolest][out.xi] = append(aborts[out.coolest][out.xi], out.aborts)
-		if !out.coolest {
-			if out.tightness >= 0 {
-				tight[out.xi] = append(tight[out.xi], out.tightness)
+		xi, rep := outs[0].xi, outs[0].rep
+		grid[xi][rep] = outs
+		if jr == nil {
+			continue
+		}
+		journalable := true
+		for _, o := range outs {
+			if o.canceled {
+				journalable = false
+				break
 			}
-			puBusy[out.xi] = append(puBusy[out.xi], out.puBusy)
-			fair[out.xi] = append(fair[out.xi], out.fairness)
+		}
+		if !journalable {
+			continue
+		}
+		for _, o := range outs {
+			jr.Add(o.entry(s.ID))
+		}
+		if err := jr.Flush(); err != nil && flushErr == nil {
+			flushErr = err
 		}
 	}
 
-	res := &SweepResult{Sweep: s, Elapsed: time.Since(start)}
+	res := &SweepResult{Sweep: s, Resumed: resumed}
+	var firstErr error
+	total := 0
 	for xi, x := range s.Xs {
-		res.Points = append(res.Points, PointResult{
-			X:               x,
-			ADDCDelay:       stats.Summarize(delays[false][xi]),
-			CoolestDelay:    stats.Summarize(delays[true][xi]),
-			ADDCCapacity:    stats.Summarize(caps[false][xi]),
-			CoolestCapacity: stats.Summarize(caps[true][xi]),
-			ADDCAborts:      stats.Summarize(aborts[false][xi]),
-			CoolestAborts:   stats.Summarize(aborts[true][xi]),
-			ADDCTightness:   stats.Summarize(tight[xi]),
-			ADDCPUBusy:      stats.Summarize(puBusy[xi]),
-			ADDCFairness:    stats.Summarize(fair[xi]),
-			Failed:          failed[xi],
-		})
+		p := PointResult{X: x}
+		var delays, caps, aborts [2][]float64 // [0] ADDC, [1] Coolest
+		var tight, puBusy, fair []float64
+		for rep := 0; rep < reps; rep++ {
+			for _, out := range grid[xi][rep] {
+				if out.canceled {
+					continue
+				}
+				if out.err != nil {
+					p.Failed++
+					p.LastError = out.err.Error()
+					if firstErr == nil {
+						firstErr = out.err
+					}
+					continue
+				}
+				a := 0
+				if out.coolest {
+					a = 1
+				}
+				delays[a] = append(delays[a], out.delay)
+				caps[a] = append(caps[a], out.capacity)
+				aborts[a] = append(aborts[a], out.aborts)
+				if !out.coolest {
+					if out.tightness >= 0 {
+						tight = append(tight, out.tightness)
+					}
+					puBusy = append(puBusy, out.puBusy)
+					fair = append(fair, out.fairness)
+				}
+			}
+		}
+		p.ADDCDelay = stats.Summarize(delays[0])
+		p.CoolestDelay = stats.Summarize(delays[1])
+		p.ADDCCapacity = stats.Summarize(caps[0])
+		p.CoolestCapacity = stats.Summarize(caps[1])
+		p.ADDCAborts = stats.Summarize(aborts[0])
+		p.CoolestAborts = stats.Summarize(aborts[1])
+		p.ADDCTightness = stats.Summarize(tight)
+		p.ADDCPUBusy = stats.Summarize(puBusy)
+		p.ADDCFairness = stats.Summarize(fair)
+		res.Points = append(res.Points, p)
+		total += p.ADDCDelay.N + p.CoolestDelay.N
+	}
+	res.Elapsed = time.Since(start)
+
+	if flushErr != nil {
+		return res, fmt.Errorf("experiment: sweep %q checkpoint: %w", s.ID, flushErr)
+	}
+	if cause := ctx.Err(); cause != nil {
+		if jr != nil {
+			return res, fmt.Errorf("experiment: sweep %q interrupted (resume from %s): %w", s.ID, jr.Path(), cause)
+		}
+		return res, fmt.Errorf("experiment: sweep %q interrupted: %w", s.ID, cause)
 	}
 	// A sweep with some failed repetitions still reports the rest; only a
 	// sweep where everything failed is an error.
-	total := 0
-	for _, p := range res.Points {
-		total += p.ADDCDelay.N + p.CoolestDelay.N
-	}
 	if total == 0 && firstErr != nil {
 		return nil, fmt.Errorf("experiment: sweep %q produced no results: %w", s.ID, firstErr)
 	}
 	return res, nil
 }
 
+// loadCheckpoint prepares the journal per the Checkpoint/Resume settings and
+// replays completed pairs into the grid. A pair counts as completed only
+// when both algorithms' outcomes are journaled; partial pairs rerun (their
+// stale entries are discarded so the rewritten journal stays consistent).
+// It returns a nil journal when checkpointing is off.
+func (s *Sweep) loadCheckpoint(grid [][][]runOutcome, reps int) (*Journal, int, error) {
+	if s.Checkpoint == "" {
+		return nil, 0, nil
+	}
+	if !s.Resume {
+		return NewJournal(s.Checkpoint), 0, nil
+	}
+	loaded, err := LoadJournal(s.Checkpoint)
+	if err != nil {
+		return nil, 0, err
+	}
+	jr := NewJournal(s.Checkpoint)
+	byPair := make(map[[2]int]map[string]CheckpointEntry)
+	for _, e := range loaded.Entries() {
+		if e.Sweep != s.ID {
+			jr.Add(e) // another sweep's entries pass through untouched
+			continue
+		}
+		if e.Xi < 0 || e.Xi >= len(grid) || e.Rep < 0 || e.Rep >= reps {
+			continue // stale geometry (sweep definition changed): rerun
+		}
+		key := [2]int{e.Xi, e.Rep}
+		if byPair[key] == nil {
+			byPair[key] = make(map[string]CheckpointEntry, 2)
+		}
+		byPair[key][e.Algo] = e
+	}
+	resumed := 0
+	for xi := range grid {
+		for rep := 0; rep < reps; rep++ {
+			pair := byPair[[2]int{xi, rep}]
+			a, okA := pair[algoADDC]
+			c, okC := pair[algoCoolest]
+			if !okA || !okC {
+				continue
+			}
+			grid[xi][rep] = []runOutcome{entryOutcome(a), entryOutcome(c)}
+			jr.Add(a, c)
+			resumed++
+		}
+	}
+	return jr, resumed, nil
+}
+
+// runPair executes one repetition with panic isolation and bounded retry: a
+// panic anywhere in the simulation stack becomes a per-point failure
+// carrying the stack trace, and transient deployment failures re-attempt
+// with fresh derived seeds up to s.Retries times.
+func (s *Sweep) runPair(ctx context.Context, xi, rep int, metric coolest.Metric) (outs []runOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("experiment: sweep %s x[%d] rep %d panicked: %v\n%s",
+				s.ID, xi, rep, r, debug.Stack())
+			outs = []runOutcome{
+				{xi: xi, rep: rep, err: err},
+				{xi: xi, rep: rep, coolest: true, err: err},
+			}
+		}
+	}()
+	for attempt := 0; ; attempt++ {
+		outs = s.runOne(ctx, xi, rep, attempt, metric)
+		if attempt >= s.Retries || !retryable(outs) {
+			return outs
+		}
+	}
+}
+
+// retryable reports whether the pair failed for a reason a fresh seed can
+// plausibly fix (today: the deployment sampler exhausting its connectivity
+// attempts). Deterministic failures and cancellations are final.
+func retryable(outs []runOutcome) bool {
+	for _, o := range outs {
+		if o.err != nil && !o.canceled && errors.Is(o.err, netmodel.ErrDisconnected) {
+			return true
+		}
+	}
+	return false
+}
+
 // collectADDC runs ADDC over the CDS tree with the realized tree statistics
 // attached (so the Theorem 1 comparator evaluates the per-deployment bound).
-func collectADDC(nw *netmodel.Network, tree *cds.Tree, adj graphx.Adjacency, cfg core.CollectConfig) (*core.Result, error) {
+func collectADDC(ctx context.Context, nw *netmodel.Network, tree *cds.Tree, adj graphx.Adjacency, cfg core.CollectConfig) (*core.Result, error) {
 	cfg.TreeStats = tree.ComputeStats(adj)
 	cfg.Tree = tree
-	return core.Collect(nw, tree.Parent, cfg)
+	return core.CollectContext(ctx, nw, tree.Parent, cfg)
 }
 
 // runOne executes both algorithms for one (x, repetition) pair on a shared
-// topology and emits two outcomes.
-func (s *Sweep) runOne(xi, rep int, metric coolest.Metric, results chan<- runOutcome) {
+// topology and returns their two outcomes, ADDC first. attempt selects the
+// retry seed derivation: attempt 0 is the historical one, so sweeps without
+// retries stay bit-identical across versions.
+func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest.Metric) []runOutcome {
 	params := s.Apply(s.Base, s.Xs[xi])
-	seedSrc := rng.New(s.Seed)
-	seed := seedSrc.ChildN(fmt.Sprintf("sweep/%s/x%d", s.ID, xi), rep).Uint64()
+	label := fmt.Sprintf("sweep/%s/x%d", s.ID, xi)
+	if attempt > 0 {
+		label = fmt.Sprintf("sweep/%s/x%d/attempt%d", s.ID, xi, attempt)
+	}
+	seed := rng.New(s.Seed).ChildN(label, rep).Uint64()
+
+	fail := func(err error) []runOutcome {
+		canceled := isCanceled(err)
+		return []runOutcome{
+			{xi: xi, rep: rep, err: err, canceled: canceled},
+			{xi: xi, rep: rep, coolest: true, err: err, canceled: canceled},
+		}
+	}
 
 	nw, err := netmodel.DeployConnected(params, rng.New(seed), 50)
 	if err != nil {
-		results <- runOutcome{xi: xi, err: err}
-		results <- runOutcome{xi: xi, coolest: true, err: err}
-		return
+		return fail(err)
 	}
 	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, params.RadiusSU)
 	if err != nil {
-		results <- runOutcome{xi: xi, err: err}
-		results <- runOutcome{xi: xi, coolest: true, err: err}
-		return
+		return fail(err)
 	}
 
 	budget := s.MaxVirtualTime
@@ -273,7 +526,10 @@ func (s *Sweep) runOne(xi, rep int, metric coolest.Metric, results chan<- runOut
 		PUModel:        s.PUModel,
 		MaxVirtualTime: budget,
 		DisableHandoff: s.DisableHandoff,
+		Guard:          s.Guard,
 	}
+
+	outs := make([]runOutcome, 0, 2)
 
 	// ADDC over the CDS tree, instrumented so the point summaries carry the
 	// Theorem 1 tightness, PU busy fraction and fairness of every rep.
@@ -282,12 +538,13 @@ func (s *Sweep) runOne(xi, rep int, metric coolest.Metric, results chan<- runOut
 	addcCfg.Metrics = reg
 	tree, err := core.BuildTree(nw)
 	if err != nil {
-		results <- runOutcome{xi: xi, err: err}
-	} else if r, err := collectADDC(nw, tree, adj, addcCfg); err != nil {
-		results <- runOutcome{xi: xi, err: err}
+		outs = append(outs, runOutcome{xi: xi, rep: rep, err: err})
+	} else if r, err := collectADDC(ctx, nw, tree, adj, addcCfg); err != nil {
+		outs = append(outs, runOutcome{xi: xi, rep: rep, err: err, canceled: isCanceled(err)})
 	} else {
 		out := runOutcome{
 			xi:        xi,
+			rep:       rep,
 			delay:     r.DelaySlots,
 			capacity:  r.Capacity,
 			aborts:    float64(r.TotalAborts),
@@ -298,7 +555,7 @@ func (s *Sweep) runOne(xi, rep int, metric coolest.Metric, results chan<- runOut
 		if r.Theory != nil {
 			out.tightness = r.Theory.ServiceTightness
 		}
-		results <- out
+		outs = append(outs, out)
 	}
 
 	// Coolest over its temperature tree, same topology, same seeds. By
@@ -307,16 +564,24 @@ func (s *Sweep) runOne(xi, rep int, metric coolest.Metric, results chan<- runOut
 	// ablation.
 	consts, err := pcr.Compute(params)
 	if err != nil {
-		results <- runOutcome{xi: xi, coolest: true, err: err}
-		return
+		outs = append(outs, runOutcome{xi: xi, rep: rep, coolest: true, err: err})
+		return outs
 	}
 	coolCfg := cfg
 	coolCfg.GenericCSMA = !s.SameMAC
 	if parents, err := coolest.BuildParentsOn(adj, nw, consts.Range, metric); err != nil {
-		results <- runOutcome{xi: xi, coolest: true, err: err}
-	} else if r, err := core.Collect(nw, parents, coolCfg); err != nil {
-		results <- runOutcome{xi: xi, coolest: true, err: err}
+		outs = append(outs, runOutcome{xi: xi, rep: rep, coolest: true, err: err})
+	} else if r, err := core.CollectContext(ctx, nw, parents, coolCfg); err != nil {
+		outs = append(outs, runOutcome{xi: xi, rep: rep, coolest: true, err: err, canceled: isCanceled(err)})
 	} else {
-		results <- runOutcome{xi: xi, coolest: true, delay: r.DelaySlots, capacity: r.Capacity, aborts: float64(r.TotalAborts + r.TotalCollisions)}
+		outs = append(outs, runOutcome{xi: xi, rep: rep, coolest: true, delay: r.DelaySlots, capacity: r.Capacity, aborts: float64(r.TotalAborts + r.TotalCollisions)})
 	}
+	return outs
+}
+
+// isCanceled reports whether err is a context cancellation surfaced by the
+// core layer (or the raw context error).
+func isCanceled(err error) bool {
+	var ce *core.CanceledError
+	return errors.As(err, &ce) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -395,10 +395,13 @@ func (m *MAC) Crash(id int32, now sim.Time) bool {
 			mon.EndReception(n.rxToken)
 			mon.RemoveTransmitter(n.txToken)
 		}
-		m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+		// Report the end before the release: the release can reentrantly
+		// start other transmissions, which observers must not see overlap
+		// with this one.
 		if m.cfg.OnTxEnd != nil {
 			m.cfg.OnTxEnd(id, now, false)
 		}
+		m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
 	}
 	for n.queueLen() > 0 {
 		pkt := n.pop()
@@ -570,8 +573,15 @@ func (m *MAC) endTx(id int32, now sim.Time) {
 		received = mon.EndReception(n.rxToken)
 		mon.RemoveTransmitter(n.txToken)
 	}
-	m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
-	if !received {
+	// Classify the exchange and report OnTxEnd (and any retry-cap packet
+	// drop) BEFORE releasing the medium: the release below can reentrantly
+	// start other transmissions, and observers — invariant guards, trace
+	// sinks, test hooks — must see this transmission end before any
+	// transmission its release unblocks starts. No randomness is drawn
+	// between here and the release, so event streams stay deterministic.
+	success := received
+	switch {
+	case !received:
 		// Collision: the packet stays at the head of the queue.
 		n.stats.Collisions++
 		if mm := m.cfg.Metrics; mm != nil {
@@ -580,39 +590,39 @@ func (m *MAC) endTx(id int32, now sim.Time) {
 		if m.cfg.ExpBackoff && n.cwScale < maxCWScale {
 			n.cwScale *= 2
 		}
-		if m.cfg.OnTxEnd != nil {
-			m.cfg.OnTxEnd(id, now, false)
-		}
-		m.enterPostWait(id, now)
-		return
-	}
-	if m.cfg.Faults != nil && !m.faultOutcome(id) {
+	case m.cfg.Faults != nil && !m.faultOutcome(id):
+		// Lost frame or ACK: charge the bounded retry budget; drop the
+		// packet once it is burned.
+		success = false
 		m.failTx(id, now)
-		return
-	}
-	pkt := n.pop()
-	pkt.Hops++
-	n.stats.Transmissions++
-	if mm := m.cfg.Metrics; mm != nil {
-		mm.Wins.Inc()
-	}
-	n.cwScale = 1
-	n.retries = 0
-	n.serviceActive = false
-	if svc := now - n.serviceStart; svc > n.stats.MaxServiceTime {
-		n.stats.MaxServiceTime = svc
+	default:
+		n.stats.Transmissions++
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.Wins.Inc()
+		}
+		n.cwScale = 1
+		n.retries = 0
+		n.serviceActive = false
+		if svc := now - n.serviceStart; svc > n.stats.MaxServiceTime {
+			n.stats.MaxServiceTime = svc
+		}
 	}
 	if m.cfg.OnTxEnd != nil {
-		m.cfg.OnTxEnd(id, now, true)
+		m.cfg.OnTxEnd(id, now, success)
 	}
-	m.Enqueue(m.parent[id], pkt)
-	if m.cfg.AggregateQueue {
-		// Perfect aggregation: the rest of the queue rode along in the
-		// same slot.
-		for n.queueLen() > 0 {
-			extra := n.pop()
-			extra.Hops++
-			m.Enqueue(m.parent[id], extra)
+	m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+	if success {
+		pkt := n.pop()
+		pkt.Hops++
+		m.Enqueue(m.parent[id], pkt)
+		if m.cfg.AggregateQueue {
+			// Perfect aggregation: the rest of the queue rode along in the
+			// same slot.
+			for n.queueLen() > 0 {
+				extra := n.pop()
+				extra.Hops++
+				m.Enqueue(m.parent[id], extra)
+			}
 		}
 	}
 	m.enterPostWait(id, now)
@@ -642,8 +652,8 @@ func (m *MAC) faultOutcome(id int32) bool {
 }
 
 // failTx charges one retry for the head packet and drops it with
-// ErrRetriesExhausted once the bounded budget is burned; either way the node
-// proceeds through the fairness wait like any failed transmission.
+// ErrRetriesExhausted once the bounded budget is burned. The caller (endTx)
+// reports OnTxEnd and runs the fairness wait afterwards.
 func (m *MAC) failTx(id int32, now sim.Time) {
 	n := &m.nodes[id]
 	n.retries++
@@ -664,10 +674,6 @@ func (m *MAC) failTx(id int32, now sim.Time) {
 			m.cfg.OnPacketLost(pkt, id, now, ErrRetriesExhausted)
 		}
 	}
-	if m.cfg.OnTxEnd != nil {
-		m.cfg.OnTxEnd(id, now, false)
-	}
-	m.enterPostWait(id, now)
 }
 
 // abortTx implements spectrum handoff: the packet stays queued and will be
@@ -680,7 +686,6 @@ func (m *MAC) abortTx(id int32, now sim.Time) {
 		mon.EndReception(n.rxToken)
 		mon.RemoveTransmitter(n.txToken)
 	}
-	m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
 	n.stats.Aborts++
 	if mm := m.cfg.Metrics; mm != nil {
 		mm.Handoffs.Inc()
@@ -689,9 +694,12 @@ func (m *MAC) abortTx(id int32, now sim.Time) {
 	if m.cfg.ExpBackoff && n.cwScale < maxCWScale {
 		n.cwScale *= 2
 	}
+	// Report the end before the release (see endTx): reentrant starts
+	// triggered by the release must not appear to overlap this one.
 	if m.cfg.OnTxEnd != nil {
 		m.cfg.OnTxEnd(id, now, false)
 	}
+	m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
 	m.enterPostWait(id, now)
 }
 

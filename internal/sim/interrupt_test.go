@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// A re-arming event chain that would run forever without an interrupt.
+func armForever(e *Engine, executed *int) {
+	var fn EventFunc
+	fn = func(now Time) {
+		*executed++
+		e.After(Millisecond, fn)
+	}
+	e.After(Millisecond, fn)
+}
+
+func TestInterruptStopsStep(t *testing.T) {
+	e := New()
+	var executed int
+	armForever(e, &executed)
+
+	sentinel := errors.New("stop now")
+	fired := false
+	e.SetInterrupt(4, func() error {
+		if fired {
+			return sentinel
+		}
+		return nil
+	})
+
+	for i := 0; i < 6; i++ {
+		if !e.Step() {
+			t.Fatalf("engine stopped early at step %d: %v", i, e.InterruptErr())
+		}
+	}
+	fired = true
+	// The poll runs every 4 steps; within the next 4 calls Step must stop.
+	stopped := false
+	for i := 0; i < 4; i++ {
+		if !e.Step() {
+			stopped = true
+			break
+		}
+	}
+	if !stopped {
+		t.Fatal("Step kept executing after the interrupt poll started failing")
+	}
+	if !errors.Is(e.InterruptErr(), sentinel) {
+		t.Fatalf("InterruptErr = %v, want %v", e.InterruptErr(), sentinel)
+	}
+	// A stopped engine stays stopped.
+	if e.Step() {
+		t.Fatal("Step executed an event on an interrupted engine")
+	}
+}
+
+func TestInterruptStopsRunUntil(t *testing.T) {
+	e := New()
+	var executed int
+	armForever(e, &executed)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetInterrupt(8, ctx.Err)
+
+	n := e.RunUntil(100 * Millisecond)
+	if n == 0 {
+		t.Fatal("RunUntil executed nothing before cancellation")
+	}
+	if e.InterruptErr() != nil {
+		t.Fatalf("unexpected interrupt before cancel: %v", e.InterruptErr())
+	}
+	cancel()
+	before := e.Steps()
+	e.RunUntil(MaxTime) // would loop forever without the interrupt
+	if got := e.Steps() - before; got > 8 {
+		t.Fatalf("RunUntil executed %d events after cancellation, want <= 8", got)
+	}
+	if !errors.Is(e.InterruptErr(), context.Canceled) {
+		t.Fatalf("InterruptErr = %v, want context.Canceled", e.InterruptErr())
+	}
+}
+
+func TestSetInterruptClearsError(t *testing.T) {
+	e := New()
+	var executed int
+	armForever(e, &executed)
+	e.SetInterrupt(1, func() error { return errors.New("boom") })
+	if e.Step() {
+		t.Fatal("Step executed despite immediate interrupt")
+	}
+	e.SetInterrupt(1, nil)
+	if e.InterruptErr() != nil {
+		t.Fatalf("error not cleared: %v", e.InterruptErr())
+	}
+	if !e.Step() {
+		t.Fatal("Step refused to run after the interrupt was removed")
+	}
+}

@@ -83,6 +83,13 @@ type Engine struct {
 	seq    uint64
 	queue  eventHeap
 	nsteps uint64
+
+	// Cooperative interrupt: poll is consulted every pollEvery executed
+	// events; a non-nil error stops the engine (see SetInterrupt).
+	poll          func() error
+	pollEvery     uint64
+	pollCountdown uint64
+	interruptErr  error
 }
 
 // New returns an engine with the clock at zero and an empty queue.
@@ -98,6 +105,29 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// SetInterrupt installs a cooperative cancellation poll: fn is consulted
+// every `every` executed events (every <= 0 means every event), and the
+// first non-nil error it returns stops the engine — Step and RunUntil
+// refuse to execute further events and the error is retained for
+// InterruptErr. Passing context.Context.Err as fn gives a simulation run
+// cancellation and wall-clock deadlines at event-loop granularity without
+// any per-event overhead beyond a counter decrement. A nil fn removes the
+// poll; installing a new poll clears a previously retained error.
+func (e *Engine) SetInterrupt(every uint64, fn func() error) {
+	if every == 0 {
+		every = 1
+	}
+	e.poll = fn
+	e.pollEvery = every
+	e.pollCountdown = every
+	e.interruptErr = nil
+}
+
+// InterruptErr returns the error that interrupted the engine, or nil when
+// no interrupt poll has fired. A stopped engine stays stopped until
+// SetInterrupt is called again.
+func (e *Engine) InterruptErr() error { return e.interruptErr }
 
 // ErrPast is returned by At when scheduling before the current time.
 var ErrPast = errors.New("sim: event scheduled in the past")
@@ -133,8 +163,24 @@ func (e *Engine) After(d Time, fn EventFunc) Timer {
 
 // Step executes the single earliest pending event and returns true, or
 // returns false when the queue is empty. Canceled events are skipped
-// without advancing the step count.
+// without advancing the step count. When an interrupt poll (SetInterrupt)
+// has fired — now or on an earlier call — Step executes nothing and
+// returns false; distinguish the interrupted case from queue exhaustion
+// via InterruptErr.
 func (e *Engine) Step() bool {
+	if e.interruptErr != nil {
+		return false
+	}
+	if e.poll != nil {
+		e.pollCountdown--
+		if e.pollCountdown == 0 {
+			e.pollCountdown = e.pollEvery
+			if err := e.poll(); err != nil {
+				e.interruptErr = err
+				return false
+			}
+		}
+	}
 	for len(e.queue) > 0 {
 		en := heap.Pop(&e.queue).(*entry)
 		if en.fn == nil {
@@ -150,9 +196,10 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// RunUntil executes events until the queue is exhausted or the next event
-// is scheduled strictly after deadline; the clock never passes deadline.
-// It returns the number of events executed.
+// RunUntil executes events until the queue is exhausted, an interrupt poll
+// fires (see SetInterrupt and InterruptErr), or the next event is scheduled
+// strictly after deadline; the clock never passes deadline. It returns the
+// number of events executed.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.nsteps
 	for len(e.queue) > 0 {
@@ -163,7 +210,9 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		if next.at > deadline {
 			break
 		}
-		e.Step()
+		if !e.Step() {
+			break
+		}
 	}
 	return e.nsteps - start
 }
