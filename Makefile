@@ -6,12 +6,18 @@
 # tree integrity and packet conservation. `make vuln` audits dependencies
 # with govulncheck when it is installed (skipped gracefully otherwise —
 # the module is stdlib-only). `make bench` runs the paper-shaped benchmark
-# suite once and records it as BENCH_addc.json (benchmark name → ns/op,
-# delay-slots, ... metrics).
+# suite and records it as BENCH_addc.json (benchmark name → ns/op, B/op,
+# allocs/op, delay-slots, ... metrics); three reps per benchmark, keeping
+# the fastest, so transient machine load cannot inflate the record. `make
+# bench-diff` re-runs the suite the same way and diffs it against the
+# committed BENCH_addc.json, failing on a >20% ns/op regression in any
+# benchmark — the local perf gate. `make
+# profile` captures cpu.prof + mem.prof for BenchmarkCollectBare along with
+# the test binary; inspect with `go tool pprof addcrn.test cpu.prof`.
 
 GO ?= go
 
-.PHONY: check build vet test race guard vuln bench
+.PHONY: check build vet test race guard vuln bench bench-diff profile
 
 check: vet build test
 
@@ -38,4 +44,11 @@ vuln:
 	fi
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./... | $(GO) run ./cmd/addc-benchjson -out BENCH_addc.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -short -count=3 ./... | $(GO) run ./cmd/addc-benchjson -out BENCH_addc.json
+
+bench-diff:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -short -count=3 ./... | $(GO) run ./cmd/addc-benchjson -out '' -baseline BENCH_addc.json
+
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollectBare$$' -benchtime 100x -cpuprofile cpu.prof -memprofile mem.prof -o addcrn.test .
+	@echo "wrote cpu.prof, mem.prof, addcrn.test; inspect with: go tool pprof addcrn.test cpu.prof"

@@ -10,6 +10,7 @@ package addcrn
 // tables.
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"addcrn/internal/multichannel"
 	"addcrn/internal/netmodel"
 	"addcrn/internal/pcr"
+	"addcrn/internal/sim"
 	"addcrn/internal/spectrum"
 	"addcrn/internal/theory"
 	"addcrn/internal/trace"
@@ -322,13 +324,107 @@ func benchCollectOnce(b *testing.B, seed uint64, reg *metrics.Registry, sink tra
 }
 
 // BenchmarkCollectBare is the uninstrumented reference for the observability
-// overhead comparison: no registry, no sink.
+// overhead comparison: no registry, no sink. It is also the headline number
+// for the static-topology fast path, so it reports allocations.
 func BenchmarkCollectBare(b *testing.B) {
+	b.ReportAllocs()
 	var slots float64
 	for i := 0; i < b.N; i++ {
 		slots += benchCollectOnce(b, uint64(i)+1, nil, nil)
 	}
 	b.ReportMetric(slots/float64(b.N), "delay-slots")
+}
+
+// scaledParams returns the ScaledDefaultParams operating point grown to n
+// secondary users at constant node density (area scales with n, PU count
+// with area), so per-node neighborhood sizes — and hence the MAC dynamics —
+// stay comparable across n.
+func scaledParams(n int) netmodel.Params {
+	p := netmodel.ScaledDefaultParams()
+	scale := float64(n) / float64(p.NumSU)
+	p.Area *= math.Sqrt(scale)
+	p.NumPU = int(float64(p.NumPU)*scale + 0.5)
+	p.NumSU = n
+	return p
+}
+
+func benchCollectScaled(b *testing.B, n int) {
+	b.ReportAllocs()
+	params := scaledParams(n)
+	var slots float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		opts := core.Options{
+			Params:         params,
+			Seed:           seed,
+			PUModel:        spectrum.ModelExact,
+			MaxVirtualTime: 8 * time.Hour,
+		}
+		nw, err := core.BuildNetwork(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, err := core.BuildTree(nw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Collect(nw, tree.Parent, core.CollectConfig{
+			Seed:           seed,
+			MaxVirtualTime: 8 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots += res.DelaySlots
+	}
+	b.ReportMetric(slots/float64(b.N), "delay-slots")
+}
+
+// BenchmarkCollectN1000 and BenchmarkCollectN2000 measure the fast path at
+// paper scale: density-preserving growth of the scaled operating point to
+// 1000 and 2000 SUs. Deliberately not skipped under -short — the CI bench
+// smoke runs them once so scale regressions surface early.
+func BenchmarkCollectN1000(b *testing.B) { benchCollectScaled(b, 1000) }
+
+// BenchmarkCollectN2000 is the 2000-SU counterpart.
+func BenchmarkCollectN2000(b *testing.B) { benchCollectScaled(b, 2000) }
+
+// noopObserver discards spectrum transitions; it isolates the tracker's own
+// cost in BenchmarkTrackerTransition.
+type noopObserver struct{}
+
+func (noopObserver) SpectrumBusy(int32, sim.Time) {}
+func (noopObserver) SpectrumFree(int32, sim.Time) {}
+func (noopObserver) PUArrived(int32, sim.Time)    {}
+
+// BenchmarkTrackerTransition measures one SU register/unregister pair on the
+// CSR fast path — the innermost operation of every transmission — over the
+// bench deployment with the derived PCR sensing ranges.
+func BenchmarkTrackerTransition(b *testing.B) {
+	b.ReportAllocs()
+	params := benchParams()
+	nw, err := core.BuildNetwork(core.Options{Params: params, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	consts, err := pcr.Compute(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := spectrum.NewTracker(nw, consts.Range, consts.Range, noopObserver{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the lazily built CSR tables outside the timed region.
+	tr.AddSUTransmitter(1, 0)
+	tr.RemoveSUTransmitter(1, 0)
+	b.ResetTimer()
+	id := int32(1)
+	for i := 0; i < b.N; i++ {
+		tr.AddSUTransmitter(id, 0)
+		tr.RemoveSUTransmitter(id, 0)
+		id = id%int32(nw.NumNodes()-1) + 1
+	}
 }
 
 // BenchmarkCollectInstrumented runs the identical collection with a full

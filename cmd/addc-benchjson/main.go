@@ -1,8 +1,17 @@
 // Command addc-benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON file: benchmark name → iterations and every reported
-// metric (ns/op, delay-slots, allocs/op, ...). The input stream is echoed to
-// stdout unchanged so it can sit at the end of a pipe without hiding the
-// human-readable run. `make bench` uses it to produce BENCH_addc.json.
+// metric (ns/op, B/op, allocs/op, delay-slots, ...). Repeated lines for the
+// same benchmark (`-count=N`) collapse to the fastest rep by ns/op — load
+// noise only ever inflates a run, so the minimum is the stable estimator.
+// The input stream is echoed to stdout unchanged so it can sit at the end of
+// a pipe without hiding the human-readable run. `make bench` uses it to
+// produce BENCH_addc.json.
+//
+// With -baseline, the fresh run is additionally diffed against a previously
+// recorded JSON file: per-benchmark ns/op deltas are printed, and the exit
+// status is non-zero when any shared benchmark regressed by more than
+// -max-regress (a fraction; 0.20 means 20% slower). `make bench-diff` uses
+// this as the local perf-regression gate.
 package main
 
 import (
@@ -12,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -23,15 +33,18 @@ type BenchResult struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_addc.json", "output JSON path")
+	out := flag.String("out", "BENCH_addc.json", "output JSON path (empty to skip writing)")
+	baseline := flag.String("baseline", "", "recorded JSON to diff the fresh run against")
+	maxRegress := flag.Float64("max-regress", 0.20, "fail when ns/op regresses by more than this fraction of -baseline")
+	gateFloor := flag.Float64("gate-floor", 1e6, "only gate benchmarks whose base ns/op is at least this (short runs are timer noise at -benchtime 1x)")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *baseline, *maxRegress, *gateFloor); err != nil {
 		fmt.Fprintln(os.Stderr, "addc-benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(r io.Reader, echo io.Writer, outPath string) error {
+func run(r io.Reader, echo io.Writer, outPath, baselinePath string, maxRegress, gateFloor float64) error {
 	results, err := parse(r, echo)
 	if err != nil {
 		return err
@@ -39,12 +52,86 @@ func run(r io.Reader, echo io.Writer, outPath string) error {
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
-	data, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		return err
+	if outPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
 	}
-	data = append(data, '\n')
-	return os.WriteFile(outPath, data, 0o644)
+	if baselinePath != "" {
+		base, err := loadBaseline(baselinePath)
+		if err != nil {
+			return err
+		}
+		return diff(echo, base, results, maxRegress, gateFloor)
+	}
+	return nil
+}
+
+func loadBaseline(path string) (map[string]BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base map[string]BenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// diff prints per-benchmark ns/op deltas of fresh vs base and errors when any
+// shared benchmark regressed by more than maxRegress. Benchmarks present on
+// only one side are reported but never fail the gate (new benchmarks must be
+// recordable before a baseline exists), and neither do benchmarks whose base
+// run is shorter than gateFloor — a single iteration of a microsecond-scale
+// benchmark measures timer granularity, not the code.
+func diff(w io.Writer, base, fresh map[string]BenchResult, maxRegress, gateFloor float64) error {
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressed []string
+	fmt.Fprintf(w, "\n%-34s %14s %14s %9s\n", "benchmark", "base ns/op", "fresh ns/op", "delta")
+	for _, name := range names {
+		f := fresh[name]
+		fns, ok := f.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "%-34s %14s %14.0f %9s\n", name, "-", fns, "new")
+			continue
+		}
+		bns, ok := b.Metrics["ns/op"]
+		if !ok || bns == 0 {
+			continue
+		}
+		delta := (fns - bns) / bns
+		note := ""
+		if bns < gateFloor {
+			note = " (ungated)"
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+8.1f%%%s\n", name, bns, fns, delta*100, note)
+		if delta > maxRegress && bns >= gateFloor {
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", name, delta*100))
+		}
+	}
+	for name := range base {
+		if _, ok := fresh[name]; !ok {
+			fmt.Fprintf(w, "%-34s %14.0f %14s %9s\n", name, base[name].Metrics["ns/op"], "-", "gone")
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("ns/op regression beyond %.0f%%: %s", maxRegress*100, strings.Join(regressed, ", "))
+	}
+	return nil
 }
 
 // parse scans benchmark result lines ("BenchmarkName-8  10  123 ns/op  4
@@ -60,10 +147,23 @@ func parse(r io.Reader, echo io.Writer) (map[string]BenchResult, error) {
 		}
 		res, name, ok := parseLine(line)
 		if ok {
-			results[name] = res
+			if prev, dup := results[name]; !dup || faster(res, prev) {
+				results[name] = res
+			}
 		}
 	}
 	return results, sc.Err()
+}
+
+// faster reports whether rep a beat rep b on ns/op. Reps without ns/op
+// (custom-metric-only lines) fall back to last-wins.
+func faster(a, b BenchResult) bool {
+	an, aok := a.Metrics["ns/op"]
+	bn, bok := b.Metrics["ns/op"]
+	if !aok || !bok {
+		return true
+	}
+	return an < bn
 }
 
 func parseLine(line string) (BenchResult, string, bool) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -55,5 +56,82 @@ func TestParseLineRejects(t *testing.T) {
 		if _, _, ok := parseLine(line); ok {
 			t.Errorf("accepted %q", line)
 		}
+	}
+}
+
+func TestParseRepeatsKeepFastest(t *testing.T) {
+	const reps = `BenchmarkCollectBare-8 	1	30000000 ns/op	13831 delay-slots
+BenchmarkCollectBare-8 	1	14000000 ns/op	13831 delay-slots
+BenchmarkCollectBare-8 	1	22000000 ns/op	13831 delay-slots
+`
+	results, err := parse(strings.NewReader(reps), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results["BenchmarkCollectBare"].Metrics["ns/op"]; got != 14000000 {
+		t.Errorf("kept %v ns/op, want the fastest rep (14000000)", got)
+	}
+}
+
+func bench(ns float64) BenchResult {
+	return BenchResult{Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestDiffGate(t *testing.T) {
+	base := map[string]BenchResult{
+		"BenchmarkA": bench(1000),
+		"BenchmarkB": bench(1000),
+		"BenchmarkGone": bench(50),
+	}
+	fresh := map[string]BenchResult{
+		"BenchmarkA": bench(1100), // +10%: within the gate
+		"BenchmarkB": bench(1300), // +30%: regression
+		"BenchmarkNew": bench(42),
+	}
+	var out bytes.Buffer
+	err := diff(&out, base, fresh, 0.20, 0)
+	if err == nil {
+		t.Fatal("30% regression passed a 20% gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkB") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	for _, want := range []string{"BenchmarkA", "new", "gone"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := diff(&out, base, fresh, 0.40, 0); err != nil {
+		t.Errorf("30%% regression failed a 40%% gate: %v", err)
+	}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	base := map[string]BenchResult{"BenchmarkA": bench(3000)}
+	fresh := map[string]BenchResult{"BenchmarkA": bench(1000)}
+	if err := diff(io.Discard, base, fresh, 0.20, 0); err != nil {
+		t.Errorf("3x improvement flagged as regression: %v", err)
+	}
+}
+
+func TestDiffGateFloor(t *testing.T) {
+	base := map[string]BenchResult{
+		"BenchmarkMicro": bench(200),     // below floor: timer noise at 1x
+		"BenchmarkMacro": bench(5000000), // above floor: gated
+	}
+	fresh := map[string]BenchResult{
+		"BenchmarkMicro": bench(400), // +100%, but ungated
+		"BenchmarkMacro": bench(5100000),
+	}
+	var out bytes.Buffer
+	if err := diff(&out, base, fresh, 0.20, 1e6); err != nil {
+		t.Errorf("sub-floor noise failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "ungated") {
+		t.Errorf("sub-floor benchmark not marked ungated:\n%s", out.String())
+	}
+	fresh["BenchmarkMacro"] = bench(9000000)
+	if err := diff(io.Discard, base, fresh, 0.20, 1e6); err == nil {
+		t.Error("above-floor regression passed the gate")
 	}
 }

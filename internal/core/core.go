@@ -166,6 +166,9 @@ type Options struct {
 	Sink trace.Sink
 	// Guard enables runtime invariant guards; see CollectConfig.Guard.
 	Guard bool
+	// GridSensing selects the legacy grid-query sensing path; see
+	// CollectConfig.GridSensing.
+	GridSensing bool
 }
 
 // DefaultOptions returns Options at the feasibility-scaled operating point
@@ -312,6 +315,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		Metrics:        opts.Metrics,
 		Sink:           opts.Sink,
 		Guard:          opts.Guard,
+		GridSensing:    opts.GridSensing,
 	})
 }
 
@@ -433,6 +437,13 @@ type CollectConfig struct {
 	// bit-identical. Setting ADDC_GUARD=1 in the environment force-enables
 	// them process-wide (the `make guard` tier).
 	Guard bool
+
+	// GridSensing reverts the spectrum tracker's indexed entry points to
+	// per-event grid range queries instead of the precomputed CSR neighbor
+	// tables. The two paths are bit-identical for equal seeds (the
+	// equivalence tests enforce this byte-for-byte); the flag exists for one
+	// release as an escape hatch while the fast path beds in.
+	GridSensing bool
 }
 
 // Collect runs one data collection task over nw with the given routing
@@ -575,6 +586,7 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 		OnTxEnd:        cfg.OnTxEnd,
 		Metrics:        obs.macMetrics(),
 		DisableHandoff: cfg.DisableHandoff,
+		GridSensing:    cfg.GridSensing,
 		Monitor:        monitor,
 		NoFairnessWait: cfg.GenericCSMA,
 		ExpBackoff:     cfg.GenericCSMA,

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"addcrn/internal/fault"
+	"addcrn/internal/metrics"
+	"addcrn/internal/trace"
+)
+
+// equivalenceRun executes one fully instrumented collection — faults
+// injected, guards on, MAC tracing streamed to JSONL, metrics registered —
+// with the sensing path selected by gridSensing, and returns everything a
+// byte-level comparison needs.
+func equivalenceRun(t *testing.T, seed uint64, gridSensing bool) (*Result, []byte, []byte) {
+	t.Helper()
+	opts := smallOptions(seed)
+	nw, err := BuildNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonl bytes.Buffer
+	reg := metrics.NewRegistry()
+	res, err := Collect(nw, tree.Parent, CollectConfig{
+		Seed:           seed,
+		MaxVirtualTime: 30 * time.Minute,
+		Faults: &fault.Spec{
+			CrashFrac:   0.08,
+			CrashWindow: 500 * time.Millisecond,
+			LinkLoss:    0.05,
+			AckLoss:     0.02,
+		},
+		Guard:       true,
+		TraceMAC:    true,
+		Sink:        trace.NewJSONLSink(&jsonl),
+		Metrics:     reg,
+		Tree:        tree,
+		GridSensing: gridSensing,
+	})
+	if err != nil {
+		t.Fatalf("gridSensing=%v: %v", gridSensing, err)
+	}
+	snap, err := reg.Snapshot().MarshalDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, jsonl.Bytes(), snap
+}
+
+// TestGridCSREquivalenceFullRun is the whole-run half of the fast path's
+// bit-identity guarantee: a collection run with fault injection, invariant
+// guards and full MAC tracing must produce an identical Result, an identical
+// JSONL trace stream, and an identical deterministic metrics snapshot
+// whether sensing walks the precomputed CSR tables or issues live grid
+// queries.
+func TestGridCSREquivalenceFullRun(t *testing.T) {
+	for _, seed := range []uint64{7, 301} {
+		gridRes, gridTrace, gridSnap := equivalenceRun(t, seed, true)
+		csrRes, csrTrace, csrSnap := equivalenceRun(t, seed, false)
+
+		if !reflect.DeepEqual(gridRes, csrRes) {
+			t.Errorf("seed %d: Results diverge:\n grid: %+v\n csr:  %+v", seed, gridRes, csrRes)
+		}
+		if !bytes.Equal(gridTrace, csrTrace) {
+			t.Errorf("seed %d: JSONL trace streams diverge (%d vs %d bytes)",
+				seed, len(gridTrace), len(csrTrace))
+		}
+		if !bytes.Equal(gridSnap, csrSnap) {
+			t.Errorf("seed %d: metrics snapshots diverge:\n grid: %s\n csr:  %s",
+				seed, gridSnap, csrSnap)
+		}
+		if len(gridTrace) == 0 {
+			t.Fatalf("seed %d: empty trace stream; comparison is vacuous", seed)
+		}
+		if gridRes.Fault == nil || gridRes.Fault.Crashes == 0 {
+			t.Fatalf("seed %d: fault injection produced no crashes; comparison is too easy", seed)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"addcrn/internal/netmodel"
+)
+
+// TestGridCSRCheckpointEquivalence covers the sweep layer of the fast
+// path's bit-identity guarantee: a checkpointed sweep must journal a
+// byte-identical file — and summarize to identical points — whether its runs
+// sense through the CSR tables or live grid queries, so a checkpoint written
+// in one mode resumes safely in the other.
+func TestGridCSRCheckpointEquivalence(t *testing.T) {
+	runSweep := func(gridSensing bool) ([]byte, *SweepResult) {
+		ck := filepath.Join(t.TempDir(), "sweep.ckpt")
+		s := &Sweep{
+			ID:     "equiv",
+			Title:  "sensing-path equivalence",
+			XLabel: "p_t",
+			Base:   tinyBase(),
+			Xs:     []float64{0.15},
+			Apply: func(p netmodel.Params, x float64) netmodel.Params {
+				p.ActiveProb = x
+				return p
+			},
+			Reps:           2,
+			Seed:           11,
+			MaxVirtualTime: 10 * time.Minute,
+			Workers:        1,
+			Guard:          true,
+			GridSensing:    gridSensing,
+			Checkpoint:     ck,
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("gridSensing=%v: %v", gridSensing, err)
+		}
+		data, err := os.ReadFile(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, res
+	}
+	gridCk, gridRes := runSweep(true)
+	csrCk, csrRes := runSweep(false)
+	if len(gridCk) == 0 {
+		t.Fatal("sweep journaled nothing; comparison is vacuous")
+	}
+	if !bytes.Equal(gridCk, csrCk) {
+		t.Fatalf("checkpoint files diverge:\n grid:\n%s\n csr:\n%s", gridCk, csrCk)
+	}
+	if !reflect.DeepEqual(gridRes.Points, csrRes.Points) {
+		t.Fatalf("sweep points diverge:\n grid: %+v\n csr:  %+v", gridRes.Points, csrRes.Points)
+	}
+}

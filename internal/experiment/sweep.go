@@ -70,6 +70,11 @@ type Sweep struct {
 	// Guard enables runtime invariant guards in every run (see
 	// core.CollectConfig.Guard); violations surface as per-point failures.
 	Guard bool
+	// GridSensing reverts every run's spectrum tracker to per-event grid
+	// queries instead of the CSR fast path (see
+	// core.CollectConfig.GridSensing). Bit-identical either way; escape
+	// hatch for one release.
+	GridSensing bool
 	// Retries bounds automatic re-attempts of a repetition that failed
 	// transiently (deployment connectivity exhaustion). Each attempt draws
 	// a fresh derived seed; attempt 0 keeps the historical derivation so
@@ -527,6 +532,7 @@ func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest
 		MaxVirtualTime: budget,
 		DisableHandoff: s.DisableHandoff,
 		Guard:          s.Guard,
+		GridSensing:    s.GridSensing,
 	}
 
 	outs := make([]runOutcome, 0, 2)

@@ -114,8 +114,7 @@ type NodeStats struct {
 }
 
 type node struct {
-	st    state
-	down  bool
+	down bool
 	queue []Packet
 	head  int
 
@@ -137,6 +136,13 @@ type node struct {
 	// transmission, when a monitor is attached.
 	txToken int64
 	rxToken int64
+
+	// expireFn, endTxFn and postWaitFn are this node's event bodies, bound
+	// once at construction so arming a timer on the hot path allocates no
+	// closure.
+	expireFn   sim.EventFunc
+	endTxFn    sim.EventFunc
+	postWaitFn sim.EventFunc
 
 	stats NodeStats
 }
@@ -208,6 +214,13 @@ type Config struct {
 	// per-node work from O(subtree) into O(1) transmissions.
 	AggregateQueue bool
 
+	// GridSensing selects the legacy per-event grid-query carrier-sense
+	// implementation instead of the precomputed CSR neighbor tables. The
+	// two are bit-identical (see the spectrum package and the core
+	// equivalence test); the flag exists for one release as an escape
+	// hatch while the fast path beds in.
+	GridSensing bool
+
 	// Metrics, when non-nil, drives the observability instruments (backoff
 	// draws, freezes, contention wins/losses, retries) on the hot path; see
 	// NewMetrics. Nil costs nothing.
@@ -258,6 +271,20 @@ type MAC struct {
 	tracker *spectrum.Tracker
 	nodes   []node
 	src     *rng.Source
+
+	// sts holds every node's MAC state in one dense array. The spectrum
+	// observer callbacks fire millions of times per run and usually
+	// early-out on the state check alone, so keeping the states packed —
+	// instead of strided across the ~200-byte node structs — keeps that
+	// check inside a handful of cache lines.
+	sts []state
+	// busyElig/freeElig mirror sts for the tracker's transition filter:
+	// busyElig[id] is true exactly when SpectrumBusy would act (backoff
+	// running), freeElig[id] when SpectrumFree would (frozen or awaiting).
+	// setState keeps them current; the tracker then skips the ineligible
+	// callbacks, which are no-ops by construction.
+	busyElig []bool
+	freeElig []bool
 
 	// parent is the MAC's own routing view, a copy of Config.Parent so that
 	// self-healing repair (SetParent) never mutates the caller's tree.
@@ -336,13 +363,48 @@ func New(cfg Config) (*MAC, error) {
 			m.lossSrc = cfg.Rand.Child("mac/loss")
 		}
 	}
+	// Every packet that will ever transit node v is one of its own or one
+	// produced in its subtree, so sizing each queue to the subtree's node
+	// count up front makes steady-state pushes allocation-free (repair
+	// re-parenting can exceed the static bound; append then simply grows).
+	subtree := make([]int32, nn)
+	for v := range cfg.Parent {
+		if int32(v) == root {
+			continue
+		}
+		for u := int32(v); u != root; u = m.parent[u] {
+			subtree[u]++
+		}
+	}
+	m.sts = make([]state, nn)
+	m.busyElig = make([]bool, nn)
+	m.freeElig = make([]bool, nn)
 	for i := range m.nodes {
-		m.nodes[i].st = stateIdle
-		m.nodes[i].cwScale = 1
+		n := &m.nodes[i]
+		m.sts[i] = stateIdle
+		n.cwScale = 1
+		if subtree[i] > 0 {
+			n.queue = make([]Packet, 0, subtree[i])
+		}
+		// Bind the node's event bodies once; arming a timer on the hot
+		// path then allocates nothing.
+		id := int32(i)
+		n.expireFn = func(t sim.Time) { m.expire(id, t) }
+		n.endTxFn = func(t sim.Time) { m.endTx(id, t) }
+		n.postWaitFn = func(t sim.Time) { m.postWaitDone(id, t) }
 	}
 	tracker, err := spectrum.NewTracker(cfg.Network, cfg.PUSenseRange, cfg.SUSenseRange, m)
 	if err != nil {
 		return nil, err
+	}
+	// PUArrived only matters to a transmitting node (the handoff abort),
+	// SpectrumBusy to one mid-backoff, SpectrumFree to one frozen or
+	// awaiting; let the tracker skip the no-op deliveries (the eligibility
+	// masks are maintained by setState).
+	tracker.FilterPUArrivals(true)
+	tracker.FilterTransitions(m.busyElig, m.freeElig)
+	if cfg.GridSensing {
+		tracker.UseGridQueries(true)
 	}
 	m.tracker = tracker
 	return m, nil
@@ -379,9 +441,9 @@ func (m *MAC) Crash(id int32, now sim.Time) bool {
 	if n.down {
 		return false
 	}
-	wasTransmitting := n.st == stateTransmitting
+	wasTransmitting := m.sts[id] == stateTransmitting
 	n.timer.Cancel()
-	n.st = stateDown
+	m.setState(id, stateDown)
 	n.down = true
 	n.stats.Crashes++
 	n.serviceActive = false
@@ -401,7 +463,7 @@ func (m *MAC) Crash(id int32, now sim.Time) bool {
 		if m.cfg.OnTxEnd != nil {
 			m.cfg.OnTxEnd(id, now, false)
 		}
-		m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+		m.tracker.RemoveSUTransmitter(id, now)
 	}
 	for n.queueLen() > 0 {
 		pkt := n.pop()
@@ -421,7 +483,7 @@ func (m *MAC) Recover(id int32, now sim.Time) bool {
 		return false
 	}
 	n.down = false
-	n.st = stateIdle
+	m.setState(id, stateIdle)
 	if n.queueLen() > 0 {
 		m.startContending(id, now)
 	}
@@ -460,7 +522,7 @@ func (m *MAC) Enqueue(id int32, pkt Packet) {
 		return
 	}
 	n.push(pkt)
-	if n.st == stateIdle {
+	if m.sts[id] == stateIdle {
 		m.startContending(id, now)
 	}
 }
@@ -473,6 +535,14 @@ func (m *MAC) Stats(id int32) NodeStats { return m.nodes[id].stats }
 
 // ActiveTransmitters returns the number of currently transmitting SUs.
 func (m *MAC) ActiveTransmitters() int { return m.nActive }
+
+// setState writes node id's MAC state and keeps the tracker's transition
+// eligibility masks in lockstep. Every state change must go through here.
+func (m *MAC) setState(id int32, st state) {
+	m.sts[id] = st
+	m.busyElig[id] = st == stateBackoffRunning
+	m.freeElig[id] = st == stateBackoffFrozen || st == stateAwaiting
+}
 
 // startContending draws a fresh backoff for the head-of-queue packet.
 func (m *MAC) startContending(id int32, now sim.Time) {
@@ -505,7 +575,7 @@ func (m *MAC) startContending(id int32, now sim.Time) {
 		n.serviceStart = now
 	}
 	if m.tracker.Busy(id) {
-		n.st = stateBackoffFrozen
+		m.setState(id, stateBackoffFrozen)
 		n.frozenSince = now
 		if mm := m.cfg.Metrics; mm != nil {
 			mm.Freezes.Inc()
@@ -518,19 +588,19 @@ func (m *MAC) startContending(id int32, now sim.Time) {
 // armBackoff schedules the expiry of the remaining backoff.
 func (m *MAC) armBackoff(id int32) {
 	n := &m.nodes[id]
-	n.st = stateBackoffRunning
-	n.timer = m.cfg.Engine.After(n.remaining, func(t sim.Time) { m.expire(id, t) })
+	m.setState(id, stateBackoffRunning)
+	n.timer = m.cfg.Engine.After(n.remaining, n.expireFn)
 }
 
 func (m *MAC) expire(id int32, now sim.Time) {
 	n := &m.nodes[id]
-	if n.st != stateBackoffRunning {
+	if m.sts[id] != stateBackoffRunning {
 		// A same-tick busy transition should have canceled us; be safe.
 		return
 	}
 	n.remaining = 0
 	if m.tracker.Busy(id) {
-		n.st = stateAwaiting
+		m.setState(id, stateAwaiting)
 		n.frozenSince = now
 		if mm := m.cfg.Metrics; mm != nil {
 			mm.Freezes.Inc()
@@ -542,7 +612,7 @@ func (m *MAC) expire(id int32, now sim.Time) {
 
 func (m *MAC) beginTx(id int32, now sim.Time) {
 	n := &m.nodes[id]
-	n.st = stateTransmitting
+	m.setState(id, stateTransmitting)
 	m.nActive++
 	if mon := m.cfg.Monitor; mon != nil {
 		selfPos := m.cfg.Network.SU[id]
@@ -551,16 +621,16 @@ func (m *MAC) beginTx(id int32, now sim.Time) {
 		n.txToken = mon.AddTransmitter(selfPos, power)
 		n.rxToken = mon.BeginReception(rxPos, selfPos, power, m.cfg.Network.Params.EtaSU(), n.txToken)
 	}
-	m.tracker.AddTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+	m.tracker.AddSUTransmitter(id, now)
 	if m.cfg.OnTxStart != nil {
 		m.cfg.OnTxStart(id, now)
 	}
-	n.timer = m.cfg.Engine.After(m.slot, func(t sim.Time) { m.endTx(id, t) })
+	n.timer = m.cfg.Engine.After(m.slot, n.endTxFn)
 }
 
 func (m *MAC) endTx(id int32, now sim.Time) {
 	n := &m.nodes[id]
-	if n.st != stateTransmitting {
+	if m.sts[id] != stateTransmitting {
 		return
 	}
 	m.nActive--
@@ -610,7 +680,7 @@ func (m *MAC) endTx(id int32, now sim.Time) {
 	if m.cfg.OnTxEnd != nil {
 		m.cfg.OnTxEnd(id, now, success)
 	}
-	m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+	m.tracker.RemoveSUTransmitter(id, now)
 	if success {
 		pkt := n.pop()
 		pkt.Hops++
@@ -699,7 +769,7 @@ func (m *MAC) abortTx(id int32, now sim.Time) {
 	if m.cfg.OnTxEnd != nil {
 		m.cfg.OnTxEnd(id, now, false)
 	}
-	m.tracker.RemoveTransmitter(m.cfg.Network.SU[id], spectrum.TxSU, id, now)
+	m.tracker.RemoveSUTransmitter(id, now)
 	m.enterPostWait(id, now)
 }
 
@@ -709,24 +779,24 @@ func (m *MAC) enterPostWait(id int32, now sim.Time) {
 	n := &m.nodes[id]
 	if m.cfg.NoFairnessWait {
 		if n.queueLen() == 0 {
-			n.st = stateIdle
+			m.setState(id, stateIdle)
 			return
 		}
 		m.startContending(id, now)
 		return
 	}
-	n.st = statePostWait
+	m.setState(id, statePostWait)
 	wait := m.window - n.draw
-	n.timer = m.cfg.Engine.After(wait, func(t sim.Time) { m.postWaitDone(id, t) })
+	n.timer = m.cfg.Engine.After(wait, n.postWaitFn)
 }
 
 func (m *MAC) postWaitDone(id int32, now sim.Time) {
 	n := &m.nodes[id]
-	if n.st != statePostWait {
+	if m.sts[id] != statePostWait {
 		return
 	}
 	if n.queueLen() == 0 {
-		n.st = stateIdle
+		m.setState(id, stateIdle)
 		return
 	}
 	m.startContending(id, now)
@@ -734,16 +804,16 @@ func (m *MAC) postWaitDone(id int32, now sim.Time) {
 
 // SpectrumBusy implements spectrum.Observer: freeze a running backoff.
 func (m *MAC) SpectrumBusy(id int32, now sim.Time) {
-	n := &m.nodes[id]
-	if n.st != stateBackoffRunning {
+	if m.sts[id] != stateBackoffRunning {
 		return
 	}
+	n := &m.nodes[id]
 	n.remaining = n.timer.When() - now
 	if n.remaining < 0 {
 		n.remaining = 0
 	}
 	n.timer.Cancel()
-	n.st = stateBackoffFrozen
+	m.setState(id, stateBackoffFrozen)
 	n.frozenSince = now
 	if mm := m.cfg.Metrics; mm != nil {
 		mm.Freezes.Inc()
@@ -753,8 +823,13 @@ func (m *MAC) SpectrumBusy(id int32, now sim.Time) {
 // SpectrumFree implements spectrum.Observer: resume a frozen backoff, or
 // transmit if the backoff had already expired.
 func (m *MAC) SpectrumFree(id int32, now sim.Time) {
+	switch m.sts[id] {
+	case stateBackoffFrozen, stateAwaiting:
+	default:
+		return
+	}
 	n := &m.nodes[id]
-	switch n.st {
+	switch m.sts[id] {
 	case stateBackoffFrozen:
 		n.stats.FrozenTime += now - n.frozenSince
 		if mm := m.cfg.Metrics; mm != nil {
@@ -777,11 +852,8 @@ func (m *MAC) SpectrumFree(id int32, now sim.Time) {
 
 // PUArrived implements spectrum.Observer: spectrum handoff mid-transmission.
 func (m *MAC) PUArrived(id int32, now sim.Time) {
-	if m.cfg.DisableHandoff {
+	if m.sts[id] != stateTransmitting || m.cfg.DisableHandoff {
 		return
 	}
-	n := &m.nodes[id]
-	if n.st == stateTransmitting {
-		m.abortTx(id, now)
-	}
+	m.abortTx(id, now)
 }

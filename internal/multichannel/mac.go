@@ -129,6 +129,9 @@ func newMAC(cfg macConfig) (*chMAC, error) {
 		if err != nil {
 			return nil, err
 		}
+		// puArrived only acts on a node transmitting on this channel, and a
+		// node registers with exactly its transmit channel's tracker.
+		tr.FilterPUArrivals(true)
 		m.trackers[c] = tr
 	}
 	return m, nil
@@ -150,7 +153,7 @@ func (m *chMAC) startPUs() {
 		i := int32(i)
 		active := m.puSrc.Bernoulli(pt)
 		if active {
-			m.trackers[m.cfg.puChannel[i]].AddTransmitter(m.cfg.nw.PU[i], spectrum.TxPU, -1, 0)
+			m.trackers[m.cfg.puChannel[i]].AddPUTransmitter(i, 0)
 		}
 		if pt >= 1 {
 			continue
@@ -170,9 +173,9 @@ func (m *chMAC) schedulePUToggle(i int32, active bool) {
 	m.cfg.eng.After(sim.Time(runSlots)*m.slot, func(now sim.Time) {
 		tr := m.trackers[m.cfg.puChannel[i]]
 		if active {
-			tr.RemoveTransmitter(m.cfg.nw.PU[i], spectrum.TxPU, -1, now)
+			tr.RemovePUTransmitter(i, now)
 		} else {
-			tr.AddTransmitter(m.cfg.nw.PU[i], spectrum.TxPU, -1, now)
+			tr.AddPUTransmitter(i, now)
 		}
 		m.schedulePUToggle(i, !active)
 	})
@@ -247,7 +250,7 @@ func (m *chMAC) beginTx(id int32, now sim.Time) {
 	for _, u := range m.activeSenders[id] {
 		m.nodes[u].doomed = true
 	}
-	m.trackers[m.txChannel(id)].AddTransmitter(m.cfg.nw.SU[id], spectrum.TxSU, id, now)
+	m.trackers[m.txChannel(id)].AddSUTransmitter(id, now)
 	n.timer = m.cfg.eng.After(m.slot, func(t sim.Time) { m.endTx(id, t) })
 }
 
@@ -269,7 +272,7 @@ func (m *chMAC) endTx(id int32, now sim.Time) {
 	}
 	ch := m.txChannel(id)
 	parent := m.cfg.parent[id]
-	m.trackers[ch].RemoveTransmitter(m.cfg.nw.SU[id], spectrum.TxSU, id, now)
+	m.trackers[ch].RemoveSUTransmitter(id, now)
 	m.removeSender(parent, id)
 	if n.doomed {
 		n.deafLosses++
@@ -287,7 +290,7 @@ func (m *chMAC) endTx(id int32, now sim.Time) {
 func (m *chMAC) abortTx(id int32, now sim.Time) {
 	n := &m.nodes[id]
 	n.timer.Cancel()
-	m.trackers[m.txChannel(id)].RemoveTransmitter(m.cfg.nw.SU[id], spectrum.TxSU, id, now)
+	m.trackers[m.txChannel(id)].RemoveSUTransmitter(id, now)
 	m.removeSender(m.cfg.parent[id], id)
 	n.aborts++
 	m.enterPostWait(id)

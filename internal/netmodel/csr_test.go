@@ -1,0 +1,153 @@
+package netmodel
+
+import (
+	"sort"
+	"testing"
+
+	"addcrn/internal/geom"
+	"addcrn/internal/rng"
+)
+
+// sortedCopy returns a sorted copy of ids for order-insensitive comparison.
+func sortedCopy(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCSRMatchesGridWithinRandom is the property test behind the static-
+// topology fast path: for random deployments and random radii, every CSR row
+// must contain exactly the index set a live grid query returns — the rows
+// must in fact preserve the grid's result order, which is what keeps the
+// tracker's fast path bit-identical to per-event queries.
+func TestCSRMatchesGridWithinRandom(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 20; trial++ {
+		p := ScaledDefaultParams()
+		p.NumSU = 20 + src.Intn(120)
+		p.NumPU = 1 + src.Intn(20)
+		p.Area = 40 + src.Float64()*80
+		nw, err := Deploy(p, src.ChildN("deploy", trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random radius from a fraction of r to several r, crossing grid
+		// cell boundaries both ways.
+		radius := p.RadiusSU * (0.3 + 3*src.Float64())
+
+		suTab, err := nw.SUNeighborTable(radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		puTab, err := nw.PUNeighborTable(radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if suTab.NumRows() != nw.NumNodes() || puTab.NumRows() != len(nw.PU) {
+			t.Fatalf("trial %d: row counts su=%d pu=%d, want %d and %d",
+				trial, suTab.NumRows(), puTab.NumRows(), nw.NumNodes(), len(nw.PU))
+		}
+
+		var buf []int32
+		for i := 0; i < nw.NumNodes(); i++ {
+			buf = nw.SUGrid.Within(nw.SU[i], radius, buf[:0])
+			row := suTab.Row(int32(i))
+			if !equalInt32(sortedCopy(row), sortedCopy(buf)) {
+				t.Fatalf("trial %d: SU row %d = %v, grid says %v", trial, i, row, buf)
+			}
+			if !equalInt32(row, buf) {
+				t.Fatalf("trial %d: SU row %d order %v differs from grid order %v",
+					trial, i, row, buf)
+			}
+		}
+		for i := range nw.PU {
+			buf = nw.SUGrid.Within(nw.PU[i], radius, buf[:0])
+			row := puTab.Row(int32(i))
+			if !equalInt32(row, buf) {
+				t.Fatalf("trial %d: PU row %d = %v, grid says %v", trial, i, row, buf)
+			}
+		}
+	}
+}
+
+// TestCSRBoundaryAtExactRadius pins the closed-ball contract: a neighbor at
+// distance exactly radius is included, one epsilon beyond is not.
+func TestCSRBoundaryAtExactRadius(t *testing.T) {
+	p := ScaledDefaultParams()
+	p.NumSU = 3
+	p.NumPU = 1
+	p.Area = 50
+	radius := 10.0
+	su := []geom.Point{
+		{X: 25, Y: 25},                 // base station
+		{X: 25 + radius, Y: 25},        // at exactly radius from the BS
+		{X: 25, Y: 25 + radius + 1e-9}, // just outside
+		{X: 30, Y: 25},                 // well inside
+	}
+	pu := []geom.Point{{X: 25 - radius, Y: 25}} // BS at exactly radius from PU
+	nw, err := NewCustomNetwork(p, su, pu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suTab, err := nw.SUNeighborTable(radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := sortedCopy(suTab.Row(0))
+	want := []int32{0, 1, 3} // self, boundary node, inside node; not the outside one
+	if !equalInt32(row, want) {
+		t.Fatalf("BS row = %v, want %v", row, want)
+	}
+	puTab, err := nw.PUNeighborTable(radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range puTab.Row(0) {
+		if v == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("PU row %v misses the base station at distance exactly radius", puTab.Row(0))
+	}
+}
+
+// TestSUNeighborsOrderPreserving: removing the query node from its own
+// neighborhood must not perturb the order of the remaining entries.
+func TestSUNeighborsOrderPreserving(t *testing.T) {
+	p := ScaledDefaultParams()
+	p.NumSU = 80
+	p.Area = 60
+	nw, err := Deploy(p, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw, nbrs []int32
+	for id := 0; id < nw.NumNodes(); id++ {
+		raw = nw.SUGrid.Within(nw.SU[id], p.RadiusSU, raw[:0])
+		nbrs = nw.SUNeighbors(id, p.RadiusSU, nbrs[:0])
+		// nbrs must be raw with the single id entry deleted, order intact.
+		want := raw[:0:0]
+		for _, v := range raw {
+			if int(v) != id {
+				want = append(want, v)
+			}
+		}
+		if !equalInt32(nbrs, want) {
+			t.Fatalf("node %d: SUNeighbors %v, want grid order minus self %v", id, nbrs, want)
+		}
+	}
+}

@@ -168,13 +168,17 @@ func (nw *Network) Connected() bool {
 }
 
 // SUNeighbors appends to dst the indices of secondary nodes within distance
-// radius of the secondary node id (excluding id itself).
+// radius of the secondary node id (excluding id itself). The appended
+// results keep the grid's scan order with the query node removed in place —
+// no reordering — so equal deployments give downstream iteration a stable,
+// reproducible neighbor sequence.
 func (nw *Network) SUNeighbors(id int, radius float64, dst []int32) []int32 {
+	base := len(dst)
 	dst = nw.SUGrid.Within(nw.SU[id], radius, dst)
-	// Remove the node itself from its neighborhood.
-	for i, v := range dst {
-		if int(v) == id {
-			dst[i] = dst[len(dst)-1]
+	// Remove the node itself from its neighborhood, preserving order.
+	for i := base; i < len(dst); i++ {
+		if int(dst[i]) == id {
+			copy(dst[i:], dst[i+1:])
 			return dst[:len(dst)-1]
 		}
 	}

@@ -10,6 +10,7 @@ package rng
 
 import (
 	"hash/fnv"
+	"math"
 	"math/rand"
 )
 
@@ -19,6 +20,13 @@ import (
 type Source struct {
 	seed uint64
 	rnd  *rand.Rand
+
+	// geomQ/geomLogQ memoize the last Geometric denominator: the PU
+	// activity processes draw millions of geometric samples with the same
+	// one or two success probabilities, and ln(q) is half the cost of a
+	// sample. Reusing the cached value is bit-identical to recomputing it.
+	geomQ    float64
+	geomLogQ float64
 }
 
 // New returns a Source seeded with seed.
@@ -116,7 +124,12 @@ func (s *Source) Geometric(p float64) int64 {
 	for u == 0 {
 		u = s.rnd.Float64()
 	}
-	k := int64(logQuotient(u, 1-p))
+	q := 1 - p
+	if q != s.geomQ {
+		s.geomQ = q
+		s.geomLogQ = math.Log(q)
+	}
+	k := int64(math.Log(u) / s.geomLogQ)
 	if k < 0 {
 		k = 0
 	}

@@ -8,10 +8,17 @@
 // deterministic order is what makes the reproduction's integration tests
 // meaningful. Parallelism lives one level up (independent repetitions of an
 // experiment run on separate engines; see internal/experiment).
+//
+// The event queue is a concrete indexed 4-ary heap over a pooled entry
+// arena: entries live in a flat slice, freed slots are recycled through a
+// free list, and the heap orders int32 arena indices. Scheduling an event in
+// steady state therefore allocates nothing, and heap maintenance runs
+// without interface-method dispatch. Because (time, sequence) is a strict
+// total order, the pop order — and with it every simulation result — is
+// identical to the binary container/heap implementation this replaced.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 	"time"
@@ -47,42 +54,79 @@ func (t Time) Slots(slot Time) int64 { return int64(t / slot) }
 // event's scheduled time.
 type EventFunc func(now Time)
 
-// Timer is a handle to a scheduled event, usable to cancel it.
+// Timer is a handle to a scheduled event, usable to cancel it. The handle
+// stays valid (and inert) after the event fires or is canceled: the arena
+// slot it names is generation-checked, so a handle to a recycled slot never
+// touches the slot's new occupant.
 type Timer struct {
-	entry *entry
+	eng *Engine
+	idx int32
+	gen uint32
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled timer is a no-op. Cancel on a zero Timer is a no-op.
+//
+// Cancellation is eager: the entry leaves the heap immediately, so a
+// workload that cancels and re-arms constantly (carrier-sense freezes) never
+// accumulates dead entries for later sifts to climb over.
 func (t Timer) Cancel() {
-	if t.entry != nil {
-		t.entry.fn = nil
+	e := t.eng
+	if e == nil {
+		return
 	}
+	en := &e.arena[t.idx]
+	if en.gen != t.gen {
+		return // slot was recycled; this timer already fired or was canceled
+	}
+	e.heapRemoveAt(int(en.pos))
+	e.release(t.idx)
 }
 
 // Active reports whether the event is still pending.
-func (t Timer) Active() bool { return t.entry != nil && t.entry.fn != nil }
+func (t Timer) Active() bool {
+	if t.eng == nil {
+		return false
+	}
+	en := &t.eng.arena[t.idx]
+	return en.gen == t.gen && en.fn != nil
+}
 
 // When returns the scheduled fire time (meaningful only while Active).
 func (t Timer) When() Time {
-	if t.entry == nil {
+	if t.eng == nil {
 		return 0
 	}
-	return t.entry.at
+	en := &t.eng.arena[t.idx]
+	if en.gen != t.gen {
+		return 0
+	}
+	return en.at
 }
 
+// entry is one arena slot. gen increments every time the slot is released to
+// the free list, invalidating outstanding Timer handles. pos is the entry's
+// current index in the heap (maintained by every sift), which is what makes
+// eager cancellation O(log n) instead of a deferred skip at pop time.
 type entry struct {
 	at  Time
 	seq uint64
 	fn  EventFunc
+	gen uint32
+	pos int32
 }
 
 // Engine is the event queue and virtual clock.
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventHeap
 	nsteps uint64
+
+	// arena holds every entry ever allocated; free lists recycled slots;
+	// heap is a 4-ary min-heap of arena indices ordered by (at, seq).
+	arena []entry
+	free  []int32
+	heap  []int32
 
 	// Cooperative interrupt: poll is consulted every pollEvery executed
 	// events; a non-nil error stops the engine (see SetInterrupt).
@@ -97,11 +141,25 @@ func New() *Engine {
 	return &Engine{}
 }
 
+// NewWithCapacity returns an engine whose arena and heap are pre-sized for n
+// concurrently pending events, so a simulation with a known timer population
+// (one backoff per node, one toggle per PU) never grows them mid-run.
+func NewWithCapacity(n int) *Engine {
+	if n < 0 {
+		n = 0
+	}
+	return &Engine{
+		arena: make([]entry, 0, n),
+		free:  make([]int32, 0, n),
+		heap:  make([]int32, 0, n),
+	}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of queued (possibly canceled) events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nsteps }
@@ -132,6 +190,8 @@ func (e *Engine) InterruptErr() error { return e.interruptErr }
 // ErrPast is returned by At when scheduling before the current time.
 var ErrPast = errors.New("sim: event scheduled in the past")
 
+var errNilEvent = errors.New("sim: nil event function")
+
 // At schedules fn at absolute virtual time t; t may equal Now (the event
 // fires after all currently queued events at the same time).
 func (e *Engine) At(t Time, fn EventFunc) (Timer, error) {
@@ -139,12 +199,23 @@ func (e *Engine) At(t Time, fn EventFunc) (Timer, error) {
 		return Timer{}, ErrPast
 	}
 	if fn == nil {
-		return Timer{}, errors.New("sim: nil event function")
+		return Timer{}, errNilEvent
 	}
-	en := &entry{at: t, seq: e.seq, fn: fn}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, entry{})
+		idx = int32(len(e.arena) - 1)
+	}
+	en := &e.arena[idx]
+	en.at = t
+	en.seq = e.seq
+	en.fn = fn
 	e.seq++
-	heap.Push(&e.queue, en)
-	return Timer{entry: en}, nil
+	e.heapPush(idx)
+	return Timer{eng: e, idx: idx, gen: en.gen}, nil
 }
 
 // After schedules fn d microseconds from now; negative d is clamped to 0.
@@ -159,6 +230,15 @@ func (e *Engine) After(d Time, fn EventFunc) Timer {
 		panic(err)
 	}
 	return t
+}
+
+// release returns arena slot idx to the free list, bumping its generation so
+// outstanding Timer handles to it go inert.
+func (e *Engine) release(idx int32) {
+	en := &e.arena[idx]
+	en.fn = nil
+	en.gen++
+	e.free = append(e.free, idx)
 }
 
 // Step executes the single earliest pending event and returns true, or
@@ -181,19 +261,22 @@ func (e *Engine) Step() bool {
 			}
 		}
 	}
-	for len(e.queue) > 0 {
-		en := heap.Pop(&e.queue).(*entry)
-		if en.fn == nil {
-			continue
-		}
-		e.now = en.at
-		fn := en.fn
-		en.fn = nil
-		e.nsteps++
-		fn(e.now)
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	idx := e.heapPop()
+	en := &e.arena[idx]
+	fn := en.fn
+	at := en.at
+	// Recycle the slot before running the body: the event is no longer
+	// pending, its Timer handles must read inactive, and the body is free
+	// to reuse the slot for the events it schedules. Canceled entries left
+	// the heap eagerly, so fn is never nil here.
+	e.release(idx)
+	e.now = at
+	e.nsteps++
+	fn(e.now)
+	return true
 }
 
 // RunUntil executes events until the queue is exhausted, an interrupt poll
@@ -202,12 +285,12 @@ func (e *Engine) Step() bool {
 // number of events executed.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.nsteps
-	for len(e.queue) > 0 {
-		next := e.peek()
-		if next == nil {
+	for len(e.heap) > 0 {
+		next, ok := e.peek()
+		if !ok {
 			break
 		}
-		if next.at > deadline {
+		if next > deadline {
 			break
 		}
 		if !e.Step() {
@@ -223,36 +306,112 @@ func (e *Engine) Run() uint64 {
 	return e.RunUntil(MaxTime)
 }
 
-// peek returns the earliest non-canceled entry without popping, discarding
-// canceled ones along the way.
-func (e *Engine) peek() *entry {
-	for len(e.queue) > 0 {
-		if e.queue[0].fn != nil {
-			return e.queue[0]
+// peek returns the fire time of the earliest pending entry without popping.
+func (e *Engine) peek() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.arena[e.heap[0]].at, true
+}
+
+// The heap is 4-ary: parent of i is (i-1)/4, children are 4i+1..4i+4. A
+// wider node halves the tree height against a binary heap, trading cheap
+// comparisons (two loads off the arena) for fewer cache-missing levels —
+// the right trade when the queue holds one timer per node at n in the
+// thousands.
+
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
+	e.arena[idx].pos = int32(len(e.heap) - 1)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) heapPop() int32 {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.arena[h[0]].pos = 0
+	e.heap = h[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+// heapRemoveAt deletes the entry at heap position i, filling the hole with
+// the last element and restoring heap order around it.
+func (e *Engine) heapRemoveAt(i int) {
+	h := e.heap
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+		e.arena[h[i]].pos = int32(i)
+		e.heap = h[:last]
+		// The moved element may violate order in either direction. After
+		// siftDown, whatever sits at i came up from i's subtree, so it
+		// cannot be smaller than i's parent and siftUp is then a no-op.
+		e.siftDown(i)
+		e.siftUp(i)
+	} else {
+		e.heap = h[:last]
+	}
+}
+
+// Both sifts move a hole instead of swapping: the displaced element's key is
+// loaded once into registers, ancestors/children shift into the hole, and the
+// element lands in its final slot with a single write. The comparisons — and
+// therefore the resulting heap layout — are exactly those of the classic
+// swap-at-every-level formulation.
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	moving := h[i]
+	mAt, mSeq := e.arena[moving].at, e.arena[moving].seq
+	for i > 0 {
+		p := (i - 1) / 4
+		pe := &e.arena[h[p]]
+		if !(mAt < pe.at || (mAt == pe.at && mSeq < pe.seq)) {
+			break
 		}
-		heap.Pop(&e.queue)
+		h[i] = h[p]
+		e.arena[h[i]].pos = int32(i)
+		i = p
 	}
-	return nil
+	h[i] = moving
+	e.arena[moving].pos = int32(i)
 }
 
-type eventHeap []*entry
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	moving := h[i]
+	mAt, mSeq := e.arena[moving].at, e.arena[moving].seq
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		be := &e.arena[h[first]]
+		bAt, bSeq := be.at, be.seq
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			ce := &e.arena[h[c]]
+			if ce.at < bAt || (ce.at == bAt && ce.seq < bSeq) {
+				best, bAt, bSeq = c, ce.at, ce.seq
+			}
+		}
+		if !(bAt < mAt || (bAt == mAt && bSeq < mSeq)) {
+			break
+		}
+		h[i] = h[best]
+		e.arena[h[i]].pos = int32(i)
+		i = best
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*entry)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return item
+	h[i] = moving
+	e.arena[moving].pos = int32(i)
 }

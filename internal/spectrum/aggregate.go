@@ -33,6 +33,11 @@ type AggregateModel struct {
 	blocked   []bool
 	numActive int
 	busy      busyIntegral
+
+	// eng and toggles are bound at Start: toggles[node] flips the node's
+	// blocking state and re-arms itself, allocation-free in steady state.
+	eng     *sim.Engine
+	toggles []sim.EventFunc
 }
 
 var _ PUModel = (*AggregateModel)(nil)
@@ -62,6 +67,19 @@ func (m *AggregateModel) BlockProb(node int32) float64 { return m.blockProb[node
 
 // Start samples each node's initial blocking state and schedules toggles.
 func (m *AggregateModel) Start(eng *sim.Engine) {
+	m.eng = eng
+	m.toggles = make([]sim.EventFunc, m.nw.NumNodes())
+	for node := range m.toggles {
+		node := int32(node)
+		m.toggles[node] = func(now sim.Time) {
+			if m.blocked[node] {
+				m.unblock(node, now)
+			} else {
+				m.block(node, now)
+			}
+			m.scheduleToggle(node)
+		}
+	}
 	for node := 0; node < m.nw.NumNodes(); node++ {
 		q := m.blockProb[node]
 		if q <= 0 {
@@ -73,7 +91,7 @@ func (m *AggregateModel) Start(eng *sim.Engine) {
 		if q >= 1 {
 			continue // blocked forever
 		}
-		m.scheduleToggle(eng, int32(node))
+		m.scheduleToggle(int32(node))
 	}
 }
 
@@ -104,7 +122,7 @@ func (m *AggregateModel) unblock(node int32, now sim.Time) {
 	m.tracker.UnblockNode(node, now)
 }
 
-func (m *AggregateModel) scheduleToggle(eng *sim.Engine, node int32) {
+func (m *AggregateModel) scheduleToggle(node int32) {
 	q := m.blockProb[node]
 	var runSlots int64
 	if m.blocked[node] {
@@ -112,12 +130,5 @@ func (m *AggregateModel) scheduleToggle(eng *sim.Engine, node int32) {
 	} else {
 		runSlots = 1 + m.src.Geometric(q)
 	}
-	eng.After(sim.Time(runSlots)*m.slot, func(now sim.Time) {
-		if m.blocked[node] {
-			m.unblock(node, now)
-		} else {
-			m.block(node, now)
-		}
-		m.scheduleToggle(eng, node)
-	})
+	m.eng.After(sim.Time(runSlots)*m.slot, m.toggles[node])
 }

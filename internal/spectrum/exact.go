@@ -27,6 +27,12 @@ type ExactModel struct {
 	receivers []geom.Point
 	numActive int
 
+	// eng and toggles are bound at Start: toggles[i] flips PU i's state and
+	// re-arms itself, so the steady-state activity process schedules events
+	// without allocating a closure per toggle.
+	eng     *sim.Engine
+	toggles []sim.EventFunc
+
 	monitor   *RxMonitor
 	monTokens []int64
 	busy      busyIntegral
@@ -62,6 +68,19 @@ func (m *ExactModel) AttachMonitor(mon *RxMonitor) {
 
 // Start samples each PU's initial state and schedules its first toggle.
 func (m *ExactModel) Start(eng *sim.Engine) {
+	m.eng = eng
+	m.toggles = make([]sim.EventFunc, len(m.nw.PU))
+	for i := range m.toggles {
+		i := int32(i)
+		m.toggles[i] = func(now sim.Time) {
+			if m.active[i] {
+				m.deactivate(i, now)
+			} else {
+				m.activate(i, now)
+			}
+			m.scheduleToggle(i)
+		}
+	}
 	pt := m.nw.Params.ActiveProb
 	for i := range m.nw.PU {
 		if pt <= 0 {
@@ -73,7 +92,7 @@ func (m *ExactModel) Start(eng *sim.Engine) {
 		if pt >= 1 {
 			continue // active forever; no toggles
 		}
-		m.scheduleToggle(eng, int32(i))
+		m.scheduleToggle(int32(i))
 	}
 }
 
@@ -109,7 +128,7 @@ func (m *ExactModel) activate(i int32, now sim.Time) {
 	if m.monitor != nil {
 		m.monTokens[i] = m.monitor.AddTransmitter(m.nw.PU[i], m.nw.Params.PowerPU)
 	}
-	m.tracker.AddTransmitter(m.nw.PU[i], TxPU, -1, now)
+	m.tracker.AddPUTransmitter(i, now)
 }
 
 func (m *ExactModel) deactivate(i int32, now sim.Time) {
@@ -119,12 +138,12 @@ func (m *ExactModel) deactivate(i int32, now sim.Time) {
 	if m.monitor != nil {
 		m.monitor.RemoveTransmitter(m.monTokens[i])
 	}
-	m.tracker.RemoveTransmitter(m.nw.PU[i], TxPU, -1, now)
+	m.tracker.RemovePUTransmitter(i, now)
 }
 
 // scheduleToggle arms PU i's next state change after the remaining run of
 // identical slots.
-func (m *ExactModel) scheduleToggle(eng *sim.Engine, i int32) {
+func (m *ExactModel) scheduleToggle(i int32) {
 	pt := m.nw.Params.ActiveProb
 	var runSlots int64
 	if m.active[i] {
@@ -134,12 +153,5 @@ func (m *ExactModel) scheduleToggle(eng *sim.Engine, i int32) {
 	} else {
 		runSlots = 1 + m.src.Geometric(pt)
 	}
-	eng.After(sim.Time(runSlots)*m.slot, func(now sim.Time) {
-		if m.active[i] {
-			m.deactivate(i, now)
-		} else {
-			m.activate(i, now)
-		}
-		m.scheduleToggle(eng, i)
-	})
+	m.eng.After(sim.Time(runSlots)*m.slot, m.toggles[i])
 }

@@ -1,0 +1,125 @@
+package spectrum
+
+import (
+	"reflect"
+	"testing"
+
+	"addcrn/internal/sim"
+)
+
+// TestIndexedPathMatchesGridPath drives an identical add/remove script
+// through the CSR fast path and the legacy grid-query path and requires the
+// observer callback streams — content AND order — to be identical. This is
+// the unit-level half of the bit-identity guarantee; the core-level
+// equivalence test covers whole runs.
+func TestIndexedPathMatchesGridPath(t *testing.T) {
+	script := func(tr *Tracker) {
+		now := sim.Time(0)
+		for step := 0; step < 4; step++ {
+			for id := int32(1); id < 40; id += 3 {
+				tr.AddSUTransmitter(id, now)
+				now++
+			}
+			for i := int32(0); i < 6; i++ {
+				tr.AddPUTransmitter(i, now)
+				now++
+			}
+			for id := int32(1); id < 40; id += 3 {
+				tr.RemoveSUTransmitter(id, now)
+				now++
+			}
+			for i := int32(0); i < 6; i++ {
+				tr.RemovePUTransmitter(i, now)
+				now++
+			}
+		}
+	}
+
+	run := func(grid bool) (*recordingObserver, *Tracker) {
+		nw := testNetwork(t, 11)
+		obs := &recordingObserver{}
+		tr, err := NewTracker(nw, 28, 22, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.UseGridQueries(grid)
+		script(tr)
+		return obs, tr
+	}
+
+	gridObs, gridTr := run(true)
+	csrObs, csrTr := run(false)
+	if !reflect.DeepEqual(gridObs.busy, csrObs.busy) {
+		t.Fatalf("SpectrumBusy streams diverge:\n grid %v\n csr  %v", gridObs.busy, csrObs.busy)
+	}
+	if !reflect.DeepEqual(gridObs.free, csrObs.free) {
+		t.Fatalf("SpectrumFree streams diverge:\n grid %v\n csr  %v", gridObs.free, csrObs.free)
+	}
+	if !reflect.DeepEqual(gridObs.arrived, csrObs.arrived) {
+		t.Fatalf("PUArrived streams diverge:\n grid %v\n csr  %v", gridObs.arrived, csrObs.arrived)
+	}
+	for id := int32(0); id < int32(gridTr.nw.NumNodes()); id++ {
+		if gridTr.BusyCount(id) != csrTr.BusyCount(id) {
+			t.Fatalf("node %d: busy count grid=%d csr=%d", id, gridTr.BusyCount(id), csrTr.BusyCount(id))
+		}
+	}
+	if len(gridObs.busy) == 0 || len(gridObs.arrived) == 0 {
+		t.Fatal("script produced no transitions; test is vacuous")
+	}
+}
+
+// TestIndexedSUTransitionAllocates0: the steady-state CSR add/remove cycle
+// must not allocate (pooled rise/fall buffers, immutable rows).
+func TestIndexedSUTransitionAllocates0(t *testing.T) {
+	nw := testNetwork(t, 12)
+	tr, err := NewTracker(nw, 25, 25, &recordingObserver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the CSR tables and the buffer pool.
+	tr.AddSUTransmitter(1, 0)
+	tr.RemoveSUTransmitter(1, 0)
+	tr.AddPUTransmitter(0, 0)
+	tr.RemovePUTransmitter(0, 0)
+	id := int32(1)
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.AddSUTransmitter(id, 0)
+		tr.RemoveSUTransmitter(id, 0)
+		id = id%int32(nw.NumNodes()-1) + 1
+	})
+	if allocs != 0 {
+		t.Fatalf("CSR transition allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestIndexedPathReentrancy mirrors the grid path's reentrancy test on the
+// CSR path: an observer that registers a new transmitter from inside a
+// SpectrumFree callback must see consistent counters and no panic.
+func TestIndexedPathReentrancy(t *testing.T) {
+	nw := testNetwork(t, 13)
+	obs := &recordingObserver{}
+	tr, err := NewTracker(nw, 30, 30, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.reenter = func(node int32) {
+		tr.AddSUTransmitter(node, 1)
+	}
+	tr.AddPUTransmitter(0, 0)
+	tr.RemovePUTransmitter(0, 1)
+	// The reentrant SU registration must be reflected in busy counters:
+	// at least the re-registered node's neighbors are busy again.
+	anyBusy := false
+	for id := int32(0); id < int32(nw.NumNodes()); id++ {
+		if tr.Busy(id) {
+			anyBusy = true
+			break
+		}
+	}
+	if len(obs.free) == 0 {
+		t.Skip("PU 0 froze no nodes in this deployment; nothing to verify")
+	}
+	if !anyBusy {
+		t.Fatal("reentrant AddSUTransmitter left no busy counters")
+	}
+}

@@ -264,7 +264,7 @@ func (m *TraceModel) scheduleCycle(eng *sim.Engine, i int32, offset int64) {
 			m.busy.update(now, m.numActive)
 			m.active[i] = true
 			m.numActive++
-			m.tracker.AddTransmitter(m.nw.PU[i], TxPU, -1, now)
+			m.tracker.AddPUTransmitter(i, now)
 		}); err != nil {
 			continue // start lies in the past only for offset 0 edge cases
 		}
@@ -272,7 +272,7 @@ func (m *TraceModel) scheduleCycle(eng *sim.Engine, i int32, offset int64) {
 			m.busy.update(now, m.numActive)
 			m.active[i] = false
 			m.numActive--
-			m.tracker.RemoveTransmitter(m.nw.PU[i], TxPU, -1, now)
+			m.tracker.RemovePUTransmitter(i, now)
 		})
 	}
 	// Re-arm the next repetition at the cycle boundary.

@@ -3,10 +3,20 @@
 // within its Proper Carrier-sensing Range (PCR).
 //
 // The core abstraction is a per-SU busy counter — the number of active
-// transmitters within PCR of that SU — maintained incrementally through the
-// deployment's grid index. Counter transitions drive the MAC: 0 -> 1
-// freezes a backoff, -> 0 resumes it, and a PU arrival during a
-// transmission forces the spectrum handoff the paper's Section I requires.
+// transmitters within PCR of that SU — maintained incrementally. Counter
+// transitions drive the MAC: 0 -> 1 freezes a backoff, -> 0 resumes it, and
+// a PU arrival during a transmission forces the spectrum handoff the
+// paper's Section I requires.
+//
+// Because the deployment never moves, the set of nodes a transmitter
+// touches is a pure function of its identity. The tracker therefore
+// precomputes CSR-packed neighbor tables (SU→SU within the coordination
+// range, PU→SU within the protection range) and walks one contiguous row
+// per transition — the static-topology fast path. The original per-event
+// grid query survives for arbitrary positions (AddTransmitter) and, behind
+// UseGridQueries, as a one-release escape hatch for the indexed path; the
+// two are bit-identical because a CSR row stores exactly the grid's result
+// sequence for the same query.
 package spectrum
 
 import (
@@ -51,8 +61,9 @@ const (
 // Observer callbacks may reenter the tracker (a resumed node can start a
 // transmission, which registers a new transmitter). Each mutating call
 // therefore applies all of its counter updates before delivering any
-// callback, and works on a pooled buffer of its own rather than shared
-// scratch space.
+// callback. The grid path works on a pooled buffer of its own rather than
+// shared scratch space; the CSR path walks an immutable row, which is
+// reentrancy-safe without any copy.
 type Tracker struct {
 	nw       *netmodel.Network
 	puRange  float64
@@ -60,6 +71,40 @@ type Tracker struct {
 	observer Observer
 	busy     []int32
 	pool     [][]int32
+
+	// gridPath forces the indexed entry points back onto per-event grid
+	// queries (the pre-CSR implementation); see UseGridQueries.
+	gridPath bool
+	// arrivedTxOnly, when set, narrows PUArrived delivery to nodes that are
+	// currently registered SU transmitters (suTx); see FilterPUArrivals.
+	arrivedTxOnly bool
+	// suTx[id] is whether SU id is a currently registered transmitter;
+	// nSuTx counts them so an empty medium skips arrival scans outright.
+	suTx  []bool
+	nSuTx int
+	// busyElig/freeElig, when non-nil, narrow SpectrumBusy/SpectrumFree
+	// delivery to nodes the observer declared eligible; see FilterTransitions.
+	busyElig []bool
+	freeElig []bool
+
+	// lazyPU is the fully filtered primary-user fast path, enabled when both
+	// delivery filters are installed (see FilterTransitions): an indexed PU
+	// registration flips one active flag instead of eagerly folding itself
+	// into every covered node's busy counter, and a node's primary
+	// contribution is summed on demand over its (few-entry) SU→PU row. In
+	// this mode `busy` holds only secondary/blocking contributions.
+	lazyPU   bool
+	puActive []bool
+	// suPUOff/suPUIdx is the SU→PU transpose of puTable in CSR form: row v
+	// lists the primary users whose protection range covers node v. Order
+	// within a row is irrelevant — rows are only ever summed.
+	suPUOff []int32
+	suPUIdx []int32
+	// suTable and puTable are the CSR neighbor tables behind the indexed
+	// fast path, built lazily on first use so a tracker running in grid
+	// mode (or one only ever fed arbitrary positions) never pays for them.
+	suTable *netmodel.CSRTable
+	puTable *netmodel.CSRTable
 }
 
 // NewTracker builds a tracker for network nw with PU-protection sensing
@@ -78,14 +123,118 @@ func NewTracker(nw *netmodel.Network, puRange, suRange float64, observer Observe
 		suRange:  suRange,
 		observer: observer,
 		busy:     make([]int32, nw.NumNodes()),
+		suTx:     make([]bool, nw.NumNodes()),
 	}, nil
 }
 
+// FilterPUArrivals narrows PUArrived delivery to nodes that are registered
+// SU transmitters at arrival time. An observer may opt in when PUArrived is
+// a no-op for every non-transmitting node (true for the MAC, whose only
+// response is the spectrum handoff abort): the skipped calls are exactly the
+// no-ops, so results are bit-identical while a primary arrival stops paying
+// one interface call per silent neighbor. Observers that record or act on
+// every arrival (tests, tracing) must leave this off — the default.
+func (t *Tracker) FilterPUArrivals(on bool) { t.arrivedTxOnly = on; t.updateLazyPU() }
+
+// FilterTransitions narrows SpectrumBusy delivery to nodes with
+// busyEligible[id] true and SpectrumFree delivery to nodes with
+// freeEligible[id] true. The observer shares the slices and must keep each
+// entry equal to "would my callback do anything for this node right now?"
+// at every point a callback could fire — for the MAC that means updating
+// both flags on every state write. Under that contract the skipped calls are
+// exactly the callbacks that would have returned immediately, so results are
+// bit-identical while the busy/free fan-out stops paying one interface call
+// per indifferent neighbor (the overwhelming majority: one PU toggle flips
+// counters for ~60% of the network, of which a handful are mid-backoff).
+// Passing nil slices restores unconditional delivery — the default, and what
+// recording observers (tests, tracing) need.
+//
+// Like FilterPUArrivals and UseGridQueries, call it before the simulation
+// starts: with both filters installed the tracker switches primary users to
+// lazy flag accounting, and the representations must not change under
+// registered transmitters.
+func (t *Tracker) FilterTransitions(busyEligible, freeEligible []bool) {
+	t.busyElig = busyEligible
+	t.freeElig = freeEligible
+	t.updateLazyPU()
+}
+
+// updateLazyPU recomputes whether the lazy primary-user path is in effect
+// and builds its SU→PU transpose table the first time it turns on.
+func (t *Tracker) updateLazyPU() {
+	t.lazyPU = t.arrivedTxOnly && t.busyElig != nil && t.freeElig != nil
+	if t.lazyPU && t.suPUOff == nil {
+		t.buildSUPU()
+	}
+}
+
+// buildSUPU inverts the PU→SU table into per-node rows of covering PUs.
+func (t *Tracker) buildSUPU() {
+	nn := t.nw.NumNodes()
+	np := len(t.nw.PU)
+	t.puActive = make([]bool, np)
+	off := make([]int32, nn+1)
+	for p := 0; p < np; p++ {
+		for _, v := range t.puRow(int32(p)) {
+			off[v+1]++
+		}
+	}
+	for v := 0; v < nn; v++ {
+		off[v+1] += off[v]
+	}
+	idx := make([]int32, off[nn])
+	cur := append([]int32(nil), off[:nn]...)
+	for p := 0; p < np; p++ {
+		for _, v := range t.puRow(int32(p)) {
+			idx[cur[v]] = int32(p)
+			cur[v]++
+		}
+	}
+	t.suPUOff = off
+	t.suPUIdx = idx
+}
+
+// puNear reports whether any active primary user covers node (lazy path).
+func (t *Tracker) puNear(node int32) bool {
+	for _, p := range t.suPUIdx[t.suPUOff[node]:t.suPUOff[node+1]] {
+		if t.puActive[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// puCount returns how many active primary users cover node (lazy path).
+func (t *Tracker) puCount(node int32) int32 {
+	var c int32
+	for _, p := range t.suPUIdx[t.suPUOff[node]:t.suPUOff[node+1]] {
+		if t.puActive[p] {
+			c++
+		}
+	}
+	return c
+}
+
+// UseGridQueries selects the legacy per-event grid-query implementation for
+// the indexed entry points (AddSUTransmitter and friends) instead of the
+// precomputed CSR tables. The two paths are bit-identical — this flag
+// exists for one release as an escape hatch and as the reference arm of the
+// equivalence tests. Call it before the simulation starts.
+func (t *Tracker) UseGridQueries(on bool) { t.gridPath = on }
+
 // Busy reports whether node currently senses the spectrum busy.
-func (t *Tracker) Busy(node int32) bool { return t.busy[node] > 0 }
+func (t *Tracker) Busy(node int32) bool {
+	return t.busy[node] > 0 || (t.lazyPU && t.puNear(node))
+}
 
 // BusyCount returns node's current busy counter (for tests).
-func (t *Tracker) BusyCount(node int32) int32 { return t.busy[node] }
+func (t *Tracker) BusyCount(node int32) int32 {
+	c := t.busy[node]
+	if t.lazyPU {
+		c += t.puCount(node)
+	}
+	return c
+}
 
 // PURange returns the primary-protection sensing range.
 func (t *Tracker) PURange() float64 { return t.puRange }
@@ -113,78 +262,312 @@ func (t *Tracker) putBuf(buf []int32) {
 	t.pool = append(t.pool, buf)
 }
 
-// AddTransmitter registers an active transmitter at pos. exclude names a
-// secondary node whose own counter must not change (the transmitter itself
-// when an SU transmits); pass -1 for primary transmitters. kind controls
-// whether PUArrived fires.
-func (t *Tracker) AddTransmitter(pos geom.Point, kind TxKind, exclude int32, now sim.Time) {
-	buf := t.takeBuf()
-	buf = t.nw.SUGrid.Within(pos, t.rangeFor(kind), buf)
+// suRow returns SU id's CSR neighbor row, building the table on first use.
+func (t *Tracker) suRow(id int32) []int32 {
+	if t.suTable == nil {
+		tab, err := t.nw.SUNeighborTable(t.suRange)
+		if err != nil {
+			panic(fmt.Sprintf("spectrum: SU neighbor table: %v", err))
+		}
+		t.suTable = tab
+	}
+	return t.suTable.Row(id)
+}
+
+// puRow returns PU i's CSR neighbor row, building the table on first use.
+func (t *Tracker) puRow(i int32) []int32 {
+	if t.puTable == nil {
+		tab, err := t.nw.PUNeighborTable(t.puRange)
+		if err != nil {
+			panic(fmt.Sprintf("spectrum: PU neighbor table: %v", err))
+		}
+		t.puTable = tab
+	}
+	return t.puTable.Row(i)
+}
+
+// addNeighbors applies one transmitter registration over an explicit
+// neighbor sequence. nbrs is borrowed, never retained, and never written:
+// CSR rows pass their immutable backing array directly.
+func (t *Tracker) addNeighbors(nbrs []int32, kind TxKind, exclude int32, now sim.Time) {
 	rose := t.takeBuf()
 	// Phase 1: apply every counter update so the medium state is
-	// consistent before any observer reacts.
-	for _, node := range buf {
-		if node == exclude {
-			continue
+	// consistent before any observer reacts. The local busy slice and
+	// counter keep the compiler from re-loading t.busy[node] after the
+	// store (it cannot prove rose does not alias the tracker).
+	busy := t.busy
+	if be := t.busyElig; be != nil {
+		// With the transition filter on, record only eligible crossings:
+		// delivery re-checks eligibility anyway, and a node that gains
+		// eligibility between here and delivery can only do so inside a
+		// callback of this batch — none of which (freezes) touch another
+		// node's eligibility — so the thinned buffer drops no delivery.
+		for _, node := range nbrs {
+			if node == exclude {
+				continue
+			}
+			c := busy[node] + 1
+			busy[node] = c
+			// Under lazy PU accounting `busy` carries only secondary
+			// contributions, so a 0→1 here is a real medium transition only
+			// if no active primary already covers the node. PU flags cannot
+			// change inside this walk (toggles come from model events, never
+			// callbacks), so the check holds through delivery too.
+			if c == 1 && be[node] && !(t.lazyPU && t.puNear(node)) {
+				rose = append(rose, node)
+			}
 		}
-		t.busy[node]++
-		if t.busy[node] == 1 {
-			rose = append(rose, node)
+	} else {
+		for _, node := range nbrs {
+			if node == exclude {
+				continue
+			}
+			c := busy[node] + 1
+			busy[node] = c
+			if c == 1 {
+				rose = append(rose, node)
+			}
 		}
 	}
 	// Phase 2: callbacks (may reenter the tracker). A reentrant call may
 	// have changed a counter again, so re-verify the level each callback
-	// reports; the reentrant call delivered its own transitions.
-	for _, node := range rose {
-		if t.busy[node] > 0 {
-			t.observer.SpectrumBusy(node, now)
+	// reports; the reentrant call delivered its own transitions. Eligibility
+	// is read per callback, not snapshotted: a reentrant state change keeps
+	// the shared mask current.
+	if be := t.busyElig; be != nil {
+		for _, node := range rose {
+			if be[node] && busy[node] > 0 {
+				t.observer.SpectrumBusy(node, now)
+			}
+		}
+	} else {
+		for _, node := range rose {
+			if busy[node] > 0 {
+				t.observer.SpectrumBusy(node, now)
+			}
 		}
 	}
 	if kind == TxPU {
-		for _, node := range buf {
-			if node != exclude {
-				t.observer.PUArrived(node, now)
+		if t.arrivedTxOnly {
+			if t.nSuTx > 0 {
+				for _, node := range nbrs {
+					if t.suTx[node] && node != exclude {
+						t.observer.PUArrived(node, now)
+					}
+				}
+			}
+		} else {
+			for _, node := range nbrs {
+				if node != exclude {
+					t.observer.PUArrived(node, now)
+				}
 			}
 		}
 	}
 	t.putBuf(rose)
+}
+
+// removeNeighbors reverses addNeighbors over the same neighbor sequence.
+func (t *Tracker) removeNeighbors(nbrs []int32, now sim.Time, exclude int32) {
+	fell := t.takeBuf()
+	busy := t.busy
+	if fe := t.freeElig; fe != nil {
+		// Filtered recording, mirroring addNeighbors: a node that becomes
+		// free-eligible during this batch's callbacks froze against a medium
+		// those same callbacks made busy, so its delivery-time level check
+		// (busy == 0) fails regardless — skipping it here changes nothing.
+		for _, node := range nbrs {
+			if node == exclude {
+				continue
+			}
+			c := busy[node] - 1
+			busy[node] = c
+			if c <= 0 {
+				if c < 0 {
+					panic(fmt.Sprintf("spectrum: negative busy count at node %d", node))
+				}
+				if fe[node] && !(t.lazyPU && t.puNear(node)) {
+					fell = append(fell, node)
+				}
+			}
+		}
+	} else {
+		for _, node := range nbrs {
+			if node == exclude {
+				continue
+			}
+			c := busy[node] - 1
+			busy[node] = c
+			if c <= 0 {
+				if c < 0 {
+					panic(fmt.Sprintf("spectrum: negative busy count at node %d", node))
+				}
+				fell = append(fell, node)
+			}
+		}
+	}
+	if fe := t.freeElig; fe != nil {
+		for _, node := range fell {
+			if fe[node] && busy[node] == 0 {
+				t.observer.SpectrumFree(node, now)
+			}
+		}
+	} else {
+		for _, node := range fell {
+			// Re-verify: a reentrant registration during an earlier callback
+			// may have re-raised this node's counter.
+			if busy[node] == 0 {
+				t.observer.SpectrumFree(node, now)
+			}
+		}
+	}
+	t.putBuf(fell)
+}
+
+// AddSUTransmitter registers secondary node id as an active transmitter
+// (the node's own counter is excluded). This is the indexed fast path: it
+// walks id's precomputed CSR row unless UseGridQueries reverted it to a
+// live grid query.
+func (t *Tracker) AddSUTransmitter(id int32, now sim.Time) {
+	if !t.suTx[id] {
+		t.suTx[id] = true
+		t.nSuTx++
+	}
+	if t.gridPath {
+		t.AddTransmitter(t.nw.SU[id], TxSU, id, now)
+		return
+	}
+	t.addNeighbors(t.suRow(id), TxSU, id, now)
+}
+
+// RemoveSUTransmitter reverses AddSUTransmitter.
+func (t *Tracker) RemoveSUTransmitter(id int32, now sim.Time) {
+	if t.suTx[id] {
+		t.suTx[id] = false
+		t.nSuTx--
+	}
+	if t.gridPath {
+		t.RemoveTransmitter(t.nw.SU[id], TxSU, id, now)
+		return
+	}
+	t.removeNeighbors(t.suRow(id), now, id)
+}
+
+// AddPUTransmitter registers primary user i as an active transmitter,
+// delivering PUArrived to every secondary node within the protection range.
+func (t *Tracker) AddPUTransmitter(i int32, now sim.Time) {
+	if t.gridPath {
+		t.AddTransmitter(t.nw.PU[i], TxPU, -1, now)
+		return
+	}
+	if t.lazyPU {
+		t.addPULazy(i, now)
+		return
+	}
+	t.addNeighbors(t.puRow(i), TxPU, -1, now)
+}
+
+// RemovePUTransmitter reverses AddPUTransmitter.
+func (t *Tracker) RemovePUTransmitter(i int32, now sim.Time) {
+	if t.gridPath {
+		t.RemoveTransmitter(t.nw.PU[i], TxPU, -1, now)
+		return
+	}
+	if t.lazyPU {
+		t.removePULazy(i, now)
+		return
+	}
+	t.removeNeighbors(t.puRow(i), now, -1)
+}
+
+// addPULazy registers primary user i on the fully filtered fast path. The
+// active flag IS the registration — no per-node counters change — and the
+// walks below only resolve on-demand counts for delivery-eligible nodes.
+// Bit-identical to the eager walk: a skipped node is exactly one whose
+// callback would have returned immediately, and for an eligible node the
+// on-demand total (busy + puCount) equals the counter the eager phase 1
+// would have produced, since SpectrumBusy callbacks never mutate the
+// tracker under the filter contract. Double-registration bookkeeping is the
+// caller's: the PU models strictly alternate add/remove per user.
+func (t *Tracker) addPULazy(i int32, now sim.Time) {
+	t.puActive[i] = true
+	nbrs := t.puRow(i)
+	be := t.busyElig
+	busy := t.busy
+	for _, node := range nbrs {
+		// Total count crossed 0→1 iff no secondary contribution and i is
+		// the only active PU covering node.
+		if be[node] && busy[node] == 0 && t.puCount(node) == 1 {
+			t.observer.SpectrumBusy(node, now)
+		}
+	}
+	// Arrival scan, mirroring the eager kind==TxPU branch (the lazy path
+	// implies arrivedTxOnly). Kept as a second walk so every busy
+	// transition lands before any handoff abort reenters the tracker.
+	if t.nSuTx > 0 {
+		suTx := t.suTx
+		for _, node := range nbrs {
+			if suTx[node] {
+				t.observer.PUArrived(node, now)
+			}
+		}
+	}
+}
+
+// removePULazy reverses addPULazy.
+func (t *Tracker) removePULazy(i int32, now sim.Time) {
+	t.puActive[i] = false
+	nbrs := t.puRow(i)
+	fe := t.freeElig
+	busy := t.busy
+	for _, node := range nbrs {
+		// Total count returned to zero iff both contributions are now zero.
+		// A reentrant AddSUTransmitter from an earlier resume raises busy
+		// before later nodes are inspected, failing this check exactly like
+		// the eager delivery re-verify would.
+		if fe[node] && busy[node] == 0 && t.puCount(node) == 0 {
+			t.observer.SpectrumFree(node, now)
+		}
+	}
+}
+
+// AddTransmitter registers an active transmitter at an arbitrary position
+// via a live grid range query. exclude names a secondary node whose own
+// counter must not change (the transmitter itself when an SU transmits);
+// pass -1 for primary transmitters. kind controls whether PUArrived fires
+// and which sensing radius applies. Callers with a node- or PU-indexed
+// transmitter should prefer the CSR fast path (AddSUTransmitter /
+// AddPUTransmitter); this entry point remains for dynamic positions and
+// radii.
+func (t *Tracker) AddTransmitter(pos geom.Point, kind TxKind, exclude int32, now sim.Time) {
+	if kind == TxSU && exclude >= 0 && !t.suTx[exclude] {
+		t.suTx[exclude] = true
+		t.nSuTx++
+	}
+	buf := t.takeBuf()
+	buf = t.nw.SUGrid.Within(pos, t.rangeFor(kind), buf)
+	t.addNeighbors(buf, kind, exclude, now)
 	t.putBuf(buf)
 }
 
 // RemoveTransmitter unregisters a transmitter previously added with the
 // same position, kind and exclusion.
 func (t *Tracker) RemoveTransmitter(pos geom.Point, kind TxKind, exclude int32, now sim.Time) {
+	if kind == TxSU && exclude >= 0 && t.suTx[exclude] {
+		t.suTx[exclude] = false
+		t.nSuTx--
+	}
 	buf := t.takeBuf()
 	buf = t.nw.SUGrid.Within(pos, t.rangeFor(kind), buf)
-	fell := t.takeBuf()
-	for _, node := range buf {
-		if node == exclude {
-			continue
-		}
-		t.busy[node]--
-		if t.busy[node] == 0 {
-			fell = append(fell, node)
-		}
-		if t.busy[node] < 0 {
-			panic(fmt.Sprintf("spectrum: negative busy count at node %d", node))
-		}
-	}
+	t.removeNeighbors(buf, now, exclude)
 	t.putBuf(buf)
-	for _, node := range fell {
-		// Re-verify: a reentrant registration during an earlier callback
-		// may have re-raised this node's counter.
-		if t.busy[node] == 0 {
-			t.observer.SpectrumFree(node, now)
-		}
-	}
-	t.putBuf(fell)
 }
 
 // BlockNode raises node's busy counter by one without a spatial query; the
 // aggregate PU model uses it to impose a node-local primary blocking period.
 func (t *Tracker) BlockNode(node int32, now sim.Time) {
 	t.busy[node]++
-	if t.busy[node] == 1 {
+	if t.busy[node] == 1 && !(t.lazyPU && t.puNear(node)) {
 		t.observer.SpectrumBusy(node, now)
 	}
 	t.observer.PUArrived(node, now)
@@ -193,7 +576,7 @@ func (t *Tracker) BlockNode(node int32, now sim.Time) {
 // UnblockNode reverses BlockNode.
 func (t *Tracker) UnblockNode(node int32, now sim.Time) {
 	t.busy[node]--
-	if t.busy[node] == 0 {
+	if t.busy[node] == 0 && !(t.lazyPU && t.puNear(node)) {
 		t.observer.SpectrumFree(node, now)
 	}
 	if t.busy[node] < 0 {
