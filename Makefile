@@ -10,8 +10,8 @@
 # allocs/op, delay-slots, ... metrics); three reps per benchmark, keeping
 # the fastest, so transient machine load cannot inflate the record. `make
 # bench-diff` re-runs the suite the same way and diffs it against the
-# committed BENCH_addc.json, failing on a >20% ns/op regression in any
-# benchmark — the local perf gate. `make
+# committed BENCH_addc.json, failing on a >20% ns/op or >30% allocs/op
+# regression in any benchmark — the local perf gate. `make
 # profile` captures cpu.prof + mem.prof for BenchmarkCollectBare along with
 # the test binary; inspect with `go tool pprof addcrn.test cpu.prof`.
 

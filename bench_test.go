@@ -11,6 +11,7 @@ package addcrn
 
 import (
 	"math"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -438,6 +439,73 @@ func BenchmarkCollectInstrumented(b *testing.B) {
 		slots += benchCollectOnce(b, uint64(i)+1, reg, trace.NullSink{})
 	}
 	b.ReportMetric(slots/float64(b.N), "delay-slots")
+}
+
+// benchSweepSpec returns a ten-point PU-activity sweep at a deliberately
+// tiny operating point, 200 (x, rep) pairs per iteration: the many-short-runs
+// regime where per-run construction, allocation and checkpoint I/O — the
+// batch execution layer's targets (DESIGN.md §9.1) — are a meaningful share
+// of the wall clock, unlike the simulation-dominated figure benches above.
+// One iteration stays a fraction of a second, so the sweep benchmarks run in
+// the CI bench smoke and under -short.
+func benchSweepSpec(seed uint64) *experiment.Sweep {
+	p := netmodel.ScaledDefaultParams()
+	p.NumSU = 40
+	p.Area = 40
+	p.NumPU = 2
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = 0.1 + 0.2*float64(i)/float64(len(xs)-1)
+	}
+	return &experiment.Sweep{
+		ID:             "bench",
+		Base:           p,
+		Xs:             xs,
+		Apply:          func(p netmodel.Params, x float64) netmodel.Params { p.ActiveProb = x; return p },
+		Reps:           20,
+		Seed:           seed,
+		MaxVirtualTime: time.Hour,
+	}
+}
+
+func benchSweepRun(b *testing.B, mutate func(*experiment.Sweep)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := benchSweepSpec(uint64(i) + 1)
+		if mutate != nil {
+			mutate(s)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != len(s.Xs) {
+			b.Fatalf("sweep returned %d points, want %d", len(res.Points), len(s.Xs))
+		}
+	}
+}
+
+// BenchmarkSweepSmallGrid measures sweep-scale throughput on the default
+// execution path: per-x placement seeds with per-worker engine reuse.
+func BenchmarkSweepSmallGrid(b *testing.B) { benchSweepRun(b, nil) }
+
+// BenchmarkSweepSmallGridShared is the same grid with ShareTopology: one
+// memoized deployment per repetition, its construction artifacts shared
+// read-only across every grid point.
+func BenchmarkSweepSmallGridShared(b *testing.B) {
+	benchSweepRun(b, func(s *experiment.Sweep) { s.ShareTopology = true })
+}
+
+// BenchmarkSweepSmallGridCheckpoint adds batched checkpoint journaling to the
+// shared-topology grid — the cost of crash-safe persistence on top of the
+// sweep itself.
+func BenchmarkSweepSmallGridCheckpoint(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "cp.jsonl")
+	benchSweepRun(b, func(s *experiment.Sweep) {
+		s.ShareTopology = true
+		s.Checkpoint = path
+	})
 }
 
 // BenchmarkSweepFig6cFull runs the entire Fig. 6c sweep (all x values, 2

@@ -8,10 +8,12 @@
 // produce BENCH_addc.json.
 //
 // With -baseline, the fresh run is additionally diffed against a previously
-// recorded JSON file: per-benchmark ns/op deltas are printed, and the exit
-// status is non-zero when any shared benchmark regressed by more than
-// -max-regress (a fraction; 0.20 means 20% slower). `make bench-diff` uses
-// this as the local perf-regression gate.
+// recorded JSON file: per-benchmark ns/op and allocs/op deltas are printed,
+// and the exit status is non-zero when any shared benchmark regressed by more
+// than -max-regress on ns/op (a fraction; 0.20 means 20% slower) or by more
+// than -max-allocs-regress on allocs/op (0.30 means 30% more allocations —
+// the tell for a reuse path quietly falling back to fresh construction).
+// `make bench-diff` uses this as the local perf-regression gate.
 package main
 
 import (
@@ -37,14 +39,32 @@ func main() {
 	baseline := flag.String("baseline", "", "recorded JSON to diff the fresh run against")
 	maxRegress := flag.Float64("max-regress", 0.20, "fail when ns/op regresses by more than this fraction of -baseline")
 	gateFloor := flag.Float64("gate-floor", 1e6, "only gate benchmarks whose base ns/op is at least this (short runs are timer noise at -benchtime 1x)")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", 0.30, "fail when allocs/op regresses by more than this fraction of -baseline")
+	allocsFloor := flag.Float64("allocs-gate-floor", 100, "only gate allocs/op when the base count is at least this (single-digit counts quantize)")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *out, *baseline, *maxRegress, *gateFloor); err != nil {
+	gates := gateConfig{
+		maxRegress:       *maxRegress,
+		gateFloor:        *gateFloor,
+		maxAllocsRegress: *maxAllocsRegress,
+		allocsFloor:      *allocsFloor,
+	}
+	if err := run(os.Stdin, os.Stdout, *out, *baseline, gates); err != nil {
 		fmt.Fprintln(os.Stderr, "addc-benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(r io.Reader, echo io.Writer, outPath, baselinePath string, maxRegress, gateFloor float64) error {
+// gateConfig bundles the regression thresholds: a fractional ns/op gate and a
+// fractional allocs/op gate, each with a floor below which the base
+// measurement is too small to gate meaningfully.
+type gateConfig struct {
+	maxRegress       float64
+	gateFloor        float64
+	maxAllocsRegress float64
+	allocsFloor      float64
+}
+
+func run(r io.Reader, echo io.Writer, outPath, baselinePath string, gates gateConfig) error {
 	results, err := parse(r, echo)
 	if err != nil {
 		return err
@@ -67,7 +87,7 @@ func run(r io.Reader, echo io.Writer, outPath, baselinePath string, maxRegress, 
 		if err != nil {
 			return err
 		}
-		return diff(echo, base, results, maxRegress, gateFloor)
+		return diff(echo, base, results, gates)
 	}
 	return nil
 }
@@ -84,20 +104,22 @@ func loadBaseline(path string) (map[string]BenchResult, error) {
 	return base, nil
 }
 
-// diff prints per-benchmark ns/op deltas of fresh vs base and errors when any
-// shared benchmark regressed by more than maxRegress. Benchmarks present on
-// only one side are reported but never fail the gate (new benchmarks must be
-// recordable before a baseline exists), and neither do benchmarks whose base
-// run is shorter than gateFloor — a single iteration of a microsecond-scale
-// benchmark measures timer granularity, not the code.
-func diff(w io.Writer, base, fresh map[string]BenchResult, maxRegress, gateFloor float64) error {
+// diff prints per-benchmark ns/op and allocs/op deltas of fresh vs base and
+// errors when any shared benchmark regressed beyond its gate. Benchmarks
+// present on only one side are reported but never fail the gate (new
+// benchmarks must be recordable before a baseline exists), and neither do
+// benchmarks below the gate floors — a single iteration of a
+// microsecond-scale benchmark measures timer granularity, not the code, and a
+// handful of allocations quantizes too coarsely for a fractional threshold.
+func diff(w io.Writer, base, fresh map[string]BenchResult, gates gateConfig) error {
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	var regressed []string
-	fmt.Fprintf(w, "\n%-34s %14s %14s %9s\n", "benchmark", "base ns/op", "fresh ns/op", "delta")
+	fmt.Fprintf(w, "\n%-34s %14s %14s %9s %12s %9s\n",
+		"benchmark", "base ns/op", "fresh ns/op", "delta", "allocs/op", "delta")
 	for _, name := range names {
 		f := fresh[name]
 		fns, ok := f.Metrics["ns/op"]
@@ -115,13 +137,25 @@ func diff(w io.Writer, base, fresh map[string]BenchResult, maxRegress, gateFloor
 		}
 		delta := (fns - bns) / bns
 		note := ""
-		if bns < gateFloor {
+		if bns < gates.gateFloor {
 			note = " (ungated)"
 		}
-		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+8.1f%%%s\n", name, bns, fns, delta*100, note)
-		if delta > maxRegress && bns >= gateFloor {
-			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", name, delta*100))
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+8.1f%%%s", name, bns, fns, delta*100, note)
+		if delta > gates.maxRegress && bns >= gates.gateFloor {
+			regressed = append(regressed, fmt.Sprintf("%s (ns/op %+.1f%%)", name, delta*100))
 		}
+		// Allocation counts are near-deterministic, so a regression there is
+		// signal even when wall time is noisy.
+		ballocs, bok := b.Metrics["allocs/op"]
+		fallocs, fok := f.Metrics["allocs/op"]
+		if bok && fok && ballocs > 0 {
+			adelta := (fallocs - ballocs) / ballocs
+			fmt.Fprintf(w, " %12.0f %+8.1f%%", fallocs, adelta*100)
+			if adelta > gates.maxAllocsRegress && ballocs >= gates.allocsFloor {
+				regressed = append(regressed, fmt.Sprintf("%s (allocs/op %+.1f%%)", name, adelta*100))
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	for name := range base {
 		if _, ok := fresh[name]; !ok {
@@ -129,7 +163,8 @@ func diff(w io.Writer, base, fresh map[string]BenchResult, maxRegress, gateFloor
 		}
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("ns/op regression beyond %.0f%%: %s", maxRegress*100, strings.Join(regressed, ", "))
+		return fmt.Errorf("regression beyond gates (ns/op %.0f%%, allocs/op %.0f%%): %s",
+			gates.maxRegress*100, gates.maxAllocsRegress*100, strings.Join(regressed, ", "))
 	}
 	return nil
 }

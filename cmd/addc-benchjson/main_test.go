@@ -77,6 +77,16 @@ func bench(ns float64) BenchResult {
 	return BenchResult{Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
 }
 
+func benchAllocs(ns, allocs float64) BenchResult {
+	return BenchResult{Iterations: 1, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+// gates builds a gateConfig with the given ns/op thresholds and the default
+// allocs/op gate (30% beyond a 100-alloc floor).
+func gates(maxRegress, gateFloor float64) gateConfig {
+	return gateConfig{maxRegress: maxRegress, gateFloor: gateFloor, maxAllocsRegress: 0.30, allocsFloor: 100}
+}
+
 func TestDiffGate(t *testing.T) {
 	base := map[string]BenchResult{
 		"BenchmarkA": bench(1000),
@@ -89,7 +99,7 @@ func TestDiffGate(t *testing.T) {
 		"BenchmarkNew": bench(42),
 	}
 	var out bytes.Buffer
-	err := diff(&out, base, fresh, 0.20, 0)
+	err := diff(&out, base, fresh, gates(0.20, 0))
 	if err == nil {
 		t.Fatal("30% regression passed a 20% gate")
 	}
@@ -101,7 +111,7 @@ func TestDiffGate(t *testing.T) {
 			t.Errorf("diff output missing %q:\n%s", want, out.String())
 		}
 	}
-	if err := diff(&out, base, fresh, 0.40, 0); err != nil {
+	if err := diff(&out, base, fresh, gates(0.40, 0)); err != nil {
 		t.Errorf("30%% regression failed a 40%% gate: %v", err)
 	}
 }
@@ -109,7 +119,7 @@ func TestDiffGate(t *testing.T) {
 func TestDiffImprovementPasses(t *testing.T) {
 	base := map[string]BenchResult{"BenchmarkA": bench(3000)}
 	fresh := map[string]BenchResult{"BenchmarkA": bench(1000)}
-	if err := diff(io.Discard, base, fresh, 0.20, 0); err != nil {
+	if err := diff(io.Discard, base, fresh, gates(0.20, 0)); err != nil {
 		t.Errorf("3x improvement flagged as regression: %v", err)
 	}
 }
@@ -124,14 +134,43 @@ func TestDiffGateFloor(t *testing.T) {
 		"BenchmarkMacro": bench(5100000),
 	}
 	var out bytes.Buffer
-	if err := diff(&out, base, fresh, 0.20, 1e6); err != nil {
+	if err := diff(&out, base, fresh, gates(0.20, 1e6)); err != nil {
 		t.Errorf("sub-floor noise failed the gate: %v", err)
 	}
 	if !strings.Contains(out.String(), "ungated") {
 		t.Errorf("sub-floor benchmark not marked ungated:\n%s", out.String())
 	}
 	fresh["BenchmarkMacro"] = bench(9000000)
-	if err := diff(io.Discard, base, fresh, 0.20, 1e6); err == nil {
+	if err := diff(io.Discard, base, fresh, gates(0.20, 1e6)); err == nil {
 		t.Error("above-floor regression passed the gate")
+	}
+}
+
+func TestDiffAllocsGate(t *testing.T) {
+	base := map[string]BenchResult{
+		"BenchmarkA": benchAllocs(5000000, 10000),
+		"BenchmarkB": benchAllocs(5000000, 8), // below the allocs floor
+	}
+	fresh := map[string]BenchResult{
+		"BenchmarkA": benchAllocs(5100000, 15000), // ns/op fine, allocs +50%
+		"BenchmarkB": benchAllocs(5100000, 16),    // +100% of 8 allocs: ungated
+	}
+	var out bytes.Buffer
+	err := diff(&out, base, fresh, gates(0.20, 1e6))
+	if err == nil {
+		t.Fatal("+50% allocs/op passed a 30% gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA") || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("error does not name the allocs regression: %v", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkB") {
+		t.Errorf("sub-floor allocs count was gated: %v", err)
+	}
+
+	// Fewer allocations must never trip the gate, whatever the fraction.
+	fresh["BenchmarkA"] = benchAllocs(5100000, 100)
+	fresh["BenchmarkB"] = benchAllocs(5100000, 0)
+	if err := diff(io.Discard, base, fresh, gates(0.20, 1e6)); err != nil {
+		t.Errorf("allocation improvement flagged as regression: %v", err)
 	}
 }

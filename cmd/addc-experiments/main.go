@@ -60,6 +60,7 @@ func run(args []string) error {
 		checkpoint = fs.String("checkpoint", "", "journal completed repetitions to this JSONL file (per-figure suffix added when sweeping several figures)")
 		resume     = fs.Bool("resume", false, "with -checkpoint: skip repetitions the journal already records")
 		guard      = fs.Bool("guard", false, "run every simulation with runtime invariant guards")
+		shareTopo  = fs.Bool("share-topology", false, "memoize deployments and share construction artifacts across grid points and repetitions (changes the placement-seed derivation; each mode is internally deterministic)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,9 +88,9 @@ func run(args []string) error {
 	case "thm1", "thm2":
 		return runBounds(*fig, base, *reps, *seed)
 	case "ext1":
-		return runChannelSweep(base, *reps, *seed)
+		return runChannelSweep(base, *reps, *seed, *shareTopo)
 	case "ext2":
-		return runFaultSweep(ctx, base, *reps, *seed)
+		return runFaultSweep(ctx, base, *reps, *seed, *shareTopo)
 	case "curves":
 		svg, err := experiment.DeliveryCurves(base, *seed)
 		if err != nil {
@@ -115,6 +116,7 @@ func run(args []string) error {
 		sweep.MaxVirtualTime = *budget
 		sweep.SameMAC = *sameMAC
 		sweep.Guard = *guard
+		sweep.ShareTopology = *shareTopo
 		if *checkpoint != "" {
 			sweep.Checkpoint = checkpointPath(*checkpoint, id, len(figures) > 1)
 			sweep.Resume = *resume
@@ -149,12 +151,13 @@ func run(args []string) error {
 	return nil
 }
 
-func runChannelSweep(base netmodel.Params, reps int, seed uint64) error {
+func runChannelSweep(base netmodel.Params, reps int, seed uint64, shareTopo bool) error {
 	sweep := experiment.ChannelSweep{
-		Base:     base,
-		Channels: []int{1, 2, 3, 4, 6, 8},
-		Reps:     reps,
-		Seed:     seed,
+		Base:          base,
+		Channels:      []int{1, 2, 3, 4, 6, 8},
+		Reps:          reps,
+		Seed:          seed,
+		ShareTopology: shareTopo,
 	}
 	res, err := sweep.Run()
 	if err != nil {
@@ -164,13 +167,14 @@ func runChannelSweep(base netmodel.Params, reps int, seed uint64) error {
 	return nil
 }
 
-func runFaultSweep(ctx context.Context, base netmodel.Params, reps int, seed uint64) error {
+func runFaultSweep(ctx context.Context, base netmodel.Params, reps int, seed uint64, shareTopo bool) error {
 	sweep := experiment.FaultSweep{
-		Base:       base,
-		CrashFracs: []float64{0, 0.05, 0.10, 0.20, 0.30},
-		LinkLoss:   0.05,
-		Reps:       reps,
-		Seed:       seed,
+		Base:          base,
+		CrashFracs:    []float64{0, 0.05, 0.10, 0.20, 0.30},
+		LinkLoss:      0.05,
+		Reps:          reps,
+		Seed:          seed,
+		ShareTopology: shareTopo,
 	}
 	res, err := sweep.RunContext(ctx)
 	if err != nil {

@@ -62,6 +62,7 @@ func run(args []string) error {
 		etaSU   = fs.Float64("etaS", base.SIRThresholdSUdB, "SU SIR threshold (dB)")
 		pt      = fs.Float64("pt", base.ActiveProb, "PU per-slot activity probability")
 		seed    = fs.Uint64("seed", 1, "run seed")
+		runs    = fs.Int("runs", 1, "repeat the simulation with seeds seed, seed+1, ... reusing one simulation workspace between runs")
 		alg     = fs.String("alg", "addc", "algorithm: addc or coolest")
 		model   = fs.String("pu-model", "exact", "PU model: exact or aggregate")
 		budget  = fs.Duration("max-virtual", 30*time.Minute, "virtual-time budget")
@@ -84,6 +85,12 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be at least 1, got %d", *runs)
+	}
+	if *runs > 1 && (*metricsOut != "" || *traceOut != "") {
+		return fmt.Errorf("-runs > 1 does not combine with -metrics-out or -trace-out")
 	}
 
 	params := base
@@ -109,18 +116,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown PU model %q", *model)
 	}
 
-	opts := core.Options{
-		Params:         params,
-		Seed:           *seed,
-		PUModel:        kind,
-		MaxVirtualTime: *budget,
-	}
-	nw, err := core.BuildNetwork(opts)
-	if err != nil {
-		return err
-	}
 	cfg := core.CollectConfig{
-		Seed:           *seed,
 		PUModel:        kind,
 		MaxVirtualTime: *budget,
 		DisableHandoff: !*handoff,
@@ -168,81 +164,103 @@ func run(args []string) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	var parents []int32
-	switch *alg {
-	case "addc":
-		tree, err := core.BuildTree(nw)
-		if err != nil {
-			return err
-		}
-		parents = tree.Parent
-		cfg.Tree = tree // repair prefers dominators/connectors
-	case "coolest":
-		consts, err := pcr.Compute(params)
-		if err != nil {
-			return err
-		}
-		parents, err = coolest.BuildParents(nw, consts.Range, coolest.MetricAccumulated)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", *alg)
-	}
-
 	// SIGINT/SIGTERM cancel the simulation at event-loop granularity; the
 	// partial result still flushes traces and metrics below.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	res, err := core.CollectContext(ctx, nw, parents, cfg)
-	if sink != nil {
-		if ferr := sink.Flush(); ferr != nil && err == nil {
-			err = ferr
+	// Repeated runs (-runs > 1) share one workspace: the event arena, MAC
+	// state and scratch buffers are wiped in place between runs instead of
+	// reallocated, matching the sweep layer's per-worker engine reuse.
+	ws := core.NewWorkspace()
+	for i := 0; i < *runs; i++ {
+		runSeed := *seed + uint64(i)
+		nw, err := core.BuildNetwork(core.Options{
+			Params:         params,
+			Seed:           runSeed,
+			PUModel:        kind,
+			MaxVirtualTime: *budget,
+		})
+		if err != nil {
+			return err
 		}
-	}
-	if reg != nil {
-		if werr := writeMetrics(*metricsOut, reg); werr != nil && err == nil {
-			err = werr
+		runCfg := cfg
+		runCfg.Seed = runSeed
+		runCfg.Workspace = ws
+		var parents []int32
+		switch *alg {
+		case "addc":
+			tree, err := core.BuildTree(nw)
+			if err != nil {
+				return err
+			}
+			parents = tree.Parent
+			runCfg.Tree = tree // repair prefers dominators/connectors
+		case "coolest":
+			consts, err := pcr.Compute(params)
+			if err != nil {
+				return err
+			}
+			parents, err = coolest.BuildParents(nw, consts.Range, coolest.MetricAccumulated)
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown algorithm %q", *alg)
 		}
-	}
-	var ce *core.CanceledError
-	if errors.As(err, &ce) {
-		fmt.Fprintf(os.Stderr, "addc-sim: interrupted at %v (virtual): %d/%d delivered, %d lost\n",
-			ce.Elapsed.Duration(), ce.Delivered, ce.Expected, ce.Lost)
-		if res != nil && res.Guard != nil {
-			fmt.Fprintf(os.Stderr, "addc-sim: guard: %d checks, %d violations before interruption\n",
-				res.Guard.ConcurrencyChecks+res.Guard.TreeChecks+res.Guard.ConservationChecks,
-				res.Guard.ViolationCount())
+
+		res, err := core.CollectContext(ctx, nw, parents, runCfg)
+		if sink != nil {
+			if ferr := sink.Flush(); ferr != nil && err == nil {
+				err = ferr
+			}
 		}
-		return err
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("algorithm=%s n=%d N=%d pt=%.2f alpha=%.1f seed=%d pu-model=%s\n",
-		*alg, params.NumSU, params.NumPU, params.ActiveProb, params.Alpha, *seed, kind)
-	fmt.Printf("PCR: kappa=%.3f range=%.1fm\n", res.PCR.Kappa, res.PCR.Range)
-	fmt.Printf("delivered %d/%d in %v (%.0f slots)\n",
-		res.Delivered, res.Expected, res.Delay.Duration(), res.DelaySlots)
-	fmt.Printf("capacity %.1f kbit/s, transmissions=%d, aborts=%d\n",
-		res.Capacity/1e3, res.TotalTransmissions, res.TotalAborts)
-	fmt.Printf("hops: %s\n", res.HopStats)
-	fmt.Printf("latency(slots): %s\n", res.LatencySlots)
-	fmt.Printf("engine steps: %d\n", res.EngineSteps)
-	if th := res.Theory; th != nil {
-		fmt.Printf("theorem1 bound %.0f slots, service tightness %.3f, per-hop tightness %.3f\n",
-			th.Theorem1Slots, th.ServiceTightness, th.PerHopTightness)
-	}
-	if g := res.Guard; g != nil {
-		fmt.Printf("guard: concurrency=%d tree=%d conservation=%d checks, %d violations\n",
-			g.ConcurrencyChecks, g.TreeChecks, g.ConservationChecks, g.ViolationCount())
-	}
-	if res.Fault != nil {
-		fmt.Printf("outcome=%s delivery-ratio=%.3f lost=%d\n", res.Outcome, res.DeliveryRatio, res.Lost)
-		fr := res.Fault
-		fmt.Printf("faults: crashes=%d recoveries=%d repairs=%d link-losses=%d ack-losses=%d retries=%d drops=%d\n",
-			fr.Crashes, fr.Recoveries, fr.Repairs, fr.LinkLosses, fr.AckLosses, fr.Retries, fr.Drops)
+		if reg != nil {
+			if werr := writeMetrics(*metricsOut, reg); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		var ce *core.CanceledError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "addc-sim: interrupted at %v (virtual): %d/%d delivered, %d lost\n",
+				ce.Elapsed.Duration(), ce.Delivered, ce.Expected, ce.Lost)
+			if res != nil && res.Guard != nil {
+				fmt.Fprintf(os.Stderr, "addc-sim: guard: %d checks, %d violations before interruption\n",
+					res.Guard.ConcurrencyChecks+res.Guard.TreeChecks+res.Guard.ConservationChecks,
+					res.Guard.ViolationCount())
+			}
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("algorithm=%s n=%d N=%d pt=%.2f alpha=%.1f seed=%d pu-model=%s\n",
+			*alg, params.NumSU, params.NumPU, params.ActiveProb, params.Alpha, runSeed, kind)
+		fmt.Printf("PCR: kappa=%.3f range=%.1fm\n", res.PCR.Kappa, res.PCR.Range)
+		fmt.Printf("delivered %d/%d in %v (%.0f slots)\n",
+			res.Delivered, res.Expected, res.Delay.Duration(), res.DelaySlots)
+		fmt.Printf("capacity %.1f kbit/s, transmissions=%d, aborts=%d\n",
+			res.Capacity/1e3, res.TotalTransmissions, res.TotalAborts)
+		fmt.Printf("hops: %s\n", res.HopStats)
+		fmt.Printf("latency(slots): %s\n", res.LatencySlots)
+		fmt.Printf("engine steps: %d\n", res.EngineSteps)
+		if th := res.Theory; th != nil {
+			fmt.Printf("theorem1 bound %.0f slots, service tightness %.3f, per-hop tightness %.3f\n",
+				th.Theorem1Slots, th.ServiceTightness, th.PerHopTightness)
+		}
+		if g := res.Guard; g != nil {
+			fmt.Printf("guard: concurrency=%d tree=%d conservation=%d checks, %d violations\n",
+				g.ConcurrencyChecks, g.TreeChecks, g.ConservationChecks, g.ViolationCount())
+		}
+		if res.Fault != nil {
+			fmt.Printf("outcome=%s delivery-ratio=%.3f lost=%d\n", res.Outcome, res.DeliveryRatio, res.Lost)
+			fr := res.Fault
+			fmt.Printf("faults: crashes=%d recoveries=%d repairs=%d link-losses=%d ack-losses=%d retries=%d drops=%d\n",
+				fr.Crashes, fr.Recoveries, fr.Repairs, fr.LinkLosses, fr.AckLosses, fr.Retries, fr.Drops)
+		}
+		if i+1 < *runs {
+			fmt.Println()
+		}
 	}
 	return nil
 }

@@ -166,9 +166,30 @@ type Options struct {
 	Sink trace.Sink
 	// Guard enables runtime invariant guards; see CollectConfig.Guard.
 	Guard bool
-	// GridSensing selects the legacy grid-query sensing path; see
-	// CollectConfig.GridSensing.
-	GridSensing bool
+	// Prebuilt, when non-nil, supplies the run's construction artifacts —
+	// deployment, adjacency, routing tree — instead of having RunContext
+	// build them from Params and Seed. The batch execution layer
+	// (internal/experiment) uses it to share one memoized topology across
+	// every repetition of a sweep; all artifacts are treated read-only.
+	Prebuilt *Prebuilt
+	// Workspace, when non-nil, reuses one worker's simulation context
+	// (engine arena, MAC state, scratch buffers) across runs; see Workspace.
+	Workspace *Workspace
+}
+
+// Prebuilt carries construction artifacts for RunContext to use as-is. All
+// fields must describe the same deployment. Network and Tree are required;
+// Adj saves the repairer an adjacency rebuild, Stats is copied into the
+// Result, and Tables feeds the carrier-sense tracker memoized CSR neighbor
+// tables. Everything here is shared and read-only: the MAC and the repairer
+// copy the parent slice before mutating routing, so fault runs never write
+// into a shared tree.
+type Prebuilt struct {
+	Network *netmodel.Network
+	Tree    *cds.Tree
+	Adj     graphx.Adjacency
+	Stats   cds.Stats
+	Tables  spectrum.NeighborTables
 }
 
 // DefaultOptions returns Options at the feasibility-scaled operating point
@@ -290,32 +311,55 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, &CanceledError{Cause: err}
 	}
-	stop := opts.Metrics.StartPhase("network-build")
-	nw, err := BuildNetwork(opts)
-	stop(0)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, &CanceledError{Cause: err}
-	}
-	stop = opts.Metrics.StartPhase("cds-tree")
-	tree, err := BuildTree(nw)
-	stop(0)
-	if err != nil {
-		return nil, err
+	var (
+		nw     *netmodel.Network
+		tree   *cds.Tree
+		adj    graphx.Adjacency
+		st     cds.Stats
+		tables spectrum.NeighborTables
+	)
+	if pre := opts.Prebuilt; pre != nil {
+		if pre.Network == nil || pre.Tree == nil {
+			return nil, fmt.Errorf("core: Prebuilt requires Network and Tree")
+		}
+		nw, tree, adj, st, tables = pre.Network, pre.Tree, pre.Adj, pre.Stats, pre.Tables
+	} else {
+		stop := opts.Metrics.StartPhase("network-build")
+		var err error
+		nw, err = BuildNetwork(opts)
+		stop(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, &CanceledError{Cause: err}
+		}
+		stop = opts.Metrics.StartPhase("cds-tree")
+		adj, err = graphx.UnitDisk(nw.Bounds(), nw.SU, nw.Params.RadiusSU)
+		if err != nil {
+			stop(0)
+			return nil, fmt.Errorf("core: adjacency: %w", err)
+		}
+		tree, err = cds.Build(adj, netmodel.BaseStationID)
+		stop(0)
+		if err != nil {
+			return nil, fmt.Errorf("core: CDS tree: %w", err)
+		}
+		st = tree.ComputeStats(adj)
 	}
 	return CollectContext(ctx, nw, tree.Parent, CollectConfig{
 		Seed:           opts.Seed,
 		PUModel:        opts.PUModel,
 		MaxVirtualTime: opts.MaxVirtualTime,
-		TreeStats:      treeStats(nw, tree),
+		TreeStats:      st,
 		Faults:         opts.Faults,
 		Tree:           tree,
+		Adj:            adj,
+		Tables:         tables,
+		Workspace:      opts.Workspace,
 		Metrics:        opts.Metrics,
 		Sink:           opts.Sink,
 		Guard:          opts.Guard,
-		GridSensing:    opts.GridSensing,
 	})
 }
 
@@ -345,14 +389,6 @@ func BuildTree(nw *netmodel.Network) (*cds.Tree, error) {
 		return nil, fmt.Errorf("core: CDS tree: %w", err)
 	}
 	return tree, nil
-}
-
-func treeStats(nw *netmodel.Network, tree *cds.Tree) cds.Stats {
-	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, nw.Params.RadiusSU)
-	if err != nil {
-		return cds.Stats{}
-	}
-	return tree.ComputeStats(adj)
 }
 
 // CollectConfig parameterizes a collection run over a prebuilt topology and
@@ -438,12 +474,53 @@ type CollectConfig struct {
 	// them process-wide (the `make guard` tier).
 	Guard bool
 
-	// GridSensing reverts the spectrum tracker's indexed entry points to
-	// per-event grid range queries instead of the precomputed CSR neighbor
-	// tables. The two paths are bit-identical for equal seeds (the
-	// equivalence tests enforce this byte-for-byte); the flag exists for one
-	// release as an escape hatch while the fast path beds in.
-	GridSensing bool
+	// Adj, when non-nil, is nw's unit-disk adjacency; the self-healing
+	// repairer then skips rebuilding it. Read-only.
+	Adj graphx.Adjacency
+	// Tables, when non-nil, supplies the carrier-sense CSR neighbor tables
+	// (memoized across runs sharing a deployment); see mac.Config.Tables.
+	Tables spectrum.NeighborTables
+	// Workspace, when non-nil, reuses one worker's simulation context across
+	// runs — the event arena, the MAC's per-node state, and the latency/hop
+	// scratch buffers are wiped in place instead of reallocated. A run with
+	// a (renewed) workspace is bit-identical to one without; each Workspace
+	// serves one run at a time.
+	Workspace *Workspace
+}
+
+// Workspace is a reusable per-worker simulation context. The zero value (or
+// NewWorkspace) is ready to use: the first run populates it, later runs
+// reset the retained engine, MAC, and scratch buffers in place, cutting
+// per-repetition allocation to O(changed state). It is not safe for
+// concurrent use — give each worker goroutine its own.
+type Workspace struct {
+	eng       *sim.Engine
+	m         *mac.MAC
+	latencies []float64
+	hops      []float64
+	perNodeTx []float64
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// engine returns the retained engine reset for a new run, creating it on
+// first use.
+func (ws *Workspace) engine() *sim.Engine {
+	if ws.eng == nil {
+		ws.eng = sim.New()
+	} else {
+		ws.eng.Reset()
+	}
+	return ws.eng
+}
+
+// grow returns s truncated to length zero with capacity at least n.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, 0, n)
+	}
+	return s[:0]
 }
 
 // Collect runs one data collection task over nw with the given routing
@@ -489,7 +566,13 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 		cfg.PUModel = spectrum.ModelExact
 	}
 
-	eng := sim.New()
+	ws := cfg.Workspace
+	var eng *sim.Engine
+	if ws != nil {
+		eng = ws.engine()
+	} else {
+		eng = sim.New()
+	}
 	src := rng.New(cfg.Seed)
 
 	// Fault layer: compile the deterministic plan up front so the MAC can
@@ -508,8 +591,14 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 		PCR:       consts,
 		TreeStats: cfg.TreeStats,
 	}
-	latencies := make([]float64, 0, res.Expected)
-	hops := make([]float64, 0, res.Expected)
+	var latencies, hops []float64
+	if ws != nil {
+		latencies = grow(ws.latencies, res.Expected)
+		hops = grow(ws.hops, res.Expected)
+	} else {
+		latencies = make([]float64, 0, res.Expected)
+		hops = make([]float64, 0, res.Expected)
+	}
 	slot := sim.FromDuration(nw.Params.Slot)
 
 	var monitor *spectrum.RxMonitor
@@ -586,7 +675,7 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 		OnTxEnd:        cfg.OnTxEnd,
 		Metrics:        obs.macMetrics(),
 		DisableHandoff: cfg.DisableHandoff,
-		GridSensing:    cfg.GridSensing,
+		Tables:         cfg.Tables,
 		Monitor:        monitor,
 		NoFairnessWait: cfg.GenericCSMA,
 		ExpBackoff:     cfg.GenericCSMA,
@@ -649,7 +738,13 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 			rec(trace.KindBackoffDraw, node, int64(draw))
 		}
 	}
-	m, err := mac.New(macCfg)
+	var m *mac.MAC
+	if ws != nil {
+		m, err = mac.Renew(ws.m, macCfg)
+		ws.m = m
+	} else {
+		m, err = mac.New(macCfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -658,7 +753,7 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 		grd.checkTree(eng.Now()) // validate the initial routing tree
 	}
 
-	rep, err := scheduleFaults(eng, nw, m, plan, cfg.Tree, parent, res, rec)
+	rep, err := scheduleFaults(eng, nw, m, plan, cfg.Tree, cfg.Adj, parent, res, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -707,7 +802,11 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 	deadline := sim.FromDuration(cfg.MaxVirtualTime)
 	finish := func() {
 		stopCollect(eng.Now())
-		finishResult(res, nw, m, eng, latencies, hops, slot)
+		finishResult(res, nw, m, eng, latencies, hops, slot, ws)
+		if ws != nil {
+			// Retain the (possibly grown) scratch backing for the next run.
+			ws.latencies, ws.hops = latencies, hops
+		}
 		fillFaultReport(res, nw, m, rep)
 		obs.finish(res, nw, m, cfg.Tree, model.BusyFraction(eng.Now()))
 		if grd != nil {
@@ -761,7 +860,7 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 // the self-healing repairer when the plan contains crash/recover events. It
 // returns nil when there is nothing to schedule.
 func scheduleFaults(eng *sim.Engine, nw *netmodel.Network, m *mac.MAC, plan *fault.Plan,
-	tree *cds.Tree, parent []int32, res *Result,
+	tree *cds.Tree, adj graphx.Adjacency, parent []int32, res *Result,
 	rec func(trace.Kind, int32, int64)) (*repairer, error) {
 	if plan == nil || len(plan.Events) == 0 {
 		return nil, nil
@@ -769,9 +868,12 @@ func scheduleFaults(eng *sim.Engine, nw *netmodel.Network, m *mac.MAC, plan *fau
 	var rep *repairer
 	for _, ev := range plan.Events {
 		if ev.Kind == fault.EventCrash || ev.Kind == fault.EventRecover {
-			adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, nw.Params.RadiusSU)
-			if err != nil {
-				return nil, fmt.Errorf("core: repair adjacency: %w", err)
+			if adj == nil {
+				var err error
+				adj, err = graphx.UnitDisk(nw.Bounds(), nw.SU, nw.Params.RadiusSU)
+				if err != nil {
+					return nil, fmt.Errorf("core: repair adjacency: %w", err)
+				}
 			}
 			rep = newRepairer(nw, adj, tree, parent, m.SetParent)
 			rep.onRepair = func(node, newParent int32, now sim.Time) {
@@ -870,7 +972,7 @@ func fillFaultReport(res *Result, nw *netmodel.Network, m *mac.MAC, rep *repaire
 }
 
 func finishResult(res *Result, nw *netmodel.Network, m *mac.MAC, eng *sim.Engine,
-	latencies, hops []float64, slot sim.Time) {
+	latencies, hops []float64, slot sim.Time, ws *Workspace) {
 	if res.Delay == 0 && res.Delivered < res.Expected {
 		res.Delay = eng.Now()
 	}
@@ -881,7 +983,13 @@ func finishResult(res *Result, nw *netmodel.Network, m *mac.MAC, eng *sim.Engine
 	if res.Delay > 0 {
 		res.Capacity = float64(res.Delivered) * nw.Params.PacketBits / res.Delay.Seconds()
 	}
-	perNodeTx := make([]float64, 0, nw.NumNodes()-1)
+	var perNodeTx []float64
+	if ws != nil {
+		perNodeTx = grow(ws.perNodeTx, nw.NumNodes()-1)
+		defer func() { ws.perNodeTx = perNodeTx }()
+	} else {
+		perNodeTx = make([]float64, 0, nw.NumNodes()-1)
+	}
 	for v := 1; v < nw.NumNodes(); v++ {
 		st := m.Stats(int32(v))
 		res.TotalTransmissions += st.Transmissions

@@ -7,15 +7,30 @@ import (
 	"time"
 
 	"addcrn/internal/fault"
+	"addcrn/internal/geom"
+	"addcrn/internal/graphx"
 	"addcrn/internal/metrics"
 	"addcrn/internal/trace"
 )
 
+// equivalenceSpec is the fault load every equivalence run injects: crashes
+// (exercising self-healing repair and therefore parent-slice copy-on-write),
+// link loss and ACK loss (exercising the retry machine and the loss RNG
+// stream).
+func equivalenceSpec() *fault.Spec {
+	return &fault.Spec{
+		CrashFrac:   0.08,
+		CrashWindow: 500 * time.Millisecond,
+		LinkLoss:    0.05,
+		AckLoss:     0.02,
+	}
+}
+
 // equivalenceRun executes one fully instrumented collection — faults
 // injected, guards on, MAC tracing streamed to JSONL, metrics registered —
-// with the sensing path selected by gridSensing, and returns everything a
-// byte-level comparison needs.
-func equivalenceRun(t *testing.T, seed uint64, gridSensing bool) (*Result, []byte, []byte) {
+// reusing ws when non-nil, and returns everything a byte-level comparison
+// needs.
+func equivalenceRun(t *testing.T, seed uint64, ws *Workspace) (*Result, []byte, []byte) {
 	t.Helper()
 	opts := smallOptions(seed)
 	nw, err := BuildNetwork(opts)
@@ -31,21 +46,16 @@ func equivalenceRun(t *testing.T, seed uint64, gridSensing bool) (*Result, []byt
 	res, err := Collect(nw, tree.Parent, CollectConfig{
 		Seed:           seed,
 		MaxVirtualTime: 30 * time.Minute,
-		Faults: &fault.Spec{
-			CrashFrac:   0.08,
-			CrashWindow: 500 * time.Millisecond,
-			LinkLoss:    0.05,
-			AckLoss:     0.02,
-		},
-		Guard:       true,
-		TraceMAC:    true,
-		Sink:        trace.NewJSONLSink(&jsonl),
-		Metrics:     reg,
-		Tree:        tree,
-		GridSensing: gridSensing,
+		Faults:         equivalenceSpec(),
+		Guard:          true,
+		TraceMAC:       true,
+		Sink:           trace.NewJSONLSink(&jsonl),
+		Metrics:        reg,
+		Tree:           tree,
+		Workspace:      ws,
 	})
 	if err != nil {
-		t.Fatalf("gridSensing=%v: %v", gridSensing, err)
+		t.Fatalf("workspace=%v: %v", ws != nil, err)
 	}
 	snap, err := reg.Snapshot().MarshalDeterministic()
 	if err != nil {
@@ -54,33 +64,118 @@ func equivalenceRun(t *testing.T, seed uint64, gridSensing bool) (*Result, []byt
 	return res, jsonl.Bytes(), snap
 }
 
-// TestGridCSREquivalenceFullRun is the whole-run half of the fast path's
-// bit-identity guarantee: a collection run with fault injection, invariant
-// guards and full MAC tracing must produce an identical Result, an identical
-// JSONL trace stream, and an identical deterministic metrics snapshot
-// whether sensing walks the precomputed CSR tables or issues live grid
-// queries.
-func TestGridCSREquivalenceFullRun(t *testing.T) {
+// TestWorkspaceReuseEquivalenceFullRun is the whole-run half of engine
+// reuse's bit-identity guarantee: a collection run with fault injection,
+// invariant guards and full MAC tracing must produce an identical Result, an
+// identical JSONL trace stream, and an identical deterministic metrics
+// snapshot whether it runs on a fresh simulation context or on a workspace
+// dirtied by previous, different runs.
+func TestWorkspaceReuseEquivalenceFullRun(t *testing.T) {
+	ws := NewWorkspace()
+	// Dirty the workspace: two unrelated runs leave the engine arena, MAC
+	// node state, RNG-derived closures and scratch buffers mid-life.
+	equivalenceRun(t, 1009, ws)
+	equivalenceRun(t, 2003, ws)
 	for _, seed := range []uint64{7, 301} {
-		gridRes, gridTrace, gridSnap := equivalenceRun(t, seed, true)
-		csrRes, csrTrace, csrSnap := equivalenceRun(t, seed, false)
+		freshRes, freshTrace, freshSnap := equivalenceRun(t, seed, nil)
+		reuseRes, reuseTrace, reuseSnap := equivalenceRun(t, seed, ws)
 
-		if !reflect.DeepEqual(gridRes, csrRes) {
-			t.Errorf("seed %d: Results diverge:\n grid: %+v\n csr:  %+v", seed, gridRes, csrRes)
+		if !reflect.DeepEqual(freshRes, reuseRes) {
+			t.Errorf("seed %d: Results diverge:\n fresh: %+v\n reuse: %+v", seed, freshRes, reuseRes)
 		}
-		if !bytes.Equal(gridTrace, csrTrace) {
+		if !bytes.Equal(freshTrace, reuseTrace) {
 			t.Errorf("seed %d: JSONL trace streams diverge (%d vs %d bytes)",
-				seed, len(gridTrace), len(csrTrace))
+				seed, len(freshTrace), len(reuseTrace))
 		}
-		if !bytes.Equal(gridSnap, csrSnap) {
-			t.Errorf("seed %d: metrics snapshots diverge:\n grid: %s\n csr:  %s",
-				seed, gridSnap, csrSnap)
+		if !bytes.Equal(freshSnap, reuseSnap) {
+			t.Errorf("seed %d: metrics snapshots diverge:\n fresh: %s\n reuse: %s",
+				seed, freshSnap, reuseSnap)
 		}
-		if len(gridTrace) == 0 {
+		if len(freshTrace) == 0 {
 			t.Fatalf("seed %d: empty trace stream; comparison is vacuous", seed)
 		}
-		if gridRes.Fault == nil || gridRes.Fault.Crashes == 0 {
+		if freshRes.Fault == nil || freshRes.Fault.Crashes == 0 {
 			t.Fatalf("seed %d: fault injection produced no crashes; comparison is too easy", seed)
 		}
+	}
+}
+
+// buildPrebuilt assembles the shared-artifact bundle the way the batch
+// execution layer does.
+func buildPrebuilt(t *testing.T, opts Options) *Prebuilt {
+	t.Helper()
+	nw, err := BuildNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, nw.Params.RadiusSU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Prebuilt{
+		Network: nw,
+		Tree:    tree,
+		Adj:     adj,
+		Stats:   tree.ComputeStats(adj),
+		Tables:  nw,
+	}
+}
+
+// TestPrebuiltEquivalenceFullRun: supplying memoized construction artifacts
+// must be invisible in the output — same Result under faults and guards as
+// letting RunContext build everything from Params and Seed.
+func TestPrebuiltEquivalenceFullRun(t *testing.T) {
+	for _, seed := range []uint64{7, 301} {
+		opts := smallOptions(seed)
+		opts.Faults = equivalenceSpec()
+		opts.Guard = true
+
+		built, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preOpts := opts
+		preOpts.Prebuilt = buildPrebuilt(t, opts)
+		preOpts.Workspace = NewWorkspace()
+		pre, err := Run(preOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(built, pre) {
+			t.Errorf("seed %d: Results diverge:\n built:    %+v\n prebuilt: %+v", seed, built, pre)
+		}
+		if built.Fault == nil || built.Fault.Repairs == 0 {
+			t.Fatalf("seed %d: no self-healing repairs; COW coverage is vacuous", seed)
+		}
+	}
+}
+
+// TestPrebuiltSharedTreeImmutable pins the copy-on-write contract: a fault
+// run that crashes nodes and re-parents orphans (self-healing repair) must
+// never write into the shared routing tree it was given.
+func TestPrebuiltSharedTreeImmutable(t *testing.T) {
+	opts := smallOptions(7)
+	opts.Faults = equivalenceSpec()
+	pre := buildPrebuilt(t, opts)
+	parentBefore := append([]int32(nil), pre.Tree.Parent...)
+	suBefore := append([]geom.Point(nil), pre.Network.SU...)
+
+	opts.Prebuilt = pre
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault == nil || res.Fault.Repairs == 0 {
+		t.Fatal("no repairs happened; immutability coverage is vacuous")
+	}
+	if !reflect.DeepEqual(parentBefore, pre.Tree.Parent) {
+		t.Error("fault run mutated the shared routing tree's parent slice")
+	}
+	if !reflect.DeepEqual(suBefore, pre.Network.SU) {
+		t.Error("fault run mutated the shared network's positions")
 	}
 }

@@ -5,10 +5,22 @@ import (
 	"testing"
 	"time"
 
+	"addcrn/internal/cds"
 	"addcrn/internal/fault"
+	"addcrn/internal/graphx"
 	"addcrn/internal/metrics"
+	"addcrn/internal/netmodel"
 	"addcrn/internal/trace"
 )
+
+// treeStats recomputes the realized tree statistics the way RunContext does.
+func treeStats(nw *netmodel.Network, tree *cds.Tree) cds.Stats {
+	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, nw.Params.RadiusSU)
+	if err != nil {
+		panic(err)
+	}
+	return tree.ComputeStats(adj)
+}
 
 // instrumentedRun performs one fully instrumented collection (metrics
 // registry, JSONL sink, MAC-level tracing) and returns the result, the

@@ -2,28 +2,44 @@
 // repetitions, enabling interrupted sweeps to resume without redoing work.
 //
 // Every completed (x index, repetition, algorithm) outcome — success or
-// deterministic failure — is one JSON object on its own line. Flush rewrites
-// the whole file through a temporary sibling and an atomic rename, so a
-// crash mid-write never leaves a torn journal: the reader sees either the
-// previous complete state or the new one. Go's encoding/json round-trips
-// float64 exactly (shortest-representation encoding), so a resumed sweep
-// reproduces the uninterrupted summary byte for byte.
+// deterministic failure — is one JSON object on its own line. Persistence is
+// batched: the first flush of a journal's life writes the full state to a
+// temporary sibling and atomically renames it over the journal path, then
+// keeps the descriptor (which follows the inode through the rename); later
+// flushes append only the entries added since. Sweeps call MaybeFlush on a
+// bounded batch/interval policy and finish with Close, whose fsync barrier
+// makes the completed journal durable. A crash between flushes loses at most
+// one un-flushed batch — the resume path simply reruns those repetitions —
+// and a crash mid-append can tear only the final line, which LoadJournal
+// tolerates when (and only when) the file ends without a newline. Go's
+// encoding/json round-trips float64 exactly (shortest-representation
+// encoding), so a resumed sweep reproduces the uninterrupted summary byte
+// for byte.
 package experiment
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // Algorithm labels used in checkpoint entries.
 const (
 	algoADDC    = "addc"
 	algoCoolest = "coolest"
+)
+
+// Journal flush policy used by the sweeps: a flush is due when this many
+// entries are pending or this much wall time has passed since the last one.
+const (
+	journalFlushBatch    = 32
+	journalFlushInterval = 500 * time.Millisecond
 )
 
 // CheckpointEntry is one journaled repetition outcome.
@@ -51,45 +67,63 @@ type CheckpointEntry struct {
 	Fairness  float64 `json:"fairness"`
 }
 
-// Journal accumulates checkpoint entries and persists them crash-safely.
+// Journal accumulates checkpoint entries and persists them in batches.
 type Journal struct {
 	path    string
 	entries []CheckpointEntry
+
+	// f and w are live once the first Flush has compacted the file; from
+	// then on flushes append entries[persisted:] instead of rewriting.
+	f         *os.File
+	w         *bufio.Writer
+	persisted int
+	lastFlush time.Time
 }
 
 // NewJournal returns an empty journal that will persist to path on Flush.
-func NewJournal(path string) *Journal { return &Journal{path: path} }
+func NewJournal(path string) *Journal {
+	return &Journal{path: path, lastFlush: time.Now()}
+}
 
 // LoadJournal reads an existing journal; a missing file yields an empty
 // journal (resuming a sweep that never checkpointed is a fresh start, not an
-// error). Lines that do not parse are rejected: a corrupt journal should be
-// deleted deliberately, not silently half-trusted.
+// error). Lines that do not parse are rejected — a corrupt journal should be
+// deleted deliberately, not silently half-trusted — with one exception: an
+// unparseable final line in a file with no trailing newline is a torn append
+// from a crash mid-flush, and is dropped (every complete line before it is
+// intact; the resume path reruns the lost repetition).
 func LoadJournal(path string) (*Journal, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return &Journal{path: path}, nil
+		return NewJournal(path), nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("experiment: open checkpoint: %w", err)
+		return nil, fmt.Errorf("experiment: read checkpoint: %w", err)
 	}
-	defer f.Close()
-	j := &Journal{path: path}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	j := NewJournal(path)
 	line := 0
-	for sc.Scan() {
+	for len(data) > 0 {
+		var chunk []byte
+		torn := false
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			chunk, data = data[:nl], data[nl+1:]
+		} else {
+			// Final line with no terminating newline: possibly torn.
+			chunk, data = data, nil
+			torn = true
+		}
 		line++
-		if len(sc.Bytes()) == 0 {
+		if len(chunk) == 0 {
 			continue
 		}
 		var e CheckpointEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+		if err := json.Unmarshal(chunk, &e); err != nil {
+			if torn {
+				break
+			}
 			return nil, fmt.Errorf("experiment: checkpoint %s line %d: %w", path, line, err)
 		}
 		j.entries = append(j.entries, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("experiment: read checkpoint: %w", err)
 	}
 	return j, nil
 }
@@ -103,15 +137,25 @@ func (j *Journal) Len() int { return len(j.entries) }
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
-// Add appends entries to the in-memory journal; call Flush to persist.
+// Add appends entries to the in-memory journal; call Flush (or MaybeFlush)
+// to persist.
 func (j *Journal) Add(entries ...CheckpointEntry) {
 	j.entries = append(j.entries, entries...)
 }
 
-// Flush persists the journal crash-safely: the full state is written to a
-// temporary file in the same directory and atomically renamed over the
-// journal path.
+// Flush persists the journal. The first flush rewrites the full state
+// through a temporary sibling and an atomic rename (so a journal loaded for
+// resume is compacted: entries from incomplete pairs that were not re-added
+// disappear) and keeps the descriptor, which survives the rename; later
+// flushes buffer-append only the entries added since the previous flush.
 func (j *Journal) Flush() error {
+	if j.f == nil {
+		return j.compact()
+	}
+	return j.appendPending()
+}
+
+func (j *Journal) compact() error {
 	dir := filepath.Dir(j.path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
 	if err != nil {
@@ -131,13 +175,71 @@ func (j *Journal) Flush() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("experiment: write checkpoint: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("experiment: close checkpoint: %w", err)
-	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("experiment: rename checkpoint: %w", err)
 	}
+	// The descriptor now names the journal path's inode; keep it for appends.
+	j.f, j.w = tmp, w
+	j.persisted = len(j.entries)
+	j.lastFlush = time.Now()
 	return nil
+}
+
+func (j *Journal) appendPending() error {
+	enc := json.NewEncoder(j.w)
+	for _, e := range j.entries[j.persisted:] {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("experiment: encode checkpoint: %w", err)
+		}
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("experiment: write checkpoint: %w", err)
+	}
+	j.persisted = len(j.entries)
+	j.lastFlush = time.Now()
+	return nil
+}
+
+// MaybeFlush flushes when at least batch entries are pending or interval has
+// elapsed since the last flush (it never flushes with nothing pending).
+// Non-positive batch or interval means "always due".
+func (j *Journal) MaybeFlush(batch int, interval time.Duration) error {
+	pending := len(j.entries) - j.persisted
+	if pending == 0 {
+		return nil
+	}
+	if pending >= batch || time.Since(j.lastFlush) >= interval {
+		return j.Flush()
+	}
+	return nil
+}
+
+// Sync flushes and then fsyncs the journal file: the durability barrier a
+// sweep runs once at the end instead of paying a rename per repetition.
+func (j *Journal) Sync() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	if j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("experiment: sync checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and releases the journal's descriptor. The journal remains
+// usable afterward — the next Flush reopens via the compacting path.
+func (j *Journal) Close() error {
+	syncErr := j.Sync()
+	if j.f != nil {
+		if err := j.f.Close(); err != nil && syncErr == nil {
+			syncErr = fmt.Errorf("experiment: close checkpoint: %w", err)
+		}
+		j.f, j.w = nil, nil
+	}
+	return syncErr
 }

@@ -11,51 +11,83 @@ import (
 	"addcrn/internal/netmodel"
 )
 
-// TestGridCSRCheckpointEquivalence covers the sweep layer of the fast
-// path's bit-identity guarantee: a checkpointed sweep must journal a
-// byte-identical file — and summarize to identical points — whether its runs
-// sense through the CSR tables or live grid queries, so a checkpoint written
-// in one mode resumes safely in the other.
-func TestGridCSRCheckpointEquivalence(t *testing.T) {
-	runSweep := func(gridSensing bool) ([]byte, *SweepResult) {
-		ck := filepath.Join(t.TempDir(), "sweep.ckpt")
-		s := &Sweep{
-			ID:     "equiv",
-			Title:  "sensing-path equivalence",
-			XLabel: "p_t",
-			Base:   tinyBase(),
-			Xs:     []float64{0.15},
-			Apply: func(p netmodel.Params, x float64) netmodel.Params {
-				p.ActiveProb = x
-				return p
-			},
-			Reps:           2,
-			Seed:           11,
-			MaxVirtualTime: 10 * time.Minute,
-			Workers:        1,
-			Guard:          true,
-			GridSensing:    gridSensing,
-			Checkpoint:     ck,
-		}
-		res, err := s.Run()
-		if err != nil {
-			t.Fatalf("gridSensing=%v: %v", gridSensing, err)
-		}
-		data, err := os.ReadFile(ck)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return data, res
+// equivSweep builds the small checkpointed sweep the batch-execution
+// equivalence tests run; mutate customizes the execution mode under test.
+// Workers is pinned to 1 so the journal's completion order is deterministic
+// and the files can be compared byte for byte.
+func equivSweep(t *testing.T, mutate func(*Sweep)) ([]byte, *SweepResult) {
+	t.Helper()
+	ck := filepath.Join(t.TempDir(), "sweep.ckpt")
+	s := &Sweep{
+		ID:     "equiv",
+		Title:  "batch-execution equivalence",
+		XLabel: "p_t",
+		Base:   tinyBase(),
+		Xs:     []float64{0.15, 0.3},
+		Apply: func(p netmodel.Params, x float64) netmodel.Params {
+			p.ActiveProb = x
+			return p
+		},
+		Reps:           2,
+		Seed:           11,
+		MaxVirtualTime: 10 * time.Minute,
+		Workers:        1,
+		Guard:          true,
+		Checkpoint:     ck,
 	}
-	gridCk, gridRes := runSweep(true)
-	csrCk, csrRes := runSweep(false)
-	if len(gridCk) == 0 {
+	if mutate != nil {
+		mutate(s)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, res
+}
+
+// TestReuseCheckpointEquivalence covers the sweep layer of engine reuse's
+// bit-identity guarantee: a checkpointed sweep must journal a byte-identical
+// file — and summarize to identical points — whether each worker reuses one
+// resettable simulation context across jobs (the default) or builds every
+// run's engine, MAC and registry fresh.
+func TestReuseCheckpointEquivalence(t *testing.T) {
+	reuseCk, reuseRes := equivSweep(t, nil)
+	freshCk, freshRes := equivSweep(t, func(s *Sweep) { s.noReuse = true })
+	if len(reuseCk) == 0 {
 		t.Fatal("sweep journaled nothing; comparison is vacuous")
 	}
-	if !bytes.Equal(gridCk, csrCk) {
-		t.Fatalf("checkpoint files diverge:\n grid:\n%s\n csr:\n%s", gridCk, csrCk)
+	if !bytes.Equal(reuseCk, freshCk) {
+		t.Fatalf("checkpoint files diverge:\n reuse:\n%s\n fresh:\n%s", reuseCk, freshCk)
 	}
-	if !reflect.DeepEqual(gridRes.Points, csrRes.Points) {
-		t.Fatalf("sweep points diverge:\n grid: %+v\n csr:  %+v", gridRes.Points, csrRes.Points)
+	if !reflect.DeepEqual(reuseRes.Points, freshRes.Points) {
+		t.Fatalf("sweep points diverge:\n reuse: %+v\n fresh: %+v", reuseRes.Points, freshRes.Points)
+	}
+}
+
+// TestSharedTopologyCheckpointEquivalence covers topology memoization: with
+// ShareTopology on, running against the memoizing cache and rebuilding every
+// topology from scratch must journal byte-identical files and summarize to
+// identical points. The sweep axis here is p_t, which feeds the Coolest
+// temperature metric — so the test also pins that the coolest-parents memo
+// keys on ActiveProb rather than wrongly sharing one tree across the axis.
+func TestSharedTopologyCheckpointEquivalence(t *testing.T) {
+	cachedCk, cachedRes := equivSweep(t, func(s *Sweep) { s.ShareTopology = true })
+	rebuiltCk, rebuiltRes := equivSweep(t, func(s *Sweep) {
+		s.ShareTopology = true
+		s.noTopoCache = true
+		s.noReuse = true
+	})
+	if len(cachedCk) == 0 {
+		t.Fatal("sweep journaled nothing; comparison is vacuous")
+	}
+	if !bytes.Equal(cachedCk, rebuiltCk) {
+		t.Fatalf("checkpoint files diverge:\n cached:\n%s\n rebuilt:\n%s", cachedCk, rebuiltCk)
+	}
+	if !reflect.DeepEqual(cachedRes.Points, rebuiltRes.Points) {
+		t.Fatalf("sweep points diverge:\n cached:  %+v\n rebuilt: %+v", cachedRes.Points, rebuiltRes.Points)
 	}
 }

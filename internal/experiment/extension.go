@@ -23,6 +23,11 @@ type ChannelSweep struct {
 	Seed     uint64
 	Assign   multichannel.AssignMode
 	Workers  int
+	// ShareTopology memoizes one deployment per repetition and shares it
+	// across every channel count (the axis only re-licenses the spectrum,
+	// it never moves a node). Opt-in: it changes the seed derivation to
+	// depend only on the repetition.
+	ShareTopology bool
 }
 
 // ChannelPoint is one channel-count measurement.
@@ -62,6 +67,7 @@ func (s *ChannelSweep) Run() (*ChannelSweepResult, error) {
 		err      error
 	}
 	type job struct{ ci, rep int }
+	cache := newTopoCache()
 	jobs := make(chan job)
 	results := make(chan outcome)
 	var wg sync.WaitGroup
@@ -70,13 +76,24 @@ func (s *ChannelSweep) Run() (*ChannelSweepResult, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				seed := rng.New(s.Seed).ChildN(fmt.Sprintf("ext1/c%d", s.Channels[j.ci]), j.rep).Uint64()
-				res, err := multichannel.Run(multichannel.Options{
+				opts := multichannel.Options{
 					Params:   s.Base,
 					Channels: s.Channels[j.ci],
 					Assign:   s.Assign,
-					Seed:     seed,
-				})
+				}
+				if s.ShareTopology {
+					seed := rng.New(s.Seed).ChildN("ext1/topo", j.rep).Uint64()
+					topo, err := cache.get(s.Base, seed)
+					if err != nil {
+						results <- outcome{ci: j.ci, err: err}
+						continue
+					}
+					opts.Seed = seed
+					opts.Prebuilt = topo.prebuilt()
+				} else {
+					opts.Seed = rng.New(s.Seed).ChildN(fmt.Sprintf("ext1/c%d", s.Channels[j.ci]), j.rep).Uint64()
+				}
+				res, err := multichannel.Run(opts)
 				if err != nil {
 					results <- outcome{ci: j.ci, err: err}
 					continue

@@ -41,6 +41,19 @@ type FaultSweep struct {
 	// MaxVirtualTime bounds each run (default 2 virtual hours).
 	MaxVirtualTime time.Duration
 	Workers        int
+	// ShareTopology memoizes one deployment per repetition and shares its
+	// construction artifacts (placement, adjacency, CDS tree, CSR tables)
+	// across every crash fraction — the swept axis is purely a fault-layer
+	// parameter, so the topology is invariant along it. Fault runs mutate
+	// routing via copy-on-write and never touch the shared tree. Opt-in
+	// because it changes the seed derivation to depend only on the
+	// repetition.
+	ShareTopology bool
+
+	// noReuse / noTopoCache are test hooks with the same semantics as
+	// Sweep's: disable per-worker context reuse / the topology cache.
+	noReuse     bool
+	noTopoCache bool
 }
 
 // FaultPoint is one crash-fraction measurement.
@@ -112,19 +125,43 @@ func (s *FaultSweep) RunContext(ctx context.Context) (*FaultSweepResult, error) 
 	// runJob isolates one repetition: a panic anywhere in the simulation
 	// stack becomes a per-point failure carrying the stack, never a
 	// process crash.
-	runJob := func(j job) (out outcome) {
+	runJob := func(j job, env *runEnv) (out outcome) {
 		defer func() {
 			if r := recover(); r != nil {
 				out = outcome{fi: j.fi, err: fmt.Errorf(
 					"experiment: fault sweep f=%g rep %d panicked: %v\n%s",
 					s.CrashFracs[j.fi], j.rep, r, debug.Stack())}
+				env.discard()
 			}
 		}()
-		seed := rng.New(s.Seed).ChildN(fmt.Sprintf("ext2/f%g", s.CrashFracs[j.fi]), j.rep).Uint64()
+		var seed uint64
+		var pre *core.Prebuilt
+		if s.ShareTopology {
+			// The placement seed depends only on the repetition so every
+			// crash fraction shares one memoized topology build.
+			seed = rng.New(s.Seed).ChildN("ext2/topo", j.rep).Uint64()
+			if s.noTopoCache {
+				topo, err := BuildTopology(s.Base, seed)
+				if err != nil {
+					return outcome{fi: j.fi, err: err}
+				}
+				pre = topo.prebuilt()
+			} else {
+				topo, err := env.cache.get(s.Base, seed)
+				if err != nil {
+					return outcome{fi: j.fi, err: err}
+				}
+				pre = topo.prebuilt()
+			}
+		} else {
+			seed = rng.New(s.Seed).ChildN(fmt.Sprintf("ext2/f%g", s.CrashFracs[j.fi]), j.rep).Uint64()
+		}
 		res, err := core.RunContext(ctx, core.Options{
 			Params:         s.Base,
 			Seed:           seed,
 			MaxVirtualTime: budget,
+			Prebuilt:       pre,
+			Workspace:      env.ws,
 			Faults: &fault.Spec{
 				CrashFrac:    s.CrashFracs[j.fi],
 				CrashWindow:  window,
@@ -155,6 +192,7 @@ func (s *FaultSweep) RunContext(ctx context.Context) (*FaultSweepResult, error) 
 		}
 		return out
 	}
+	cache := newTopoCache()
 	jobs := make(chan job)
 	results := make(chan outcome)
 	var wg sync.WaitGroup
@@ -162,12 +200,16 @@ func (s *FaultSweep) RunContext(ctx context.Context) (*FaultSweepResult, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			env := &runEnv{cache: cache}
+			if !s.noReuse {
+				env.ws = core.NewWorkspace()
+			}
 			for j := range jobs {
 				if cause := ctx.Err(); cause != nil {
 					results <- outcome{fi: j.fi, err: cause, canceled: true}
 					continue
 				}
-				results <- runJob(j)
+				results <- runJob(j, env)
 			}
 		}()
 	}

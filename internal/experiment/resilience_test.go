@@ -248,3 +248,127 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatal("corrupt journal loaded silently")
 	}
 }
+
+// A crash mid-append can tear only the journal's final line; LoadJournal must
+// drop that torn tail — and only that: the same fragment newline-terminated,
+// or anywhere before the end, is corruption.
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	good := `{"sweep":"t","xi":0,"rep":0,"algo":"addc","delay":1,"capacity":2,"aborts":0,"tightness":-1,"pu_busy":0,"fairness":1}` + "\n"
+	frag := `{"sweep":"t","xi":0,"rep":0,"algo":"coo` // torn mid-append
+
+	if err := os.WriteFile(path, []byte(good+frag), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("torn final line rejected: %v", err)
+	}
+	if j.Len() != 1 || j.Entries()[0].Algo != algoADDC {
+		t.Fatalf("loaded %d entries, want just the intact one", j.Len())
+	}
+
+	// Newline-terminated, the fragment is a complete (corrupt) line.
+	if err := os.WriteFile(path, []byte(good+frag+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJournal(path); err == nil {
+		t.Fatal("newline-terminated corruption loaded silently")
+	}
+	// So is a fragment anywhere before the final line.
+	if err := os.WriteFile(path, []byte(frag+"\n"+good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJournal(path); err == nil {
+		t.Fatal("mid-file corruption loaded silently")
+	}
+}
+
+// MaybeFlush must persist on the batch and interval triggers only: below
+// both, the journal stays in memory.
+func TestJournalBatchedFlushPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	entry := func(rep int) CheckpointEntry {
+		return CheckpointEntry{Sweep: "t", Rep: rep, Algo: algoADDC, Tightness: -1}
+	}
+	j := NewJournal(path)
+	j.Add(entry(0))
+	if err := j.MaybeFlush(2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("flushed below the batch size before the interval: %v", err)
+	}
+	j.Add(entry(1))
+	if err := j.MaybeFlush(2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJournal(path)
+	if err != nil || back.Len() != 2 {
+		t.Fatalf("batch trigger persisted %d entries (err %v), want 2", back.Len(), err)
+	}
+	// The interval trigger fires even far below the batch size.
+	j.Add(entry(2))
+	j.lastFlush = time.Now().Add(-time.Hour)
+	if err := j.MaybeFlush(100, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if back, err = LoadJournal(path); err != nil || back.Len() != 3 {
+		t.Fatalf("interval trigger persisted %d entries (err %v), want 3", back.Len(), err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Kill the batched flusher mid-append — the journal ends in one complete pair
+// plus a torn fragment of the next line — and resume: the summary must be
+// byte-identical to the uninterrupted run, and the resumed journal must be
+// compacted back to a fully parseable record.
+func TestSweepResumeAfterMidFlushKill(t *testing.T) {
+	dir := t.TempDir()
+	full := tinySweep(6)
+	full.Checkpoint = filepath.Join(dir, "full.jsonl")
+	fullRes, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := fullRes.FormatCSV()
+
+	data, err := os.ReadFile(full.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal has only %d lines", len(lines))
+	}
+	// First completed pair, then the next line cut off mid-object with no
+	// trailing newline — exactly what a death inside a buffered append leaves.
+	torn := lines[0] + lines[1] + lines[2][:len(lines[2])/2]
+	killed := filepath.Join(dir, "killed.jsonl")
+	if err := os.WriteFile(killed, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := tinySweep(6)
+	resumed.Checkpoint = killed
+	resumed.Resume = true
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 1 {
+		t.Fatalf("Resumed = %d, want 1 (the intact pair)", res.Resumed)
+	}
+	if got := res.FormatCSV(); got != wantCSV {
+		t.Fatalf("resumed summary differs from uninterrupted run:\n--- want\n%s--- got\n%s", wantCSV, got)
+	}
+	back, err := LoadJournal(killed)
+	if err != nil {
+		t.Fatalf("resumed journal not fully parseable: %v", err)
+	}
+	if want := 2 * len(full.Xs) * full.Reps; back.Len() != want {
+		t.Fatalf("resumed journal has %d entries, want %d", back.Len(), want)
+	}
+}

@@ -70,11 +70,16 @@ type Sweep struct {
 	// Guard enables runtime invariant guards in every run (see
 	// core.CollectConfig.Guard); violations surface as per-point failures.
 	Guard bool
-	// GridSensing reverts every run's spectrum tracker to per-event grid
-	// queries instead of the CSR fast path (see
-	// core.CollectConfig.GridSensing). Bit-identical either way; escape
-	// hatch for one release.
-	GridSensing bool
+	// ShareTopology memoizes deployments: repetitions that agree on the
+	// topological parameters (n, N, area, r_SU, r_PU) and the placement
+	// seed share one read-only Network/adjacency/CDS-tree/CSR-table build
+	// instead of reconstructing it per grid point. Opt-in because it
+	// changes the seed derivation — the placement seed must depend only on
+	// the repetition, not the x index, for cross-point sharing to be valid
+	// — so shared and fresh runs of the same Sweep are each internally
+	// deterministic but not bit-identical to each other. Sweeps over a
+	// topological axis still work: each x gets its own cache key.
+	ShareTopology bool
 	// Retries bounds automatic re-attempts of a repetition that failed
 	// transiently (deployment connectivity exhaustion). Each attempt draws
 	// a fresh derived seed; attempt 0 keeps the historical derivation so
@@ -83,13 +88,24 @@ type Sweep struct {
 	// reproduce them.
 	Retries int
 	// Checkpoint, when non-empty, journals every completed repetition to
-	// this JSONL file (crash-safe: full-state rewrite through a temp file
-	// and atomic rename on every completed pair).
+	// this JSONL file. Persistence is batched (see Journal): an atomic
+	// full-state rewrite on the first flush, buffered appends on a bounded
+	// batch/interval policy after, and one fsync barrier when the sweep
+	// finishes. A crash loses at most the last un-flushed batch, which the
+	// resume path simply reruns.
 	Checkpoint string
 	// Resume, when set alongside Checkpoint, loads the journal first and
 	// skips repetitions it already records; the resumed sweep's summaries
 	// are byte-identical to an uninterrupted run.
 	Resume bool
+
+	// noReuse (tests only) disables per-worker engine/MAC/registry reuse so
+	// equivalence tests can compare reused against fresh execution.
+	noReuse bool
+	// noTopoCache (tests only) makes ShareTopology keep its seed derivation
+	// but rebuild every topology from scratch, for cache-vs-fresh
+	// equivalence tests.
+	noTopoCache bool
 }
 
 // PointResult aggregates both algorithms at one x value.
@@ -270,6 +286,10 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		}
 	}
 
+	// One topology cache serves the whole pool; each worker owns a
+	// resettable simulation context (engine arena, MAC state, metrics
+	// registry, scratch buffers) wiped in place between jobs.
+	cache := newTopoCache()
 	jobs := make(chan job)
 	results := make(chan []runOutcome)
 	var wg sync.WaitGroup
@@ -277,6 +297,11 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			env := &runEnv{cache: cache}
+			if !s.noReuse {
+				env.ws = core.NewWorkspace()
+				env.reg = metrics.NewRegistry()
+			}
 			for j := range jobs {
 				if cause := ctx.Err(); cause != nil {
 					// Drain without running: mark the pair canceled so it
@@ -287,7 +312,7 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 					}
 					continue
 				}
-				results <- s.runPair(ctx, j.xi, j.rep, metric)
+				results <- s.runPair(ctx, j.xi, j.rep, metric, env)
 			}
 		}()
 	}
@@ -329,7 +354,14 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		for _, o := range outs {
 			jr.Add(o.entry(s.ID))
 		}
-		if err := jr.Flush(); err != nil && flushErr == nil {
+		if err := jr.MaybeFlush(journalFlushBatch, journalFlushInterval); err != nil && flushErr == nil {
+			flushErr = err
+		}
+	}
+	if jr != nil {
+		// Final durability barrier: everything still pending is flushed and
+		// the journal fsynced, once, instead of a rename per repetition.
+		if err := jr.Close(); err != nil && flushErr == nil {
 			flushErr = err
 		}
 	}
@@ -454,7 +486,7 @@ func (s *Sweep) loadCheckpoint(grid [][][]runOutcome, reps int) (*Journal, int, 
 // panic anywhere in the simulation stack becomes a per-point failure
 // carrying the stack trace, and transient deployment failures re-attempt
 // with fresh derived seeds up to s.Retries times.
-func (s *Sweep) runPair(ctx context.Context, xi, rep int, metric coolest.Metric) (outs []runOutcome) {
+func (s *Sweep) runPair(ctx context.Context, xi, rep int, metric coolest.Metric, env *runEnv) (outs []runOutcome) {
 	defer func() {
 		if r := recover(); r != nil {
 			err := fmt.Errorf("experiment: sweep %s x[%d] rep %d panicked: %v\n%s",
@@ -463,13 +495,47 @@ func (s *Sweep) runPair(ctx context.Context, xi, rep int, metric coolest.Metric)
 				{xi: xi, rep: rep, err: err},
 				{xi: xi, rep: rep, coolest: true, err: err},
 			}
+			// A panic can leave the worker's reusable state mid-mutation;
+			// rebuild it rather than reuse a possibly-corrupt context.
+			env.discard()
 		}
 	}()
 	for attempt := 0; ; attempt++ {
-		outs = s.runOne(ctx, xi, rep, attempt, metric)
+		outs = s.runOne(ctx, xi, rep, attempt, metric, env)
 		if attempt >= s.Retries || !retryable(outs) {
 			return outs
 		}
+	}
+}
+
+// runEnv is one worker's resettable execution context: the shared topology
+// cache plus the per-worker workspace (event arena, MAC, scratch buffers)
+// and metrics registry that are wiped in place between jobs. ws and reg are
+// nil when reuse is disabled (tests).
+type runEnv struct {
+	cache *topoCache
+	ws    *core.Workspace
+	reg   *metrics.Registry
+}
+
+// registry returns the run's metrics registry: the worker's reusable one,
+// reset, or a fresh one when reuse is off.
+func (env *runEnv) registry() *metrics.Registry {
+	if env.reg == nil {
+		return metrics.NewRegistry()
+	}
+	env.reg.Reset()
+	return env.reg
+}
+
+// discard drops the worker's reusable state after a panic; the next job
+// rebuilds from scratch.
+func (env *runEnv) discard() {
+	if env.ws != nil {
+		env.ws = core.NewWorkspace()
+	}
+	if env.reg != nil {
+		env.reg = metrics.NewRegistry()
 	}
 }
 
@@ -485,23 +551,20 @@ func retryable(outs []runOutcome) bool {
 	return false
 }
 
-// collectADDC runs ADDC over the CDS tree with the realized tree statistics
-// attached (so the Theorem 1 comparator evaluates the per-deployment bound).
-func collectADDC(ctx context.Context, nw *netmodel.Network, tree *cds.Tree, adj graphx.Adjacency, cfg core.CollectConfig) (*core.Result, error) {
-	cfg.TreeStats = tree.ComputeStats(adj)
-	cfg.Tree = tree
-	return core.CollectContext(ctx, nw, tree.Parent, cfg)
-}
-
 // runOne executes both algorithms for one (x, repetition) pair on a shared
 // topology and returns their two outcomes, ADDC first. attempt selects the
 // retry seed derivation: attempt 0 is the historical one, so sweeps without
 // retries stay bit-identical across versions.
-func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest.Metric) []runOutcome {
+func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest.Metric, env *runEnv) []runOutcome {
 	params := s.Apply(s.Base, s.Xs[xi])
 	label := fmt.Sprintf("sweep/%s/x%d", s.ID, xi)
+	if s.ShareTopology {
+		// Cross-point sharing needs a placement seed that depends only on
+		// the repetition, never on the x index.
+		label = fmt.Sprintf("sweep/%s/topo", s.ID)
+	}
 	if attempt > 0 {
-		label = fmt.Sprintf("sweep/%s/x%d/attempt%d", s.ID, xi, attempt)
+		label += fmt.Sprintf("/attempt%d", attempt)
 	}
 	seed := rng.New(s.Seed).ChildN(label, rep).Uint64()
 
@@ -513,13 +576,39 @@ func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest
 		}
 	}
 
-	nw, err := netmodel.DeployConnected(params, rng.New(seed), 50)
-	if err != nil {
-		return fail(err)
-	}
-	adj, err := graphx.UnitDisk(nw.Bounds(), nw.SU, params.RadiusSU)
-	if err != nil {
-		return fail(err)
+	// Topology: shared via the memoizing cache, or built fresh. Either way
+	// the run sees the same artifacts — a Network with this point's params,
+	// the unit-disk adjacency, and the CDS tree with its statistics.
+	var (
+		nw        *netmodel.Network
+		adj       graphx.Adjacency
+		tree      *cds.Tree
+		treeStats cds.Stats
+		tables    spectrum.NeighborTables
+		parentsOf func(sensingRange float64) ([]int32, error)
+	)
+	if s.ShareTopology && !s.noTopoCache {
+		if err := params.Validate(); err != nil {
+			return fail(err) // never cache a non-topological validation failure
+		}
+		topo, err := env.cache.get(params, seed)
+		if err != nil {
+			return fail(err)
+		}
+		nw, err = topo.NW.WithParams(params)
+		if err != nil {
+			return fail(err)
+		}
+		adj, tree, treeStats, tables = topo.Adj, topo.Tree, topo.Stats, topo
+		runNW := nw
+		parentsOf = func(r float64) ([]int32, error) { return topo.coolestParents(runNW, r, metric) }
+	} else {
+		topo, err := BuildTopology(params, seed)
+		if err != nil {
+			return fail(err)
+		}
+		nw, adj, tree, treeStats = topo.NW, topo.Adj, topo.Tree, topo.Stats
+		parentsOf = func(r float64) ([]int32, error) { return coolest.BuildParentsOn(adj, nw, r, metric) }
 	}
 
 	budget := s.MaxVirtualTime
@@ -532,20 +621,23 @@ func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest
 		MaxVirtualTime: budget,
 		DisableHandoff: s.DisableHandoff,
 		Guard:          s.Guard,
-		GridSensing:    s.GridSensing,
+		Adj:            adj,
+		Tables:         tables,
+		Workspace:      env.ws,
 	}
 
 	outs := make([]runOutcome, 0, 2)
 
-	// ADDC over the CDS tree, instrumented so the point summaries carry the
-	// Theorem 1 tightness, PU busy fraction and fairness of every rep.
+	// ADDC over the CDS tree with the realized tree statistics attached (so
+	// the Theorem 1 comparator evaluates the per-deployment bound),
+	// instrumented so the point summaries carry the tightness, PU busy
+	// fraction and fairness of every rep.
 	addcCfg := cfg
-	reg := metrics.NewRegistry()
+	reg := env.registry()
 	addcCfg.Metrics = reg
-	tree, err := core.BuildTree(nw)
-	if err != nil {
-		outs = append(outs, runOutcome{xi: xi, rep: rep, err: err})
-	} else if r, err := collectADDC(ctx, nw, tree, adj, addcCfg); err != nil {
+	addcCfg.Tree = tree
+	addcCfg.TreeStats = treeStats
+	if r, err := core.CollectContext(ctx, nw, tree.Parent, addcCfg); err != nil {
 		outs = append(outs, runOutcome{xi: xi, rep: rep, err: err, canceled: isCanceled(err)})
 	} else {
 		out := runOutcome{
@@ -575,7 +667,7 @@ func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest
 	}
 	coolCfg := cfg
 	coolCfg.GenericCSMA = !s.SameMAC
-	if parents, err := coolest.BuildParentsOn(adj, nw, consts.Range, metric); err != nil {
+	if parents, err := parentsOf(consts.Range); err != nil {
 		outs = append(outs, runOutcome{xi: xi, rep: rep, coolest: true, err: err})
 	} else if r, err := core.CollectContext(ctx, nw, parents, coolCfg); err != nil {
 		outs = append(outs, runOutcome{xi: xi, rep: rep, coolest: true, err: err, canceled: isCanceled(err)})

@@ -214,12 +214,12 @@ type Config struct {
 	// per-node work from O(subtree) into O(1) transmissions.
 	AggregateQueue bool
 
-	// GridSensing selects the legacy per-event grid-query carrier-sense
-	// implementation instead of the precomputed CSR neighbor tables. The
-	// two are bit-identical (see the spectrum package and the core
-	// equivalence test); the flag exists for one release as an escape
-	// hatch while the fast path beds in.
-	GridSensing bool
+	// Tables, when non-nil, supplies the carrier-sense CSR neighbor tables
+	// instead of having the tracker build them from the network — the hook
+	// through which memoized topologies (internal/experiment) share one
+	// table build across every run over the same deployment. The provider
+	// must describe exactly cfg.Network. Nil builds per MAC, as before.
+	Tables spectrum.NeighborTables
 
 	// Metrics, when non-nil, drives the observability instruments (backoff
 	// draws, freezes, contention wins/losses, retries) on the hot path; see
@@ -289,6 +289,9 @@ type MAC struct {
 	// parent is the MAC's own routing view, a copy of Config.Parent so that
 	// self-healing repair (SetParent) never mutates the caller's tree.
 	parent []int32
+	// subtree holds each node's subtree packet bound (queue pre-sizing);
+	// retained so Renew can re-derive queue capacities without reallocating.
+	subtree []int32
 
 	slot    sim.Time
 	window  sim.Time // tau_c in microseconds
@@ -302,45 +305,80 @@ type MAC struct {
 
 var _ spectrum.Observer = (*MAC)(nil)
 
-// New validates cfg, builds the tracker (with the MAC as its observer) and
-// returns the MAC ready to Start.
-func New(cfg Config) (*MAC, error) {
+// validateConfig runs New's full validation of cfg and returns the root and
+// the contention window. Renew shares it so a renewed MAC accepts and
+// rejects exactly the configs a fresh one would.
+func validateConfig(cfg Config) (root int32, window sim.Time, err error) {
 	if cfg.Network == nil || cfg.Engine == nil || cfg.Rand == nil {
-		return nil, fmt.Errorf("mac: Network, Engine and Rand are required")
+		return 0, 0, fmt.Errorf("mac: Network, Engine and Rand are required")
 	}
 	nn := cfg.Network.NumNodes()
 	if len(cfg.Parent) != nn {
-		return nil, fmt.Errorf("mac: parent slice has %d entries, want %d", len(cfg.Parent), nn)
+		return 0, 0, fmt.Errorf("mac: parent slice has %d entries, want %d", len(cfg.Parent), nn)
 	}
-	root := int32(-1)
+	root = -1
 	for v, p := range cfg.Parent {
 		if p == -1 {
 			if root != -1 {
-				return nil, fmt.Errorf("mac: multiple roots (%d and %d)", root, v)
+				return 0, 0, fmt.Errorf("mac: multiple roots (%d and %d)", root, v)
 			}
 			root = int32(v)
 			continue
 		}
 		if p < 0 || int(p) >= nn {
-			return nil, fmt.Errorf("mac: node %d has out-of-range parent %d", v, p)
+			return 0, 0, fmt.Errorf("mac: node %d has out-of-range parent %d", v, p)
 		}
 	}
 	if root == -1 {
-		return nil, fmt.Errorf("mac: no root in parent slice")
+		return 0, 0, fmt.Errorf("mac: no root in parent slice")
 	}
 	for v := range cfg.Parent {
 		u := int32(v)
 		for steps := 0; u != root; steps++ {
 			if steps > nn {
-				return nil, fmt.Errorf("mac: parent chain from node %d never reaches root", v)
+				return 0, 0, fmt.Errorf("mac: parent chain from node %d never reaches root", v)
 			}
 			u = cfg.Parent[u]
 		}
 	}
-	window := sim.FromDuration(cfg.Network.Params.ContentionWindow)
-	if window < 1 {
-		return nil, fmt.Errorf("mac: contention window shorter than 1us")
+	if f := cfg.Faults; f != nil {
+		if f.LinkLoss < 0 || f.LinkLoss > 1 || f.AckLoss < 0 || f.AckLoss > 1 {
+			return 0, 0, fmt.Errorf("mac: fault probabilities outside [0,1]: link=%v ack=%v", f.LinkLoss, f.AckLoss)
+		}
 	}
+	window = sim.FromDuration(cfg.Network.Params.ContentionWindow)
+	if window < 1 {
+		return 0, 0, fmt.Errorf("mac: contention window shorter than 1us")
+	}
+	return root, window, nil
+}
+
+// subtreeCounts fills dst[v] with the number of nodes in v's subtree,
+// excluding the root itself (dst[root] stays 0 plus contributions of
+// descendants passing through — i.e. it matches New's historical sizing
+// walk exactly).
+func subtreeCounts(parent []int32, root int32, dst []int32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for v := range parent {
+		if int32(v) == root {
+			continue
+		}
+		for u := int32(v); u != root; u = parent[u] {
+			dst[u]++
+		}
+	}
+}
+
+// New validates cfg, builds the tracker (with the MAC as its observer) and
+// returns the MAC ready to Start.
+func New(cfg Config) (*MAC, error) {
+	root, window, err := validateConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nn := cfg.Network.NumNodes()
 	m := &MAC{
 		cfg:    cfg,
 		nodes:  make([]node, nn),
@@ -351,9 +389,6 @@ func New(cfg Config) (*MAC, error) {
 		root:   root,
 	}
 	if f := cfg.Faults; f != nil {
-		if f.LinkLoss < 0 || f.LinkLoss > 1 || f.AckLoss < 0 || f.AckLoss > 1 {
-			return nil, fmt.Errorf("mac: fault probabilities outside [0,1]: link=%v ack=%v", f.LinkLoss, f.AckLoss)
-		}
 		m.retryCap = f.RetryCap
 		if m.retryCap <= 0 {
 			m.retryCap = DefaultRetryCap
@@ -368,14 +403,8 @@ func New(cfg Config) (*MAC, error) {
 	// count up front makes steady-state pushes allocation-free (repair
 	// re-parenting can exceed the static bound; append then simply grows).
 	subtree := make([]int32, nn)
-	for v := range cfg.Parent {
-		if int32(v) == root {
-			continue
-		}
-		for u := int32(v); u != root; u = m.parent[u] {
-			subtree[u]++
-		}
-	}
+	subtreeCounts(m.parent, root, subtree)
+	m.subtree = subtree
 	m.sts = make([]state, nn)
 	m.busyElig = make([]bool, nn)
 	m.freeElig = make([]bool, nn)
@@ -397,16 +426,88 @@ func New(cfg Config) (*MAC, error) {
 	if err != nil {
 		return nil, err
 	}
-	// PUArrived only matters to a transmitting node (the handoff abort),
-	// SpectrumBusy to one mid-backoff, SpectrumFree to one frozen or
-	// awaiting; let the tracker skip the no-op deliveries (the eligibility
-	// masks are maintained by setState).
-	tracker.FilterPUArrivals(true)
-	tracker.FilterTransitions(m.busyElig, m.freeElig)
-	if cfg.GridSensing {
-		tracker.UseGridQueries(true)
-	}
 	m.tracker = tracker
+	m.wireTracker()
+	return m, nil
+}
+
+// wireTracker applies the MAC's standing tracker configuration: the shared
+// tables provider (if any) first, then the delivery filters. PUArrived only
+// matters to a transmitting node (the handoff abort), SpectrumBusy to one
+// mid-backoff, SpectrumFree to one frozen or awaiting; the tracker skips
+// the no-op deliveries (the eligibility masks are maintained by setState).
+func (m *MAC) wireTracker() {
+	if m.cfg.Tables != nil {
+		m.tracker.SetTables(m.cfg.Tables)
+	}
+	m.tracker.FilterPUArrivals(true)
+	m.tracker.FilterTransitions(m.busyElig, m.freeElig)
+}
+
+// Renew rebuilds prev for cfg, reusing its allocations — node structs and
+// their queue backing arrays, the dense state and eligibility masks, the
+// carrier-sense tracker — whenever prev exists and describes the same node
+// count; otherwise it falls back to New. It validates cfg exactly like New,
+// and a renewed MAC is observationally identical to a fresh one: every
+// piece of per-run state restarts from its constructed value and the
+// backoff/loss streams are re-derived from cfg.Rand under the same labels.
+func Renew(prev *MAC, cfg Config) (*MAC, error) {
+	root, _, err := validateConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if prev == nil || len(prev.nodes) != cfg.Network.NumNodes() {
+		return New(cfg)
+	}
+	m := prev
+	m.cfg = cfg
+	m.src = cfg.Rand.Child("mac/backoff")
+	m.parent = append(m.parent[:0], cfg.Parent...)
+	m.slot = sim.FromDuration(cfg.Network.Params.Slot)
+	m.window = sim.FromDuration(cfg.Network.Params.ContentionWindow)
+	m.root = root
+	m.nActive = 0
+	m.lossSrc = nil
+	m.retryCap = 0
+	if f := cfg.Faults; f != nil {
+		m.retryCap = f.RetryCap
+		if m.retryCap <= 0 {
+			m.retryCap = DefaultRetryCap
+		}
+		m.lossSrc = f.Rand
+		if m.lossSrc == nil {
+			m.lossSrc = cfg.Rand.Child("mac/loss")
+		}
+	}
+	subtreeCounts(m.parent, root, m.subtree)
+	for i := range m.nodes {
+		n := &m.nodes[i]
+		n.down = false
+		if c := int(m.subtree[i]); cap(n.queue) < c {
+			n.queue = make([]Packet, 0, c)
+		} else {
+			n.queue = n.queue[:0]
+		}
+		n.head = 0
+		n.retries = 0
+		n.draw = 0
+		n.remaining = 0
+		n.timer = sim.Timer{}
+		n.serviceStart = 0
+		n.serviceActive = false
+		n.frozenSince = 0
+		n.cwScale = 1
+		n.txToken = 0
+		n.rxToken = 0
+		n.stats = NodeStats{}
+		m.sts[i] = stateIdle
+		m.busyElig[i] = false
+		m.freeElig[i] = false
+	}
+	if err := m.tracker.Renew(cfg.Network, cfg.PUSenseRange, cfg.SUSenseRange, m); err != nil {
+		return nil, err
+	}
+	m.wireTracker()
 	return m, nil
 }
 

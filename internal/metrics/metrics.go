@@ -187,6 +187,23 @@ func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*metricEntry)}
 }
 
+// Reset empties the registry in place so one allocation of it can serve a
+// sequence of runs: every interned instrument is dropped and the wall-timing
+// log truncated, while the map's buckets and the wall slice's backing array
+// stay allocated. Handles obtained before a Reset keep working but update
+// orphaned instruments that no Snapshot will ever see — callers are expected
+// to re-acquire every instrument each run (the observer layer already does),
+// which is what makes a reset registry produce snapshots byte-identical to a
+// fresh one even when consecutive runs register different instrument sets.
+// Safe on a nil registry (no-op).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	clear(r.entries)
+	r.wall = r.wall[:0]
+}
+
 // key renders the canonical identity "name{k1=v1,k2=v2}" with sorted label
 // keys; a label-less metric's key is just its name.
 func key(name string, labels []Label) string {

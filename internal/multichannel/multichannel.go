@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"addcrn/internal/cds"
 	"addcrn/internal/core"
 	"addcrn/internal/netmodel"
 	"addcrn/internal/pcr"
@@ -64,6 +65,12 @@ type Options struct {
 	MaxVirtualTime time.Duration
 	// DeployAttempts bounds connectivity resampling (default 50).
 	DeployAttempts int
+	// Prebuilt, when non-nil, supplies the deployment and routing tree
+	// instead of building them from Params and Seed (the batch execution
+	// layer shares one memoized topology across channel counts). Both are
+	// treated read-only; they must describe the deployment the (Params,
+	// Seed) pair would have produced, or determinism guarantees are void.
+	Prebuilt *core.Prebuilt
 }
 
 // Result reports a multi-channel run.
@@ -105,13 +112,25 @@ func Run(opts Options) (*Result, error) {
 		attempts = 50
 	}
 	src := rng.New(opts.Seed)
-	nw, err := netmodel.DeployConnected(opts.Params, src, attempts)
-	if err != nil {
-		return nil, err
-	}
-	tree, err := core.BuildTree(nw)
-	if err != nil {
-		return nil, err
+	// Child derivation is stateless, so skipping the deployment draw leaves
+	// every later stream (backoffs, PU activity) bit-identical.
+	var nw *netmodel.Network
+	var tree *cds.Tree
+	if pre := opts.Prebuilt; pre != nil {
+		if pre.Network == nil || pre.Tree == nil {
+			return nil, fmt.Errorf("multichannel: Prebuilt requires Network and Tree")
+		}
+		nw, tree = pre.Network, pre.Tree
+	} else {
+		var err error
+		nw, err = netmodel.DeployConnected(opts.Params, src, attempts)
+		if err != nil {
+			return nil, err
+		}
+		tree, err = core.BuildTree(nw)
+		if err != nil {
+			return nil, err
+		}
 	}
 	consts, err := pcr.Compute(opts.Params)
 	if err != nil {

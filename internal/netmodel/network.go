@@ -38,6 +38,29 @@ func (nw *Network) NumNodes() int { return len(nw.SU) }
 // Bounds returns the deployment rectangle.
 func (nw *Network) Bounds() geom.Rect { return geom.Square(nw.Params.Area) }
 
+// WithParams returns a copy of nw that reports p as its parameters while
+// sharing every topology structure — positions and spatial grids — with nw.
+// It is how a memoized deployment serves a whole sweep axis: the protocol
+// knobs (slot length, contention window, activity probability, packet
+// budget, ...) vary per grid point, the placement does not. Every field of
+// p that shapes the deployment — NumSU, NumPU, Area, RadiusSU, RadiusPU —
+// must equal nw's; WithParams refuses otherwise, since the shared grids and
+// positions would silently describe a different network.
+func (nw *Network) WithParams(p Params) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	q := nw.Params
+	if p.NumSU != q.NumSU || p.NumPU != q.NumPU || p.Area != q.Area ||
+		p.RadiusSU != q.RadiusSU || p.RadiusPU != q.RadiusPU {
+		return nil, fmt.Errorf("netmodel: WithParams changes the deployment geometry (n=%d→%d N=%d→%d area=%v→%v r=%v→%v R=%v→%v)",
+			q.NumSU, p.NumSU, q.NumPU, p.NumPU, q.Area, p.Area, q.RadiusSU, p.RadiusSU, q.RadiusPU, p.RadiusPU)
+	}
+	cp := *nw
+	cp.Params = p
+	return &cp, nil
+}
+
 // Deploy places the base station at the area center and the SUs and PUs
 // i.i.d. uniformly at random, then builds the spatial indexes. It does not
 // check connectivity; see DeployConnected.

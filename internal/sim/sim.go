@@ -155,6 +155,34 @@ func NewWithCapacity(n int) *Engine {
 	}
 }
 
+// Reset returns the engine to its initial state — clock at zero, empty
+// queue, no interrupt poll — while keeping the arena, free-list, and heap
+// backing arrays for the next run. Every arena slot's generation is bumped,
+// so Timer handles issued before the Reset go permanently inert instead of
+// aliasing events scheduled after it. The free list is rebuilt so slots are
+// handed out in ascending index order, exactly as a fresh engine appends
+// them; since event order depends only on (time, sequence), a reset engine
+// is observationally identical to one returned by New.
+func (e *Engine) Reset() {
+	for i := range e.arena {
+		en := &e.arena[i]
+		en.fn = nil
+		en.gen++
+	}
+	e.free = e.free[:0]
+	for i := len(e.arena) - 1; i >= 0; i-- {
+		e.free = append(e.free, int32(i))
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.nsteps = 0
+	e.poll = nil
+	e.pollEvery = 0
+	e.pollCountdown = 0
+	e.interruptErr = nil
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 

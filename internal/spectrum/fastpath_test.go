@@ -7,29 +7,60 @@ import (
 	"addcrn/internal/sim"
 )
 
+// trackerOps abstracts how a transmitter script reaches the tracker, so the
+// same script can run on the CSR fast path and on a locally reimplemented
+// grid reference.
+type trackerOps struct {
+	addSU, removeSU func(id int32, now sim.Time)
+	addPU, removePU func(i int32, now sim.Time)
+}
+
+// csrOps drives the indexed fast path.
+func csrOps(tr *Tracker) trackerOps {
+	return trackerOps{
+		addSU:    tr.AddSUTransmitter,
+		removeSU: tr.RemoveSUTransmitter,
+		addPU:    tr.AddPUTransmitter,
+		removePU: tr.RemovePUTransmitter,
+	}
+}
+
+// gridOps is the reference implementation: a live grid range query per
+// transition through the arbitrary-position entry points, exactly what the
+// indexed path's precomputed CSR rows must replicate.
+func gridOps(tr *Tracker) trackerOps {
+	nw := tr.nw
+	return trackerOps{
+		addSU:    func(id int32, now sim.Time) { tr.AddTransmitter(nw.SU[id], TxSU, id, now) },
+		removeSU: func(id int32, now sim.Time) { tr.RemoveTransmitter(nw.SU[id], TxSU, id, now) },
+		addPU:    func(i int32, now sim.Time) { tr.AddTransmitter(nw.PU[i], TxPU, -1, now) },
+		removePU: func(i int32, now sim.Time) { tr.RemoveTransmitter(nw.PU[i], TxPU, -1, now) },
+	}
+}
+
 // TestIndexedPathMatchesGridPath drives an identical add/remove script
-// through the CSR fast path and the legacy grid-query path and requires the
+// through the CSR fast path and the grid-query reference and requires the
 // observer callback streams — content AND order — to be identical. This is
 // the unit-level half of the bit-identity guarantee; the core-level
-// equivalence test covers whole runs.
+// equivalence tests cover whole runs.
 func TestIndexedPathMatchesGridPath(t *testing.T) {
-	script := func(tr *Tracker) {
+	script := func(ops trackerOps) {
 		now := sim.Time(0)
 		for step := 0; step < 4; step++ {
 			for id := int32(1); id < 40; id += 3 {
-				tr.AddSUTransmitter(id, now)
+				ops.addSU(id, now)
 				now++
 			}
 			for i := int32(0); i < 6; i++ {
-				tr.AddPUTransmitter(i, now)
+				ops.addPU(i, now)
 				now++
 			}
 			for id := int32(1); id < 40; id += 3 {
-				tr.RemoveSUTransmitter(id, now)
+				ops.removeSU(id, now)
 				now++
 			}
 			for i := int32(0); i < 6; i++ {
-				tr.RemovePUTransmitter(i, now)
+				ops.removePU(i, now)
 				now++
 			}
 		}
@@ -42,8 +73,11 @@ func TestIndexedPathMatchesGridPath(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr.UseGridQueries(grid)
-		script(tr)
+		if grid {
+			script(gridOps(tr))
+		} else {
+			script(csrOps(tr))
+		}
 		return obs, tr
 	}
 

@@ -9,14 +9,15 @@
 // paper's Section I requires.
 //
 // Because the deployment never moves, the set of nodes a transmitter
-// touches is a pure function of its identity. The tracker therefore
-// precomputes CSR-packed neighbor tables (SU→SU within the coordination
-// range, PU→SU within the protection range) and walks one contiguous row
-// per transition — the static-topology fast path. The original per-event
-// grid query survives for arbitrary positions (AddTransmitter) and, behind
-// UseGridQueries, as a one-release escape hatch for the indexed path; the
-// two are bit-identical because a CSR row stores exactly the grid's result
-// sequence for the same query.
+// touches is a pure function of its identity. The tracker therefore works
+// from CSR-packed neighbor tables (SU→SU within the coordination range,
+// PU→SU within the protection range) and walks one contiguous row per
+// transition — the static-topology fast path. The tables come from a
+// NeighborTables provider (the Network itself by default; a memoizing
+// Topology when runs share a deployment). The per-event grid query survives
+// only for arbitrary positions (AddTransmitter); it is bit-identical to the
+// indexed path because a CSR row stores exactly the grid's result sequence
+// for the same query.
 package spectrum
 
 import (
@@ -38,6 +39,18 @@ type Observer interface {
 	// node's PCR, regardless of the prior busy count. A transmitting node
 	// must abort (handoff) on this signal.
 	PUArrived(node int32, now sim.Time)
+}
+
+// NeighborTables supplies the CSR neighbor tables behind the indexed fast
+// path: row id of the SU table lists the secondary nodes within radius of
+// SU id, row i of the PU table the secondary nodes within radius of primary
+// user i. *netmodel.Network implements it by building a table per call; a
+// caching provider (internal/experiment's shared topology) satisfies the
+// same contract by memoizing per radius. Returned tables are immutable and
+// may be shared between trackers.
+type NeighborTables interface {
+	SUNeighborTable(radius float64) (*netmodel.CSRTable, error)
+	PUNeighborTable(radius float64) (*netmodel.CSRTable, error)
 }
 
 // TxKind distinguishes primary from secondary transmitters.
@@ -66,15 +79,13 @@ const (
 // reentrancy-safe without any copy.
 type Tracker struct {
 	nw       *netmodel.Network
+	tables   NeighborTables
 	puRange  float64
 	suRange  float64
 	observer Observer
 	busy     []int32
 	pool     [][]int32
 
-	// gridPath forces the indexed entry points back onto per-event grid
-	// queries (the pre-CSR implementation); see UseGridQueries.
-	gridPath bool
 	// arrivedTxOnly, when set, narrows PUArrived delivery to nodes that are
 	// currently registered SU transmitters (suTx); see FilterPUArrivals.
 	arrivedTxOnly bool
@@ -101,8 +112,8 @@ type Tracker struct {
 	suPUOff []int32
 	suPUIdx []int32
 	// suTable and puTable are the CSR neighbor tables behind the indexed
-	// fast path, built lazily on first use so a tracker running in grid
-	// mode (or one only ever fed arbitrary positions) never pays for them.
+	// fast path, fetched lazily from the tables provider on first use so a
+	// tracker only ever fed arbitrary positions never pays for them.
 	suTable *netmodel.CSRTable
 	puTable *netmodel.CSRTable
 }
@@ -119,12 +130,69 @@ func NewTracker(nw *netmodel.Network, puRange, suRange float64, observer Observe
 	}
 	return &Tracker{
 		nw:       nw,
+		tables:   nw,
 		puRange:  puRange,
 		suRange:  suRange,
 		observer: observer,
 		busy:     make([]int32, nw.NumNodes()),
 		suTx:     make([]bool, nw.NumNodes()),
 	}, nil
+}
+
+// Renew returns t to its just-constructed state over network nw with new
+// sensing ranges and observer, keeping the buffer pool and reusing every
+// backing array whose capacity still fits. Filters and the tables provider
+// reset to their defaults (re-install them as after NewTracker). A renewed
+// tracker is observationally identical to a fresh one: counters, transmitter
+// flags, and the lazy-PU machinery all restart from zero, and the CSR tables
+// are re-fetched from the provider on next use.
+func (t *Tracker) Renew(nw *netmodel.Network, puRange, suRange float64, observer Observer) error {
+	if puRange <= 0 || suRange <= 0 {
+		return fmt.Errorf("spectrum: sensing ranges must be positive, got pu=%v su=%v", puRange, suRange)
+	}
+	if observer == nil {
+		return fmt.Errorf("spectrum: nil observer")
+	}
+	nn := nw.NumNodes()
+	t.nw = nw
+	t.tables = nw
+	t.puRange = puRange
+	t.suRange = suRange
+	t.observer = observer
+	if cap(t.busy) >= nn {
+		t.busy = t.busy[:nn]
+		clear(t.busy)
+	} else {
+		t.busy = make([]int32, nn)
+	}
+	if cap(t.suTx) >= nn {
+		t.suTx = t.suTx[:nn]
+		clear(t.suTx)
+	} else {
+		t.suTx = make([]bool, nn)
+	}
+	t.nSuTx = 0
+	t.arrivedTxOnly = false
+	t.busyElig = nil
+	t.freeElig = nil
+	t.lazyPU = false
+	t.suPUOff = t.suPUOff[:0]
+	t.suTable = nil
+	t.puTable = nil
+	return nil
+}
+
+// SetTables replaces the provider the CSR tables are fetched from; nil
+// restores the network itself. Call it before the simulation starts — any
+// previously fetched tables are discarded.
+func (t *Tracker) SetTables(tb NeighborTables) {
+	if tb == nil {
+		tb = t.nw
+	}
+	t.tables = tb
+	t.suTable = nil
+	t.puTable = nil
+	t.suPUOff = t.suPUOff[:0]
 }
 
 // FilterPUArrivals narrows PUArrived delivery to nodes that are registered
@@ -149,7 +217,7 @@ func (t *Tracker) FilterPUArrivals(on bool) { t.arrivedTxOnly = on; t.updateLazy
 // Passing nil slices restores unconditional delivery — the default, and what
 // recording observers (tests, tracing) need.
 //
-// Like FilterPUArrivals and UseGridQueries, call it before the simulation
+// Like FilterPUArrivals and SetTables, call it before the simulation
 // starts: with both filters installed the tracker switches primary users to
 // lazy flag accounting, and the representations must not change under
 // registered transmitters.
@@ -160,20 +228,33 @@ func (t *Tracker) FilterTransitions(busyEligible, freeEligible []bool) {
 }
 
 // updateLazyPU recomputes whether the lazy primary-user path is in effect
-// and builds its SU→PU transpose table the first time it turns on.
+// and builds its SU→PU transpose table the first time it turns on (a Renew
+// or SetTables truncates the table to force the rebuild).
 func (t *Tracker) updateLazyPU() {
 	t.lazyPU = t.arrivedTxOnly && t.busyElig != nil && t.freeElig != nil
-	if t.lazyPU && t.suPUOff == nil {
+	if t.lazyPU && len(t.suPUOff) == 0 {
 		t.buildSUPU()
 	}
 }
 
-// buildSUPU inverts the PU→SU table into per-node rows of covering PUs.
+// buildSUPU inverts the PU→SU table into per-node rows of covering PUs,
+// reusing the previous build's backing arrays when their capacity fits.
 func (t *Tracker) buildSUPU() {
 	nn := t.nw.NumNodes()
 	np := len(t.nw.PU)
-	t.puActive = make([]bool, np)
-	off := make([]int32, nn+1)
+	if cap(t.puActive) >= np {
+		t.puActive = t.puActive[:np]
+		clear(t.puActive)
+	} else {
+		t.puActive = make([]bool, np)
+	}
+	off := t.suPUOff
+	if cap(off) >= nn+1 {
+		off = off[:nn+1]
+		clear(off)
+	} else {
+		off = make([]int32, nn+1)
+	}
 	for p := 0; p < np; p++ {
 		for _, v := range t.puRow(int32(p)) {
 			off[v+1]++
@@ -182,14 +263,20 @@ func (t *Tracker) buildSUPU() {
 	for v := 0; v < nn; v++ {
 		off[v+1] += off[v]
 	}
-	idx := make([]int32, off[nn])
-	cur := append([]int32(nil), off[:nn]...)
+	idx := t.suPUIdx
+	if cap(idx) >= int(off[nn]) {
+		idx = idx[:off[nn]]
+	} else {
+		idx = make([]int32, off[nn])
+	}
+	cur := append(t.takeBuf(), off[:nn]...)
 	for p := 0; p < np; p++ {
 		for _, v := range t.puRow(int32(p)) {
 			idx[cur[v]] = int32(p)
 			cur[v]++
 		}
 	}
+	t.putBuf(cur)
 	t.suPUOff = off
 	t.suPUIdx = idx
 }
@@ -214,13 +301,6 @@ func (t *Tracker) puCount(node int32) int32 {
 	}
 	return c
 }
-
-// UseGridQueries selects the legacy per-event grid-query implementation for
-// the indexed entry points (AddSUTransmitter and friends) instead of the
-// precomputed CSR tables. The two paths are bit-identical — this flag
-// exists for one release as an escape hatch and as the reference arm of the
-// equivalence tests. Call it before the simulation starts.
-func (t *Tracker) UseGridQueries(on bool) { t.gridPath = on }
 
 // Busy reports whether node currently senses the spectrum busy.
 func (t *Tracker) Busy(node int32) bool {
@@ -262,10 +342,11 @@ func (t *Tracker) putBuf(buf []int32) {
 	t.pool = append(t.pool, buf)
 }
 
-// suRow returns SU id's CSR neighbor row, building the table on first use.
+// suRow returns SU id's CSR neighbor row, fetching the table from the
+// provider on first use.
 func (t *Tracker) suRow(id int32) []int32 {
 	if t.suTable == nil {
-		tab, err := t.nw.SUNeighborTable(t.suRange)
+		tab, err := t.tables.SUNeighborTable(t.suRange)
 		if err != nil {
 			panic(fmt.Sprintf("spectrum: SU neighbor table: %v", err))
 		}
@@ -274,10 +355,11 @@ func (t *Tracker) suRow(id int32) []int32 {
 	return t.suTable.Row(id)
 }
 
-// puRow returns PU i's CSR neighbor row, building the table on first use.
+// puRow returns PU i's CSR neighbor row, fetching the table from the
+// provider on first use.
 func (t *Tracker) puRow(i int32) []int32 {
 	if t.puTable == nil {
-		tab, err := t.nw.PUNeighborTable(t.puRange)
+		tab, err := t.tables.PUNeighborTable(t.puRange)
 		if err != nil {
 			panic(fmt.Sprintf("spectrum: PU neighbor table: %v", err))
 		}
@@ -426,16 +508,11 @@ func (t *Tracker) removeNeighbors(nbrs []int32, now sim.Time, exclude int32) {
 
 // AddSUTransmitter registers secondary node id as an active transmitter
 // (the node's own counter is excluded). This is the indexed fast path: it
-// walks id's precomputed CSR row unless UseGridQueries reverted it to a
-// live grid query.
+// walks id's precomputed CSR row.
 func (t *Tracker) AddSUTransmitter(id int32, now sim.Time) {
 	if !t.suTx[id] {
 		t.suTx[id] = true
 		t.nSuTx++
-	}
-	if t.gridPath {
-		t.AddTransmitter(t.nw.SU[id], TxSU, id, now)
-		return
 	}
 	t.addNeighbors(t.suRow(id), TxSU, id, now)
 }
@@ -446,20 +523,12 @@ func (t *Tracker) RemoveSUTransmitter(id int32, now sim.Time) {
 		t.suTx[id] = false
 		t.nSuTx--
 	}
-	if t.gridPath {
-		t.RemoveTransmitter(t.nw.SU[id], TxSU, id, now)
-		return
-	}
 	t.removeNeighbors(t.suRow(id), now, id)
 }
 
 // AddPUTransmitter registers primary user i as an active transmitter,
 // delivering PUArrived to every secondary node within the protection range.
 func (t *Tracker) AddPUTransmitter(i int32, now sim.Time) {
-	if t.gridPath {
-		t.AddTransmitter(t.nw.PU[i], TxPU, -1, now)
-		return
-	}
 	if t.lazyPU {
 		t.addPULazy(i, now)
 		return
@@ -469,10 +538,6 @@ func (t *Tracker) AddPUTransmitter(i int32, now sim.Time) {
 
 // RemovePUTransmitter reverses AddPUTransmitter.
 func (t *Tracker) RemovePUTransmitter(i int32, now sim.Time) {
-	if t.gridPath {
-		t.RemoveTransmitter(t.nw.PU[i], TxPU, -1, now)
-		return
-	}
 	if t.lazyPU {
 		t.removePULazy(i, now)
 		return
