@@ -17,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race guard vuln bench bench-diff profile
+.PHONY: check build vet test race guard vuln bench bench-diff profile serve-smoke
 
 check: vet build test
 
@@ -35,6 +35,12 @@ race:
 
 guard:
 	ADDC_GUARD=1 $(GO) test -count=1 ./...
+
+# serve-smoke boots the addc-serve daemon, drives it over HTTP, requires
+# its CSV result to match the addc-experiments CLI byte for byte, and
+# requires a clean graceful drain on SIGTERM.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \

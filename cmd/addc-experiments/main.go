@@ -16,8 +16,9 @@
 //	addc-experiments -csv             # machine-readable output
 //
 // Long sweeps are interruptible and resumable: -checkpoint journals every
-// completed repetition to a crash-safe JSONL file, SIGINT/SIGTERM stop the
-// sweep cooperatively (the partial table goes to stderr), and -resume picks
+// completed repetition to a crash-safe JSONL file, SIGINT/SIGTERM or an
+// expired -timeout stop the sweep cooperatively (the partial table goes to
+// stderr), and -resume picks
 // up exactly where the journal stops, reproducing the uninterrupted output
 // byte for byte. -guard runs every simulation with runtime invariant guards.
 package main
@@ -55,6 +56,7 @@ func run(args []string) error {
 		paperScale = fs.Bool("paper-scale", false, "use the paper's nominal parameters with the aggregate PU model (very slow)")
 		handoff    = fs.Bool("handoff", true, "abort transmissions when a PU arrives (spectrum handoff)")
 		budget     = fs.Duration("max-virtual", 2*time.Hour, "virtual-time budget per run")
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the whole invocation (0: none); expiry stops sweeps like SIGINT, printing partial results (combine with -checkpoint to resume)")
 		sameMAC    = fs.Bool("same-mac", false, "run Coolest on ADDC's PCR MAC (routing-only ablation)")
 		svgDir     = fs.String("svg", "", "directory to also write one SVG chart per figure")
 		checkpoint = fs.String("checkpoint", "", "journal completed repetitions to this JSONL file (per-figure suffix added when sweeping several figures)")
@@ -73,6 +75,11 @@ func run(args []string) error {
 	// already journaled when -checkpoint is set.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
 
 	base := netmodel.ScaledDefaultParams()
 	model := spectrum.ModelExact

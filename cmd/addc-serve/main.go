@@ -1,0 +1,111 @@
+// Command addc-serve runs the simulation engine as a resilient HTTP/JSON
+// daemon: submit figure sweeps as jobs, poll their status, stream their
+// repetition journals, and fetch results that are byte-identical to the
+// addc-experiments CLI's CSV output.
+//
+// Usage:
+//
+//	addc-serve -state /var/lib/addc          # listen on :8314
+//	addc-serve -addr :9000 -workers 4        # bigger worker pool
+//	addc-serve -rate 2 -burst 5              # per-client submission limits
+//
+//	curl -s localhost:8314/v1/jobs -d '{"figure":"6c"}'      # -> {"id":"j000000"}
+//	curl -s localhost:8314/v1/jobs/j000000                   # status
+//	curl -s localhost:8314/v1/jobs/j000000/events            # live JSONL feed
+//	curl -s 'localhost:8314/v1/jobs/j000000/result?format=csv'
+//
+// The daemon is bounded everywhere: a fixed worker pool, a bounded queue
+// (overflow gets 429 + Retry-After), a size-budgeted topology cache, and
+// optional per-client token buckets. SIGTERM/SIGINT drain gracefully —
+// admission stops, in-flight sweeps get -drain-grace to finish before
+// being interrupted at event-loop granularity, everything persists — and a
+// restarted daemon resumes unfinished jobs from their journals,
+// reproducing the uninterrupted results byte for byte.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"addcrn/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "addc-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("addc-serve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8314", "HTTP listen address")
+		state      = fs.String("state", "", "state directory for job records, journals and results (required)")
+		workers    = fs.Int("workers", 2, "job workers, each owning one reusable simulation workspace")
+		queue      = fs.Int("queue", 16, "queued-job bound; submissions beyond it get 429 + Retry-After")
+		cacheBytes = fs.Int64("cache-bytes", 64<<20, "topology cache budget in bytes (negative: unbounded)")
+		rate       = fs.Float64("rate", 0, "per-client submissions per second (0: unlimited)")
+		burst      = fs.Float64("burst", 0, "per-client burst size (default max(rate, 1))")
+		drainGrace = fs.Duration("drain-grace", 5*time.Second, "how long a drain lets in-flight jobs finish before interrupting them")
+		jobWorkers = fs.Int("job-workers", 1, "max sweep parallelism within one job")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" {
+		return errors.New("-state is required")
+	}
+
+	srv, err := serve.New(serve.Config{
+		Addr:          *addr,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		StateDir:      *state,
+		CacheBytes:    *cacheBytes,
+		RatePerSec:    *rate,
+		RateBurst:     *burst,
+		DrainGrace:    *drainGrace,
+		MaxJobWorkers: *jobWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			httpErr <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "addc-serve: listening on %s, state in %s\n", *addr, *state)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-httpErr:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "addc-serve: %s, draining (grace %s)\n", got, *drainGrace)
+	}
+
+	// Drain order: stop admission and finish/checkpoint jobs first, then
+	// close the listener — status polls keep working through the drain.
+	srv.Drain(*drainGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "addc-serve: drained cleanly")
+	return nil
+}

@@ -5,7 +5,8 @@
 // outcome, delivery ratio and fault counters.
 //
 // SIGINT/SIGTERM cancel the run cooperatively: the partial delivery state
-// is reported on stderr before exiting nonzero.
+// is reported on stderr before exiting nonzero. -timeout imposes the same
+// cooperative cancellation on a wall-clock budget.
 package main
 
 import (
@@ -66,6 +67,7 @@ func run(args []string) error {
 		alg     = fs.String("alg", "addc", "algorithm: addc or coolest")
 		model   = fs.String("pu-model", "exact", "PU model: exact or aggregate")
 		budget  = fs.Duration("max-virtual", 30*time.Minute, "virtual-time budget")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole invocation (0: none); expiry interrupts the run like SIGINT, reporting the partial delivery state")
 		handoff = fs.Bool("handoff", true, "abort transmissions on PU arrival")
 		guard   = fs.Bool("guard", false, "enable runtime invariant guards (concurrent-set separation, tree integrity, packet conservation)")
 
@@ -168,6 +170,11 @@ func run(args []string) error {
 	// partial result still flushes traces and metrics below.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
 
 	// Repeated runs (-runs > 1) share one workspace: the event arena, MAC
 	// state and scratch buffers are wiped in place between runs instead of

@@ -1,0 +1,86 @@
+package core
+
+import "sync"
+
+// WorkspacePool is a bounded free list of reusable Workspaces for callers
+// that run many independent sweeps over time — the service daemon hands one
+// pool to every job so a worker slot reuses the event arena, MAC state and
+// scratch buffers of whatever job ran before it, instead of paying the
+// allocation churn of a cold workspace per job.
+//
+// The pool is safe for concurrent use. It never blocks: Get falls back to a
+// fresh Workspace when the free list is empty, and Put drops the workspace
+// when the list is full, so the pool's retention — and therefore the memory
+// pinned by idle workspaces — never exceeds max.
+type WorkspacePool struct {
+	mu    sync.Mutex
+	free  []*Workspace
+	max   int
+	stats WorkspacePoolStats
+}
+
+// WorkspacePoolStats counts pool activity; retrieve with Stats.
+type WorkspacePoolStats struct {
+	// Gets counts Get calls; Reuses of them were served from the free list,
+	// the rest (News) built fresh workspaces.
+	Gets, Reuses, News int64
+	// Puts counts Put calls; Drops of them found the free list full and
+	// discarded the workspace.
+	Puts, Drops int64
+	// Idle is the current free-list length.
+	Idle int
+}
+
+// NewWorkspacePool returns a pool retaining at most max idle workspaces
+// (max <= 0 retains none — every Get builds fresh, every Put drops).
+func NewWorkspacePool(max int) *WorkspacePool {
+	if max < 0 {
+		max = 0
+	}
+	return &WorkspacePool{max: max}
+}
+
+// Get returns an idle workspace, or a fresh one when none is retained. The
+// caller owns it until Put.
+func (p *WorkspacePool) Get() *Workspace {
+	p.mu.Lock()
+	p.stats.Gets++
+	if n := len(p.free); n > 0 {
+		ws := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.stats.Reuses++
+		p.mu.Unlock()
+		return ws
+	}
+	p.stats.News++
+	p.mu.Unlock()
+	return NewWorkspace()
+}
+
+// Put returns a workspace to the pool; full pools drop it. Putting nil is a
+// no-op. Callers must not put a workspace they suspect is mid-mutation (a
+// panicked run) — discard it and put a fresh one instead, as the sweep
+// layer's panic isolation does.
+func (p *WorkspacePool) Put(ws *Workspace) {
+	if ws == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Puts++
+	if len(p.free) >= p.max {
+		p.stats.Drops++
+		return
+	}
+	p.free = append(p.free, ws)
+}
+
+// Stats returns a snapshot of pool activity.
+func (p *WorkspacePool) Stats() WorkspacePoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Idle = len(p.free)
+	return s
+}

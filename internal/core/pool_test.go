@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWorkspacePoolReuseAndBound(t *testing.T) {
+	p := NewWorkspacePool(2)
+	a, b, c := p.Get(), p.Get(), p.Get()
+	if a == nil || b == nil || c == nil {
+		t.Fatal("Get returned nil")
+	}
+	p.Put(a)
+	p.Put(b)
+	p.Put(c) // third put exceeds max: dropped
+	st := p.Stats()
+	if st.Idle != 2 {
+		t.Fatalf("Idle = %d, want 2 (retention bound)", st.Idle)
+	}
+	if st.Drops != 1 {
+		t.Fatalf("Drops = %d, want 1", st.Drops)
+	}
+	got := p.Get()
+	if got != b && got != a {
+		t.Fatal("Get did not reuse a retained workspace")
+	}
+	st = p.Stats()
+	if st.Reuses != 1 || st.News != 3 {
+		t.Fatalf("Reuses/News = %d/%d, want 1/3", st.Reuses, st.News)
+	}
+}
+
+func TestWorkspacePoolZeroRetention(t *testing.T) {
+	p := NewWorkspacePool(0)
+	ws := p.Get()
+	p.Put(ws)
+	p.Put(nil) // no-op
+	st := p.Stats()
+	if st.Idle != 0 || st.Drops != 1 {
+		t.Fatalf("Idle/Drops = %d/%d, want 0/1", st.Idle, st.Drops)
+	}
+}
+
+func TestWorkspacePoolConcurrent(t *testing.T) {
+	p := NewWorkspacePool(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ws := p.Get()
+				p.Put(ws)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Idle > 4 {
+		t.Fatalf("Idle = %d exceeds retention bound 4", st.Idle)
+	}
+	if st.Gets != 1600 || st.Puts != 1600 {
+		t.Fatalf("Gets/Puts = %d/%d, want 1600/1600", st.Gets, st.Puts)
+	}
+	if st.Reuses+st.News != st.Gets {
+		t.Fatalf("Reuses+News = %d, want %d", st.Reuses+st.News, st.Gets)
+	}
+}
+
+// A pooled workspace must produce bit-identical results to a fresh one —
+// the pool only changes where the workspace comes from, not what a run does
+// with it (Workspace reuse itself is pinned by the sweep equivalence tests).
+func TestWorkspacePoolRunEquivalence(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Params.NumSU = 60
+	opts.Params.Area = 50
+	opts.Params.NumPU = 2
+	opts.Seed = 7
+
+	fresh, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewWorkspacePool(1)
+	ws := p.Get()
+	p.Put(ws)
+	pooled := opts
+	pooled.Workspace = p.Get() // the same workspace, now via the pool
+	got, err := Run(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Delay != fresh.Delay || got.TotalTransmissions != fresh.TotalTransmissions ||
+		got.EngineSteps != fresh.EngineSteps {
+		t.Fatalf("pooled run diverged: delay %v vs %v, tx %d vs %d, steps %d vs %d",
+			got.Delay, fresh.Delay, got.TotalTransmissions, fresh.TotalTransmissions,
+			got.EngineSteps, fresh.EngineSteps)
+	}
+}

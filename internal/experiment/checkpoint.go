@@ -78,6 +78,9 @@ type Journal struct {
 	w         *bufio.Writer
 	persisted int
 	lastFlush time.Time
+	// closed records that Close ran with everything persisted; a repeated
+	// Close is then a no-op instead of a full compacting rewrite.
+	closed bool
 }
 
 // NewJournal returns an empty journal that will persist to path on Flush.
@@ -138,9 +141,11 @@ func (j *Journal) Len() int { return len(j.entries) }
 func (j *Journal) Path() string { return j.path }
 
 // Add appends entries to the in-memory journal; call Flush (or MaybeFlush)
-// to persist.
+// to persist. Adding to a closed journal reopens it: the next Flush runs
+// the compacting path.
 func (j *Journal) Add(entries ...CheckpointEntry) {
 	j.entries = append(j.entries, entries...)
+	j.closed = false
 }
 
 // Flush persists the journal. The first flush rewrites the full state
@@ -175,6 +180,14 @@ func (j *Journal) compact() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("experiment: write checkpoint: %w", err)
 	}
+	// fsync before the rename: without it the rename can become durable
+	// before the data blocks do, and a crash would replace the previous
+	// journal with a hole instead of the state we meant to persist.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: sync checkpoint temp: %w", err)
+	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
@@ -191,15 +204,29 @@ func (j *Journal) appendPending() error {
 	enc := json.NewEncoder(j.w)
 	for _, e := range j.entries[j.persisted:] {
 		if err := enc.Encode(e); err != nil {
-			return fmt.Errorf("experiment: encode checkpoint: %w", err)
+			return j.appendFailed(fmt.Errorf("experiment: encode checkpoint: %w", err))
 		}
 	}
 	if err := j.w.Flush(); err != nil {
-		return fmt.Errorf("experiment: write checkpoint: %w", err)
+		return j.appendFailed(fmt.Errorf("experiment: write checkpoint: %w", err))
 	}
 	j.persisted = len(j.entries)
 	j.lastFlush = time.Now()
 	return nil
+}
+
+// appendFailed abandons the append descriptor after a failed append so the
+// next Flush recompacts through the atomic temp+rename path. This keeps a
+// failed flush resumable: the file may now end in a torn line (which
+// LoadJournal tolerates) or hold a duplicate of a retried entry (which the
+// resume path's last-write-wins pairing absorbs), but appending more after
+// a partial write would put garbage mid-file and poison the whole journal.
+func (j *Journal) appendFailed(err error) error {
+	if j.f != nil {
+		j.f.Close() // best effort; the error that matters is the append's
+		j.f, j.w = nil, nil
+	}
+	return err
 }
 
 // MaybeFlush flushes when at least batch entries are pending or interval has
@@ -231,15 +258,23 @@ func (j *Journal) Sync() error {
 	return nil
 }
 
-// Close syncs and releases the journal's descriptor. The journal remains
-// usable afterward — the next Flush reopens via the compacting path.
+// Close syncs and releases the journal's descriptor. Close is idempotent:
+// a second Close with nothing new to persist is a no-op (it neither
+// rewrites the file nor reopens a descriptor). The journal remains usable
+// afterward — Add reopens it and the next Flush runs the compacting path.
 func (j *Journal) Close() error {
+	if j.closed && j.persisted == len(j.entries) {
+		return nil
+	}
 	syncErr := j.Sync()
 	if j.f != nil {
 		if err := j.f.Close(); err != nil && syncErr == nil {
 			syncErr = fmt.Errorf("experiment: close checkpoint: %w", err)
 		}
 		j.f, j.w = nil, nil
+	}
+	if syncErr == nil {
+		j.closed = true
 	}
 	return syncErr
 }

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func auditEntry(xi, rep int, algo string) CheckpointEntry {
+	return CheckpointEntry{Sweep: "audit", Xi: xi, Rep: rep, Algo: algo, Delay: float64(xi*10 + rep)}
+}
+
+// Close must be idempotent: a second Close with nothing new pending
+// performs no I/O (in particular, no compacting rewrite of the file).
+func TestJournalCloseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := NewJournal(path)
+	j.Add(auditEntry(0, 0, algoADDC), auditEntry(0, 0, algoCoolest))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Fatal("second Close rewrote the journal file")
+	}
+
+	// Adding after Close reopens the journal; the new entry persists.
+	j.Add(auditEntry(1, 0, algoADDC))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 3 {
+		t.Fatalf("journal has %d entries after reopen, want 3", loaded.Len())
+	}
+}
+
+// A failed append must surface its error and leave the on-disk journal
+// resumable; the next Flush recovers by recompacting, after which nothing
+// is lost.
+func TestJournalFailedAppendSurfacesAndRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := NewJournal(path)
+	j.Add(auditEntry(0, 0, algoADDC))
+	if err := j.Flush(); err != nil { // compacting first flush opens the fd
+		t.Fatal(err)
+	}
+
+	// Force the next append to fail by sabotaging the descriptor, the way
+	// a revoked file or a full disk would.
+	if err := j.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Add(auditEntry(0, 1, algoADDC))
+	if err := j.Flush(); err == nil {
+		t.Fatal("append on a dead descriptor reported success")
+	}
+
+	// The on-disk journal is still loadable (resumable) mid-failure.
+	loaded, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("journal not resumable after failed append: %v", err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("journal has %d entries mid-failure, want the 1 persisted before", loaded.Len())
+	}
+
+	// The next flush falls back to the compacting path and recovers
+	// everything, including the entry whose append failed.
+	if err := j.Flush(); err != nil {
+		t.Fatalf("recovery flush: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("journal has %d entries after recovery, want 2", loaded.Len())
+	}
+}
+
+// A MaybeFlush error must propagate like Flush's (the sweep loop records
+// the first flush error it sees).
+func TestJournalMaybeFlushSurfacesErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := NewJournal(path)
+	j.Add(auditEntry(0, 0, algoADDC))
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Add(auditEntry(0, 1, algoADDC))
+	if err := j.MaybeFlush(1, 0); err == nil {
+		t.Fatal("MaybeFlush swallowed the append failure")
+	}
+}
+
+// A compacting flush into an unwritable directory must surface the error
+// (and not update the persisted watermark, so a later flush retries).
+func TestJournalCompactErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	j := NewJournal(filepath.Join(dir, "sub", "j.jsonl")) // missing directory
+	j.Add(auditEntry(0, 0, algoADDC))
+	if err := j.Flush(); err == nil {
+		t.Fatal("compact into a missing directory reported success")
+	}
+	// Creating the directory lets the same journal flush cleanly.
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJournal(j.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("journal has %d entries, want 1", loaded.Len())
+	}
+}

@@ -99,6 +99,19 @@ type Sweep struct {
 	// are byte-identical to an uninterrupted run.
 	Resume bool
 
+	// Cache, when non-nil, supplies the topology cache ShareTopology
+	// memoizes into; nil builds a private unbounded cache per Run. The
+	// service daemon shares one size-accounted LRU cache across every job
+	// (see NewTopoCache) — sharing never changes results, since entries
+	// are pure functions of their key.
+	Cache *TopoCache
+	// Workspaces, when non-nil, sources each worker's reusable simulation
+	// context from this pool instead of building one per Run, and returns
+	// it when the sweep finishes. Long-running callers executing many
+	// sweeps (the service daemon) use it to bound total workspace memory
+	// across jobs.
+	Workspaces *core.WorkspacePool
+
 	// noReuse (tests only) disables per-worker engine/MAC/registry reuse so
 	// equivalence tests can compare reused against fresh execution.
 	noReuse bool
@@ -289,7 +302,10 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 	// One topology cache serves the whole pool; each worker owns a
 	// resettable simulation context (engine arena, MAC state, metrics
 	// registry, scratch buffers) wiped in place between jobs.
-	cache := newTopoCache()
+	cache := s.Cache
+	if cache == nil {
+		cache = newTopoCache()
+	}
 	jobs := make(chan job)
 	results := make(chan []runOutcome)
 	var wg sync.WaitGroup
@@ -299,7 +315,14 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 			defer wg.Done()
 			env := &runEnv{cache: cache}
 			if !s.noReuse {
-				env.ws = core.NewWorkspace()
+				if s.Workspaces != nil {
+					env.ws = s.Workspaces.Get()
+					// The workspace returned may be a fresh replacement when
+					// a panic discarded the one we got (see runEnv.discard).
+					defer func() { s.Workspaces.Put(env.ws) }()
+				} else {
+					env.ws = core.NewWorkspace()
+				}
 				env.reg = metrics.NewRegistry()
 			}
 			for j := range jobs {
@@ -513,7 +536,7 @@ func (s *Sweep) runPair(ctx context.Context, xi, rep int, metric coolest.Metric,
 // and metrics registry that are wiped in place between jobs. ws and reg are
 // nil when reuse is disabled (tests).
 type runEnv struct {
-	cache *topoCache
+	cache *TopoCache
 	ws    *core.Workspace
 	reg   *metrics.Registry
 }

@@ -1,0 +1,274 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"addcrn/internal/core"
+	"addcrn/internal/netmodel"
+)
+
+// cacheParams returns a tiny connected operating point whose topology builds
+// fast; i perturbs NumSU so distinct i give distinct cache keys.
+func cacheParams(i int) netmodel.Params {
+	p := tinyBase()
+	p.NumSU = 60 + i
+	return p
+}
+
+func TestTopoCacheHitsAndSize(t *testing.T) {
+	c := NewTopoCache(0)
+	p := cacheParams(0)
+	a, err := c.get(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.get(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second get did not return the memoized topology")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+	if st.SizeBytes <= 0 {
+		t.Fatalf("SizeBytes = %d, want > 0 (size accounting)", st.SizeBytes)
+	}
+
+	// Lazily built tables grow the entry's account.
+	before := st.SizeBytes
+	if _, err := a.SUNeighborTable(p.RadiusSU); err != nil {
+		t.Fatal(err)
+	}
+	if st = c.Stats(); st.SizeBytes <= before {
+		t.Fatalf("SizeBytes = %d after lazy CSR build, want > %d", st.SizeBytes, before)
+	}
+	// Rebuilding the same table must not be charged twice.
+	charged := st.SizeBytes
+	if _, err := a.SUNeighborTable(p.RadiusSU); err != nil {
+		t.Fatal(err)
+	}
+	if st = c.Stats(); st.SizeBytes != charged {
+		t.Fatalf("SizeBytes = %d after repeat lookup, want %d", st.SizeBytes, charged)
+	}
+}
+
+func TestTopoCacheLRUEviction(t *testing.T) {
+	// Learn one entry's cost, then budget for roughly two entries.
+	probe := NewTopoCache(0)
+	if _, err := probe.get(cacheParams(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	per := probe.Stats().SizeBytes
+
+	c := NewTopoCache(2*per + per/2)
+	for i := 0; i < 4; i++ {
+		if _, err := c.get(cacheParams(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.SizeBytes > st.MaxBytes {
+		t.Fatalf("SizeBytes = %d exceeds budget %d", st.SizeBytes, st.MaxBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions after overflowing the budget", st)
+	}
+	if st.Entries > 2 {
+		t.Fatalf("Entries = %d, want <= 2 under a two-entry budget", st.Entries)
+	}
+
+	// The most recently used entry survived; the oldest was evicted and
+	// misses again.
+	if _, err := c.get(cacheParams(3), 1); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := c.Stats().Hits
+	if _, err := c.get(cacheParams(3), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Hits; got != hitsBefore+1 {
+		t.Fatalf("expected an immediate re-get of the MRU entry to hit (hits %d -> %d)", hitsBefore, got)
+	}
+	missesBefore := c.Stats().Misses
+	if _, err := c.get(cacheParams(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != missesBefore+1 {
+		t.Fatalf("expected the evicted LRU entry to miss (misses %d -> %d)", missesBefore, got)
+	}
+}
+
+func TestTopoCacheAdmissionControl(t *testing.T) {
+	// A budget smaller than any single topology: nothing is ever admitted,
+	// the cache stays empty, and every get still succeeds (built fresh).
+	c := NewTopoCache(64)
+	for i := 0; i < 3; i++ {
+		if _, err := c.get(cacheParams(0), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.SizeBytes != 0 {
+		t.Fatalf("stats = %+v, want an empty cache under an undersized budget", st)
+	}
+	if st.Rejections != 3 {
+		t.Fatalf("Rejections = %d, want 3", st.Rejections)
+	}
+}
+
+func TestTopoCacheCachesErrors(t *testing.T) {
+	c := NewTopoCache(0)
+	bad := cacheParams(0)
+	bad.RadiusSU = -1 // deterministic build failure
+	_, err1 := c.get(bad, 1)
+	if err1 == nil {
+		t.Fatal("expected a build error")
+	}
+	_, err2 := c.get(bad, 1)
+	if !errors.Is(err2, err1) && err2.Error() != err1.Error() {
+		t.Fatalf("error not memoized: %v vs %v", err1, err2)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1 (error entries are cache entries too)", st.Hits)
+	}
+}
+
+// Hammer a small-budget cache from many goroutines; the race detector
+// guards the locking, and the budget must hold at every observation point.
+func TestTopoCacheConcurrentBounded(t *testing.T) {
+	probe := NewTopoCache(0)
+	if _, err := probe.get(cacheParams(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	per := probe.Stats().SizeBytes
+
+	c := NewTopoCache(3 * per)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				topo, err := c.get(cacheParams((w+i)%6), 1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := topo.SUNeighborTable(topo.NW.Params.RadiusSU); err != nil {
+					errs <- err
+					return
+				}
+				if st := c.Stats(); st.SizeBytes > st.MaxBytes+per {
+					// Transient overshoot is bounded by one in-flight entry;
+					// anything beyond that is an accounting bug.
+					errs <- fmt.Errorf("cache size %d far exceeds budget %d", st.SizeBytes, st.MaxBytes)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.SizeBytes > st.MaxBytes {
+		t.Fatalf("final size %d exceeds budget %d", st.SizeBytes, st.MaxBytes)
+	}
+}
+
+// A sweep handed a shared external cache produces byte-identical output to
+// one using its private cache — the cache is pure memoization.
+func TestSweepSharedCacheEquivalence(t *testing.T) {
+	private := tinySweep(5)
+	private.ShareTopology = true
+	privateRes, err := private.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := tinySweep(5)
+	shared.ShareTopology = true
+	shared.Cache = NewTopoCache(0)
+	sharedRes, err := shared.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sharedRes.FormatCSV(), privateRes.FormatCSV(); got != want {
+		t.Fatalf("shared-cache sweep diverged:\n--- private\n%s--- shared\n%s", want, got)
+	}
+
+	// Re-running the same sweep on the warm cache hits instead of building.
+	warmStats := shared.Cache.Stats()
+	if warmStats.Misses == 0 {
+		t.Fatal("expected misses on the first pass")
+	}
+	again := tinySweep(5)
+	again.ShareTopology = true
+	again.Cache = shared.Cache
+	againRes, err := again.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := againRes.FormatCSV(), privateRes.FormatCSV(); got != want {
+		t.Fatal("warm-cache sweep diverged")
+	}
+	st := shared.Cache.Stats()
+	if st.Misses != warmStats.Misses {
+		t.Fatalf("warm pass rebuilt topologies: misses %d -> %d", warmStats.Misses, st.Misses)
+	}
+	if st.Hits <= warmStats.Hits {
+		t.Fatalf("warm pass did not hit: hits %d -> %d", warmStats.Hits, st.Hits)
+	}
+}
+
+// A sweep drawing workspaces from a pool is byte-identical to one building
+// its own, and returns the workspaces when done.
+func TestSweepWorkspacePoolEquivalence(t *testing.T) {
+	base := tinySweep(6)
+	baseRes, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := core.NewWorkspacePool(8)
+	pooled := tinySweep(6)
+	pooled.Workspaces = pool
+	pooledRes, err := pooled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pooledRes.FormatCSV(), baseRes.FormatCSV(); got != want {
+		t.Fatalf("pooled sweep diverged:\n--- fresh\n%s--- pooled\n%s", want, got)
+	}
+	st := pool.Stats()
+	if st.Gets == 0 || st.Puts != st.Gets {
+		t.Fatalf("pool stats = %+v, want every Get matched by a Put", st)
+	}
+	if st.Idle == 0 {
+		t.Fatalf("pool stats = %+v, want workspaces retained for the next sweep", st)
+	}
+
+	// A second pooled sweep reuses the retained workspaces bit-identically.
+	again := tinySweep(6)
+	again.Workspaces = pool
+	againRes, err := again.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := againRes.FormatCSV(), baseRes.FormatCSV(); got != want {
+		t.Fatal("reused-pool sweep diverged")
+	}
+	if st := pool.Stats(); st.Reuses == 0 {
+		t.Fatalf("pool stats = %+v, want reuses on the second sweep", st)
+	}
+}

@@ -1,0 +1,76 @@
+// Atomic instruments for the service layer. The run Registry is
+// single-threaded by design (one registry per simulation, no locks); a
+// long-running daemon serving many concurrent jobs needs counters that many
+// goroutines bump at once. These are that: plain atomics with the same
+// nil-receiver-safe calling convention as the registry's instruments, and no
+// registry behind them — a service embeds them directly in its stats struct
+// and snapshots them with Value/Current/Peak.
+package metrics
+
+import "sync/atomic"
+
+// AtomicCounter is a concurrency-safe monotonically increasing counter.
+// The zero value is ready to use.
+type AtomicCounter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *AtomicCounter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta. Safe on a nil receiver (no-op).
+func (c *AtomicCounter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *AtomicCounter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// AtomicPeak tracks a level (a queue depth, an in-flight count) together
+// with its high-water mark. The zero value is ready to use.
+type AtomicPeak struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// Add moves the level by delta and returns the new level, updating the peak
+// when the level reaches a new maximum. Safe on a nil receiver (returns 0).
+func (p *AtomicPeak) Add(delta int64) int64 {
+	if p == nil {
+		return 0
+	}
+	cur := p.cur.Add(delta)
+	for {
+		peak := p.peak.Load()
+		if cur <= peak || p.peak.CompareAndSwap(peak, cur) {
+			return cur
+		}
+	}
+}
+
+// Current returns the level (0 on a nil receiver).
+func (p *AtomicPeak) Current() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.cur.Load()
+}
+
+// Peak returns the high-water mark (0 on a nil receiver).
+func (p *AtomicPeak) Peak() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.peak.Load()
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicCounterConcurrent(t *testing.T) {
+	var c AtomicCounter
+	var nilC *AtomicCounter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				nilC.Inc() // nil receivers are no-ops, never panics
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+	if nilC.Value() != 0 {
+		t.Fatal("nil counter reported a value")
+	}
+}
+
+func TestAtomicPeakTracksHighWaterMark(t *testing.T) {
+	var p AtomicPeak
+	p.Add(3)
+	p.Add(2)
+	p.Add(-4)
+	if cur := p.Current(); cur != 1 {
+		t.Fatalf("Current = %d, want 1", cur)
+	}
+	if peak := p.Peak(); peak != 5 {
+		t.Fatalf("Peak = %d, want 5", peak)
+	}
+	// The peak never decreases.
+	p.Add(-1)
+	if peak := p.Peak(); peak != 5 {
+		t.Fatalf("Peak after drain = %d, want 5", peak)
+	}
+}
+
+func TestAtomicPeakConcurrent(t *testing.T) {
+	var p AtomicPeak
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Add(1)
+				p.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if cur := p.Current(); cur != 0 {
+		t.Fatalf("Current = %d, want 0", cur)
+	}
+	if peak := p.Peak(); peak < 1 || peak > 8 {
+		t.Fatalf("Peak = %d, want within [1,8]", peak)
+	}
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"addcrn/internal/experiment"
+	"addcrn/internal/netmodel"
+	"addcrn/internal/spectrum"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("90s", "2h") so job specs read naturally as JSON.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or a number of
+// nanoseconds (what a round-tripped time.Duration would encode as).
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("serve: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("serve: duration must be a string like \"90s\" or nanoseconds")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// JobSpec is the service contract for one submitted experiment: a figure
+// sweep (the paper's Fig. 6 panels) with optional parameter overrides. The
+// zero value of every field means "the same default the CLI uses", so a
+// spec of just {"figure":"6c"} reproduces `addc-experiments -fig 6c`.
+type JobSpec struct {
+	// Figure selects the sweep: "6a".."6f".
+	Figure string `json:"figure"`
+	// Reps is the number of repetitions per sweep point (default 10).
+	Reps int `json:"reps,omitempty"`
+	// Seed is the root seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// NumSU, NumPU, Area and ActiveProb override the scaled operating
+	// point's base parameters when positive.
+	NumSU      int     `json:"num_su,omitempty"`
+	NumPU      int     `json:"num_pu,omitempty"`
+	Area       float64 `json:"area,omitempty"`
+	ActiveProb float64 `json:"active_prob,omitempty"`
+	// Xs overrides the swept values (a subset makes a quick job).
+	Xs []float64 `json:"xs,omitempty"`
+	// MaxVirtual bounds each run's virtual time (default 2h, as the CLI).
+	MaxVirtual Duration `json:"max_virtual,omitempty"`
+	// Timeout is the job's wall-clock deadline: when it expires the sweep
+	// is interrupted at event-loop granularity, partial results are
+	// recorded, and the job ends in state "deadline". Zero means no
+	// deadline.
+	Timeout Duration `json:"timeout,omitempty"`
+	// Retries bounds automatic re-runs of a failed job with exponential
+	// backoff. Each retry resumes from the job's journal, so completed
+	// repetitions are never redone; within the sweep it also bounds the
+	// per-repetition fresh-seed retries for transient deployment failures.
+	Retries int `json:"retries,omitempty"`
+	// Workers is the sweep's parallelism; the server clamps it to its
+	// configured per-job maximum (default 1: job-level parallelism comes
+	// from the worker pool, not from within one job).
+	Workers int `json:"workers,omitempty"`
+	// ShareTopology, Guard, SameMAC and DisableHandoff mirror the CLI
+	// flags of the same names.
+	ShareTopology  bool `json:"share_topology,omitempty"`
+	Guard          bool `json:"guard,omitempty"`
+	SameMAC        bool `json:"same_mac,omitempty"`
+	DisableHandoff bool `json:"disable_handoff,omitempty"`
+}
+
+// Validate checks the spec without running it.
+func (s *JobSpec) Validate() error {
+	if _, err := experiment.NewFigureSweep(s.Figure, netmodel.ScaledDefaultParams(), 1); err != nil {
+		return err
+	}
+	if s.Reps < 0 || s.Reps > 1000 {
+		return fmt.Errorf("serve: reps %d out of range [0,1000]", s.Reps)
+	}
+	if len(s.Xs) > 64 {
+		return fmt.Errorf("serve: %d x values exceed the limit of 64", len(s.Xs))
+	}
+	if s.Retries < 0 || s.Retries > 16 {
+		return fmt.Errorf("serve: retries %d out of range [0,16]", s.Retries)
+	}
+	if s.Timeout < 0 || s.MaxVirtual < 0 {
+		return fmt.Errorf("serve: negative durations are invalid")
+	}
+	p := s.baseParams()
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("serve: base parameters: %w", err)
+	}
+	return nil
+}
+
+func (s *JobSpec) baseParams() netmodel.Params {
+	p := netmodel.ScaledDefaultParams()
+	if s.NumSU > 0 {
+		p.NumSU = s.NumSU
+	}
+	if s.NumPU > 0 {
+		p.NumPU = s.NumPU
+	}
+	if s.Area > 0 {
+		p.Area = s.Area
+	}
+	if s.ActiveProb > 0 {
+		p.ActiveProb = s.ActiveProb
+	}
+	return p
+}
+
+// sweep materializes the spec into a runnable figure sweep. maxWorkers is
+// the server's per-job parallelism clamp.
+func (s *JobSpec) sweep(maxWorkers int) (*experiment.Sweep, error) {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	sw, err := experiment.NewFigureSweep(s.Figure, s.baseParams(), seed)
+	if err != nil {
+		return nil, err
+	}
+	sw.Reps = s.Reps // 0 keeps the sweep default (10)
+	sw.PUModel = spectrum.ModelExact
+	sw.MaxVirtualTime = time.Duration(s.MaxVirtual)
+	sw.ShareTopology = s.ShareTopology
+	sw.Guard = s.Guard
+	sw.SameMAC = s.SameMAC
+	sw.DisableHandoff = s.DisableHandoff
+	sw.Retries = s.Retries
+	if len(s.Xs) > 0 {
+		sw.Xs = append([]float64(nil), s.Xs...)
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if maxWorkers > 0 && workers > maxWorkers {
+		workers = maxWorkers
+	}
+	sw.Workers = workers
+	return sw, nil
+}
+
+// Job states. queued and running are live; interrupted means a drain or
+// crash stopped the job mid-sweep with its progress journaled (a restarted
+// server resumes it); done, failed, deadline and canceled are terminal.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateDeadline    = "deadline"
+	StateInterrupted = "interrupted"
+	StateCanceled    = "canceled"
+)
+
+// terminalState reports whether a job in state will never run again.
+func terminalState(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateDeadline, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// Job is one submitted experiment and its lifecycle record. The server
+// persists every state transition to the state directory, so a restarted
+// daemon reconstructs the exact job table and resumes unfinished work.
+type Job struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+	// State is one of the State* constants; Error carries the failure
+	// message for failed/deadline/interrupted states.
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Attempts counts sweep executions (1 + retries so far).
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed counts repetitions replayed from the journal rather than
+	// executed, summed over attempts.
+	Resumed int `json:"resumed,omitempty"`
+	// SubmittedAt/StartedAt/FinishedAt are wall-clock Unix milliseconds
+	// (informational; nothing deterministic reads them).
+	SubmittedAt int64 `json:"submitted_at_ms,omitempty"`
+	StartedAt   int64 `json:"started_at_ms,omitempty"`
+	FinishedAt  int64 `json:"finished_at_ms,omitempty"`
+}
+
+// JobResult is the stored outcome of a finished (or interrupted) job.
+type JobResult struct {
+	ID     string `json:"id"`
+	Figure string `json:"figure"`
+	// Partial marks results recorded at interruption or deadline expiry:
+	// every completed repetition is summarized, the rest are missing.
+	Partial bool `json:"partial,omitempty"`
+	// CSV is the sweep summary in the exact byte form the CLI's -csv mode
+	// emits; equality with a CLI run is part of the service contract (the
+	// smoke test asserts it).
+	CSV string `json:"csv"`
+	// Table is the human-readable form (includes wall-clock timing, so it
+	// is not byte-stable across runs; CSV is).
+	Table string `json:"table"`
+	// MeanDelayRatio restates the sweep's headline number.
+	MeanDelayRatio float64 `json:"mean_delay_ratio"`
+}
+
+// jobPath/journalPath/resultPath locate a job's files in the state dir.
+func jobPath(dir, id string) string     { return filepath.Join(dir, id+".json") }
+func journalPath(dir, id string) string { return filepath.Join(dir, id+".journal.jsonl") }
+func resultPath(dir, id string) string  { return filepath.Join(dir, id+".result.json") }
+
+// saveJSON atomically persists v at path via a temp sibling and rename.
+func saveJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadJobs reads every persisted job record in dir, sorted by ID.
+func loadJobs(dir string) ([]*Job, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "j*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	for _, name := range names {
+		if strings.Contains(name, ".result.") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			return nil, fmt.Errorf("serve: corrupt job record %s: %w", name, err)
+		}
+		if j.ID == "" {
+			return nil, fmt.Errorf("serve: job record %s has no id", name)
+		}
+		jobs = append(jobs, &j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	return jobs, nil
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimitedError reports a refused submission and how long the client
+// should wait before retrying; the HTTP layer turns it into 429 with a
+// Retry-After header.
+type RateLimitedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("serve: rate limited, retry after %s", e.RetryAfter.Round(time.Millisecond))
+}
+
+// maxRateClients bounds the bucket table: admission control must not itself
+// be a memory leak. When full, stale buckets (at burst, i.e. idle long
+// enough to have fully refilled) are pruned; a full table of active buckets
+// refuses new client keys the same way an empty bucket would.
+const maxRateClients = 1024
+
+// rateLimiter is a per-client token bucket: each submission costs one
+// token, buckets refill at rate tokens/second up to burst. A nil limiter
+// (rate <= 0) admits everything.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns nil when rate is non-positive (unlimited); a
+// non-positive burst defaults to max(rate, 1) so a client can always burst
+// at least one submission.
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = math.Max(rate, 1)
+	}
+	return &rateLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket at time now. When the bucket is
+// empty it reports false and how long until a token accrues. now is a
+// parameter so tests drive the clock deterministically.
+func (l *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxRateClients {
+			l.pruneLocked(now)
+		}
+		if len(l.buckets) >= maxRateClients {
+			return false, l.tokenTime(1)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	// Refill for the elapsed interval (a clock that goes backward refills
+	// nothing rather than draining the bucket).
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, l.tokenTime(1 - b.tokens)
+}
+
+// tokenTime converts a token deficit to a wait duration, rounded up to a
+// whole second so it is directly usable as a Retry-After value.
+func (l *rateLimiter) tokenTime(deficit float64) time.Duration {
+	d := time.Duration(deficit / l.rate * float64(time.Second))
+	if rem := d % time.Second; rem != 0 || d == 0 {
+		d += time.Second - rem
+	}
+	return d
+}
+
+// pruneLocked drops buckets that have fully refilled (idle clients).
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	for key, b := range l.buckets {
+		tokens := b.tokens
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			tokens = math.Min(l.burst, tokens+dt*l.rate)
+		}
+		if tokens >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}

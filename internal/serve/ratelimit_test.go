@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterUnlimited(t *testing.T) {
+	l := newRateLimiter(0, 0)
+	if l != nil {
+		t.Fatal("rate 0 should build a nil (unlimited) limiter")
+	}
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.allow("k", time.Now()); !ok {
+			t.Fatal("nil limiter refused a request")
+		}
+	}
+}
+
+func TestRateLimiterBucket(t *testing.T) {
+	l := newRateLimiter(1, 2) // 1 token/s, burst 2
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a", now); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.allow("a", now)
+	if ok {
+		t.Fatal("third immediate request admitted past the burst")
+	}
+	if retry <= 0 || retry > 2*time.Second {
+		t.Fatalf("retry-after = %v, want a small positive duration", retry)
+	}
+
+	// Clients do not share buckets.
+	if ok, _ := l.allow("b", now); !ok {
+		t.Fatal("fresh client refused because another client is limited")
+	}
+
+	// After the advertised wait, a token has accrued.
+	if ok, _ := l.allow("a", now.Add(retry)); !ok {
+		t.Fatal("request refused after waiting the advertised Retry-After")
+	}
+
+	// Refill caps at burst: a long-idle client gets burst tokens, not more.
+	later := now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a", later); !ok {
+			t.Fatalf("post-idle burst request %d refused", i)
+		}
+	}
+	if ok, _ := l.allow("a", later); ok {
+		t.Fatal("idle refill exceeded the burst cap")
+	}
+}
+
+func TestRateLimiterBackwardClock(t *testing.T) {
+	l := newRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := l.allow("a", now); !ok {
+		t.Fatal("first request refused")
+	}
+	// A clock step backward must not mint tokens (or panic).
+	if ok, _ := l.allow("a", now.Add(-time.Hour)); ok {
+		t.Fatal("backward clock produced a token")
+	}
+}
+
+func TestRateLimiterBoundedClients(t *testing.T) {
+	l := newRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	for i := 0; i < maxRateClients; i++ {
+		l.allow(fmt.Sprintf("c%d", i), now)
+	}
+	if len(l.buckets) != maxRateClients {
+		t.Fatalf("bucket table holds %d entries, want %d", len(l.buckets), maxRateClients)
+	}
+	// All buckets are drained (burst 1, one request each), so none are
+	// prunable yet: a new client is refused rather than growing the table.
+	if ok, _ := l.allow("overflow", now); ok {
+		t.Fatal("new client admitted past the bucket-table bound")
+	}
+	if len(l.buckets) > maxRateClients {
+		t.Fatalf("bucket table grew to %d entries", len(l.buckets))
+	}
+	// Once the old buckets refill (idle clients), pruning makes room.
+	if ok, _ := l.allow("overflow", now.Add(2*time.Second)); !ok {
+		t.Fatal("new client refused after idle buckets became prunable")
+	}
+	if len(l.buckets) > maxRateClients {
+		t.Fatalf("bucket table still holds %d entries after pruning", len(l.buckets))
+	}
+}

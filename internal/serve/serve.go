@@ -1,0 +1,549 @@
+// Package serve is the simulation-as-a-service layer: a job subsystem over
+// the experiment engine with bounded admission, per-job wall-clock
+// deadlines, bounded retry, and a graceful drain/resume lifecycle.
+//
+// Robustness posture: the server never exceeds its configured bounds — a
+// fixed worker pool of reusable simulation workspaces, a bounded submission
+// queue (overflow is refused with Retry-After, never buffered), a
+// size-budgeted topology cache, and per-client token-bucket rate limits.
+// Every job transition is persisted atomically to the state directory and
+// every running sweep journals completed repetitions, so SIGTERM drains to
+// a resumable on-disk state and a restarted daemon finishes interrupted
+// work byte-identically to an uninterrupted run.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"addcrn/internal/core"
+	"addcrn/internal/experiment"
+	"addcrn/internal/metrics"
+)
+
+// Config bounds the server. The zero value of a field selects the default
+// noted on it; bounds are fixed for the server's lifetime.
+type Config struct {
+	// Addr is the HTTP listen address (cmd/addc-serve's concern; the
+	// Server itself never listens).
+	Addr string
+	// Workers is the number of job workers, each owning one reusable
+	// simulation workspace (default 2).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs; submissions beyond it
+	// are refused with Retry-After (default 16).
+	QueueDepth int
+	// StateDir is where job records, journals and results persist.
+	StateDir string
+	// CacheBytes budgets the shared topology cache (default 64 MiB;
+	// negative disables bounding).
+	CacheBytes int64
+	// RatePerSec and RateBurst configure per-client admission tokens
+	// (default 0: unlimited).
+	RatePerSec float64
+	RateBurst  float64
+	// DrainGrace is how long Drain waits for in-flight jobs to finish
+	// before interrupting them (default 5s; Drain's argument overrides).
+	DrainGrace time.Duration
+	// MaxJobWorkers clamps one job's internal sweep parallelism
+	// (default 1: parallelism comes from running jobs side by side).
+	MaxJobWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // TopoCache treats 0 as unbounded
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.MaxJobWorkers <= 0 {
+		c.MaxJobWorkers = 1
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at depth.
+// The HTTP layer maps it to 429 with a Retry-After.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrDraining is returned by Submit once Drain has begun; the HTTP layer
+// maps it to 503.
+var ErrDraining = errors.New("serve: draining, not accepting jobs")
+
+// serverStats aggregates the multi-goroutine service counters; the
+// per-run metrics.Registry stays single-threaded by design, so the service
+// layer gets its own atomic set.
+type serverStats struct {
+	submitted    metrics.AtomicCounter
+	completed    metrics.AtomicCounter
+	failed       metrics.AtomicCounter
+	interrupted  metrics.AtomicCounter
+	retried      metrics.AtomicCounter
+	rejectedFull metrics.AtomicCounter
+	rejectedRate metrics.AtomicCounter
+	queued       metrics.AtomicPeak
+	running      metrics.AtomicPeak
+}
+
+// Stats is a point-in-time snapshot of the server for /statsz.
+type Stats struct {
+	States       map[string]int               `json:"jobs_by_state"`
+	Submitted    int64                        `json:"submitted"`
+	Completed    int64                        `json:"completed"`
+	Failed       int64                        `json:"failed"`
+	Interrupted  int64                        `json:"interrupted"`
+	Retried      int64                        `json:"retried"`
+	RejectedFull int64                        `json:"rejected_queue_full"`
+	RejectedRate int64                        `json:"rejected_rate_limited"`
+	Queued       int64                        `json:"queued_now"`
+	QueuedPeak   int64                        `json:"queued_peak"`
+	Running      int64                        `json:"running_now"`
+	RunningPeak  int64                        `json:"running_peak"`
+	TopoCache    experiment.TopoCacheStats    `json:"topo_cache"`
+	Workspaces   core.WorkspacePoolStats      `json:"workspace_pool"`
+	Config       struct{ Workers, Queue int } `json:"bounds"`
+}
+
+// Server owns the job table, the bounded queue, and the worker pool. Create
+// with New, start with Start, stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *experiment.TopoCache
+	pool  *core.WorkspacePool
+	limit *rateLimiter
+	stats serverStats
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID int
+
+	queue   chan *Job
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	// drainCh closes when Drain begins: workers between jobs stop pulling
+	// from the queue, leaving queued jobs persisted for the next start.
+	drainCh  chan struct{}
+	draining bool
+	wg       sync.WaitGroup
+	started  bool
+}
+
+// New builds a server over StateDir, loading every persisted job record.
+// Jobs found queued, running or interrupted (a previous daemon stopped or
+// crashed mid-work) are re-enqueued by Start, resuming from their journals.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDir == "" {
+		return nil, errors.New("serve: Config.StateDir is required")
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   experiment.NewTopoCache(cfg.CacheBytes),
+		pool:    core.NewWorkspacePool(cfg.Workers),
+		limit:   newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		drainCh: make(chan struct{}),
+	}
+	loaded, err := loadJobs(cfg.StateDir)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for _, j := range loaded {
+		s.jobs[j.ID] = j
+		var n int
+		if c, _ := fmt.Sscanf(j.ID, "j%06d", &n); c == 1 && n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	return s, nil
+}
+
+// Start launches the worker pool and re-enqueues unfinished jobs from the
+// previous daemon's state, oldest first. It returns immediately.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	var requeue []*Job
+	for _, id := range s.jobIDs() {
+		j := s.jobs[id]
+		switch j.State {
+		case StateQueued, StateRunning, StateInterrupted:
+			// A "running" record means the previous daemon died without
+			// draining; its journal holds everything completed before the
+			// crash. Requeue persists the corrected state.
+			requeue = append(requeue, j)
+		}
+	}
+	for _, j := range requeue {
+		j.State = StateQueued
+		s.persistLocked(j)
+	}
+	s.mu.Unlock()
+
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if len(requeue) > 0 {
+		// Recovery can exceed the queue depth (e.g. a crash with a full
+		// queue), so feed it from a goroutine instead of dropping jobs; the
+		// feeder gives up when a drain begins.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for _, j := range requeue {
+				select {
+				case s.queue <- j:
+					s.stats.queued.Add(1)
+				case <-s.drainCh:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// jobIDs returns the job table's IDs sorted ascending; callers hold mu.
+func (s *Server) jobIDs() []string {
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Submit validates, persists and enqueues a job, returning its ID. A
+// clientKey identifies the submitter for rate limiting ("" bypasses).
+// Returns ErrDraining, a *RateLimitedError, ErrQueueFull, or a validation
+// error; only a nil error means the job was admitted.
+func (s *Server) Submit(spec JobSpec, clientKey string) (*Job, error) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return nil, ErrDraining
+	}
+	if clientKey != "" {
+		if ok, retryAfter := s.limit.allow(clientKey, time.Now()); !ok {
+			s.stats.rejectedRate.Inc()
+			return nil, &RateLimitedError{RetryAfter: retryAfter}
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.nextID++
+	j := &Job{
+		ID:          id,
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: time.Now().UnixMilli(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // not admitted; reuse the ID
+		s.mu.Unlock()
+		s.stats.rejectedFull.Inc()
+		return nil, ErrQueueFull
+	}
+	s.jobs[id] = j
+	err := s.persistLocked(j)
+	s.mu.Unlock()
+	if err != nil {
+		// The job is enqueued and will run; surface the persistence problem
+		// to the submitter anyway, since restart-resume is now degraded.
+		return j, fmt.Errorf("serve: job %s admitted but not persisted: %w", id, err)
+	}
+	s.stats.submitted.Inc()
+	s.stats.queued.Add(1)
+	return j, nil
+}
+
+// Job returns a copy of the job record, or false if the ID is unknown.
+func (s *Server) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns copies of every job record, sorted by ID.
+func (s *Server) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, id := range s.jobIDs() {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Result loads a job's stored result from the state directory.
+func (s *Server) Result(id string) (*JobResult, error) {
+	data, err := os.ReadFile(resultPath(s.cfg.StateDir, id))
+	if err != nil {
+		return nil, err
+	}
+	var r JobResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("serve: corrupt result for %s: %w", id, err)
+	}
+	return &r, nil
+}
+
+// JournalPath returns where a job's repetition journal lives (the /events
+// stream reads it directly).
+func (s *Server) JournalPath(id string) string {
+	return journalPath(s.cfg.StateDir, id)
+}
+
+// Stats snapshots the server's counters, bounds and cache/pool state.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	states := make(map[string]int)
+	for _, j := range s.jobs {
+		states[j.State]++
+	}
+	s.mu.Unlock()
+	st := Stats{
+		States:       states,
+		Submitted:    s.stats.submitted.Value(),
+		Completed:    s.stats.completed.Value(),
+		Failed:       s.stats.failed.Value(),
+		Interrupted:  s.stats.interrupted.Value(),
+		Retried:      s.stats.retried.Value(),
+		RejectedFull: s.stats.rejectedFull.Value(),
+		RejectedRate: s.stats.rejectedRate.Value(),
+		Queued:       s.stats.queued.Current(),
+		QueuedPeak:   s.stats.queued.Peak(),
+		Running:      s.stats.running.Current(),
+		RunningPeak:  s.stats.running.Peak(),
+		TopoCache:    s.cache.Stats(),
+		Workspaces:   s.pool.Stats(),
+	}
+	st.Config.Workers = s.cfg.Workers
+	st.Config.Queue = s.cfg.QueueDepth
+	return st
+}
+
+// Draining reports whether Drain has begun (readiness turns false then).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission, lets in-flight jobs run for grace (non-positive
+// means the configured default), then interrupts the rest. Interrupted
+// sweeps flush their journals and persist as "interrupted"; queued jobs
+// stay "queued" on disk. Both resume on the next Start. Drain returns once
+// every worker has exited; the server cannot be restarted afterward.
+func (s *Server) Drain(grace time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	if grace <= 0 {
+		grace = s.cfg.DrainGrace
+	}
+	close(s.drainCh)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		// Grace expired: interrupt in-flight sweeps at event-loop
+		// granularity. They checkpoint and persist before the workers exit.
+		s.cancel()
+		<-done
+	}
+	s.cancel() // release the context either way
+}
+
+// worker pulls jobs until the queue drains or a drain begins.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.drainCh:
+			return
+		default:
+		}
+		select {
+		case j := <-s.queue:
+			s.stats.queued.Add(-1)
+			s.runJob(j)
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// runJob executes one job's full lifecycle: run the sweep (resuming from
+// its journal), classify the outcome, retry failures with backoff, and
+// persist every transition.
+func (s *Server) runJob(j *Job) {
+	s.setState(j, func() {
+		j.State = StateRunning
+		j.StartedAt = time.Now().UnixMilli()
+	})
+	s.stats.running.Add(1)
+	defer s.stats.running.Add(-1)
+
+	retries := j.Spec.Retries
+	for attempt := 0; ; attempt++ {
+		s.setState(j, func() { j.Attempts++ })
+		res, err := s.runAttempt(j)
+		if res != nil {
+			s.setState(j, func() { j.Resumed += res.Resumed })
+		}
+
+		switch {
+		case err == nil:
+			s.finish(j, StateDone, "", res, false)
+			s.stats.completed.Inc()
+			return
+		case errors.Is(err, context.DeadlineExceeded) && j.Spec.Timeout > 0:
+			// The job's own wall-clock deadline fired; partial results are
+			// still worth recording — the journal holds every completed
+			// repetition.
+			s.finish(j, StateDeadline, err.Error(), res, true)
+			s.stats.failed.Inc()
+			return
+		case errors.Is(err, context.Canceled):
+			// Drain interrupt: the sweep checkpointed; the next Start
+			// resumes it. Keep the partial summary for observability.
+			s.finish(j, StateInterrupted, err.Error(), res, true)
+			s.stats.interrupted.Inc()
+			return
+		case attempt < retries:
+			s.stats.retried.Inc()
+			s.setState(j, func() { j.Error = err.Error() })
+			// Exponential backoff, cancelable by drain: 100ms, 200ms, ...
+			// capped at 5s. Completed repetitions are journaled, so the
+			// retry only reruns what actually failed.
+			backoff := 100 * time.Millisecond << uint(min(attempt, 5))
+			if backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+			select {
+			case <-time.After(backoff):
+			case <-s.baseCtx.Done():
+				s.finish(j, StateInterrupted, err.Error(), res, true)
+				s.stats.interrupted.Inc()
+				return
+			}
+		default:
+			s.finish(j, StateFailed, err.Error(), res, res != nil)
+			s.stats.failed.Inc()
+			return
+		}
+	}
+}
+
+// runAttempt runs the job's sweep once under the server context plus the
+// job's own deadline, always journaling to (and resuming from) the job's
+// journal file.
+func (s *Server) runAttempt(j *Job) (*experiment.SweepResult, error) {
+	sw, err := j.Spec.sweep(s.cfg.MaxJobWorkers)
+	if err != nil {
+		return nil, err
+	}
+	// The sweep keeps its figure ID untouched: seed derivation labels
+	// include it, and byte-identity with `addc-experiments -fig <id>` is
+	// part of the service contract.
+	sw.Cache = s.cache
+	sw.Workspaces = s.pool
+	sw.Checkpoint = journalPath(s.cfg.StateDir, j.ID)
+	// Resume is unconditional: it unifies fresh runs (empty journal),
+	// retries, and restarts after a drain or crash into one path.
+	sw.Resume = true
+
+	ctx := s.baseCtx
+	if j.Spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.Spec.Timeout))
+		defer cancel()
+	}
+	return sw.RunContext(ctx)
+}
+
+// finish records a job's terminal (or interrupted) state and, when a
+// result is available, stores it.
+func (s *Server) finish(j *Job, state, errMsg string, res *experiment.SweepResult, partial bool) {
+	if res != nil {
+		out := &JobResult{
+			ID:             j.ID,
+			Figure:         j.Spec.Figure,
+			Partial:        partial,
+			CSV:            res.FormatCSV(),
+			Table:          res.FormatTable(),
+			MeanDelayRatio: res.MeanDelayRatio(),
+		}
+		if err := saveJSON(resultPath(s.cfg.StateDir, j.ID), out); err != nil && errMsg == "" {
+			state, errMsg = StateFailed, fmt.Sprintf("store result: %v", err)
+		}
+	}
+	s.setState(j, func() {
+		j.State = state
+		j.Error = errMsg
+		j.FinishedAt = time.Now().UnixMilli()
+	})
+}
+
+// setState applies a mutation to the job under the table lock and persists
+// the record atomically.
+func (s *Server) setState(j *Job, mutate func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mutate()
+	s.persistLocked(j)
+}
+
+func (s *Server) persistLocked(j *Job) error {
+	return saveJSON(jobPath(s.cfg.StateDir, j.ID), j)
+}
