@@ -17,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race guard vuln bench bench-diff profile serve-smoke
+.PHONY: check build vet test race guard vuln bench bench-diff profile serve-smoke obs-smoke
 
 check: vet build test
 
@@ -37,10 +37,15 @@ guard:
 	ADDC_GUARD=1 $(GO) test -count=1 ./...
 
 # serve-smoke boots the addc-serve daemon, drives it over HTTP, requires
-# its CSV result to match the addc-experiments CLI byte for byte, and
-# requires a clean graceful drain on SIGTERM.
+# its CSV result to match the addc-experiments CLI byte for byte, scrapes
+# /metrics mid-job (required families present, job counters monotone),
+# checks lifecycle spans on the events feed, structured JSON logs, and
+# pprof on the debug listener, and requires a clean graceful drain on
+# SIGTERM. obs-smoke is the observability-focused alias CI uses.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+obs-smoke: serve-smoke
 
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \

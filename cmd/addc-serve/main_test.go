@@ -1,0 +1,52 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		if _, err := newLogger(format); err != nil {
+			t.Errorf("newLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := newLogger("yaml"); err == nil {
+		t.Error("newLogger accepted an unknown format")
+	}
+}
+
+// The debug mux serves pprof and nothing else; the main API mux never
+// carries /debug/pprof/ (it lives on the opt-in listener only).
+func TestDebugHandlerServesPprofOnly(t *testing.T) {
+	ts := httptest.NewServer(debugHandler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("debug listener serves API routes (status %d), want 404", resp.StatusCode)
+	}
+}
+
+func TestRunRequiresState(t *testing.T) {
+	if err := run([]string{"-addr", "localhost:0"}); err == nil {
+		t.Fatal("run without -state succeeded")
+	}
+	if err := run([]string{"-state", t.TempDir(), "-log-format", "yaml"}); err == nil {
+		t.Fatal("run with a bad -log-format succeeded")
+	}
+}

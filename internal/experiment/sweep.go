@@ -32,6 +32,7 @@ import (
 	"addcrn/internal/rng"
 	"addcrn/internal/spectrum"
 	"addcrn/internal/stats"
+	"addcrn/internal/trace"
 )
 
 // Sweep declares one delay-vs-parameter experiment.
@@ -111,6 +112,16 @@ type Sweep struct {
 	// sweeps (the service daemon) use it to bound total workspace memory
 	// across jobs.
 	Workspaces *core.WorkspacePool
+
+	// Spans, when non-nil, receives a wall-clock checkpoint_flush span each
+	// time the journal actually persists entries to disk (batched flushes
+	// and the final Close barrier), stamped with the job ID carried by the
+	// RunContext context (trace.WithJobID). Purely observational: span
+	// emission reads journal state that is already decided and never feeds
+	// anything back into seed derivation, scheduling, or results — the
+	// telemetry equivalence test pins CSV and journal bytes identical with
+	// Spans set versus nil.
+	Spans trace.SpanSink
 
 	// noReuse (tests only) disables per-worker engine/MAC/registry reuse so
 	// equivalence tests can compare reused against fresh execution.
@@ -354,6 +365,21 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		}
 	}()
 
+	// flushSpan reports a journal persistence event to the span sink. It
+	// runs after the flush decision is made, so it can only observe — never
+	// influence — checkpoint contents or timing.
+	jobID := trace.JobID(ctx)
+	flushSpan := func(before int) {
+		if s.Spans == nil || jr.persisted <= before {
+			return
+		}
+		s.Spans.Emit(trace.SpanEvent{
+			Job:    jobID,
+			Event:  trace.SpanCheckpointFlush,
+			Detail: fmt.Sprintf("persisted %d entries (%d total)", jr.persisted-before, jr.persisted),
+		})
+	}
+
 	var flushErr error
 	for outs := range results {
 		if len(outs) == 0 {
@@ -377,16 +403,20 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		for _, o := range outs {
 			jr.Add(o.entry(s.ID))
 		}
+		before := jr.persisted
 		if err := jr.MaybeFlush(journalFlushBatch, journalFlushInterval); err != nil && flushErr == nil {
 			flushErr = err
 		}
+		flushSpan(before)
 	}
 	if jr != nil {
 		// Final durability barrier: everything still pending is flushed and
 		// the journal fsynced, once, instead of a rename per repetition.
+		before := jr.persisted
 		if err := jr.Close(); err != nil && flushErr == nil {
 			flushErr = err
 		}
+		flushSpan(before)
 	}
 
 	res := &SweepResult{Sweep: s, Resumed: resumed}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"addcrn/internal/netmodel"
+	"addcrn/internal/trace"
+)
+
+// telemetrySweep runs the small checkpointed sweep once, with or without a
+// span sink attached, and returns the journal bytes, the rendered CSV and
+// the result. Workers is pinned to 1 so the journal's completion order is
+// deterministic and byte-comparable.
+func telemetrySweep(t *testing.T, spans trace.SpanSink) ([]byte, string, *SweepResult) {
+	t.Helper()
+	ck := filepath.Join(t.TempDir(), "sweep.ckpt")
+	s := &Sweep{
+		ID:     "telemetry",
+		Title:  "telemetry equivalence",
+		XLabel: "p_t",
+		Base:   tinyBase(),
+		Xs:     []float64{0.15, 0.3},
+		Apply: func(p netmodel.Params, x float64) netmodel.Params {
+			p.ActiveProb = x
+			return p
+		},
+		Reps:           2,
+		Seed:           11,
+		MaxVirtualTime: 10 * time.Minute,
+		Workers:        1,
+		Guard:          true,
+		Checkpoint:     ck,
+		Spans:          spans,
+	}
+	ctx := trace.WithJobID(context.Background(), "j-telemetry")
+	res, err := s.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, res.FormatCSV(), res
+}
+
+// TestTelemetryEquivalence is the determinism tripwire of the observability
+// layer: attaching a span sink to a sweep must not change a single byte of
+// any deterministic artifact. The sim's Results, the rendered CSV and the
+// checkpoint journal must be identical with telemetry enabled and disabled
+// — wall-clock instrumentation is quarantined strictly outside virtual
+// time, seed derivation and journaling.
+func TestTelemetryEquivalence(t *testing.T) {
+	var buf bytes.Buffer
+	sink := trace.NewJSONLSpanSink(&buf, "", 0)
+
+	offCk, offCSV, offRes := telemetrySweep(t, nil)
+	onCk, onCSV, onRes := telemetrySweep(t, sink)
+
+	if len(offCk) == 0 {
+		t.Fatal("sweep journaled nothing; comparison is vacuous")
+	}
+	if !bytes.Equal(offCk, onCk) {
+		t.Fatalf("telemetry changed the checkpoint journal:\n off:\n%s\n on:\n%s", offCk, onCk)
+	}
+	if offCSV != onCSV {
+		t.Fatalf("telemetry changed the CSV:\n off:\n%s\n on:\n%s", offCSV, onCSV)
+	}
+	if !reflect.DeepEqual(offRes.Points, onRes.Points) {
+		t.Fatalf("telemetry changed the points:\n off: %+v\n on: %+v", offRes.Points, onRes.Points)
+	}
+
+	// The sink must actually have observed the journal's persistence: at
+	// least the final Close barrier emits one checkpoint_flush span stamped
+	// with the context job ID.
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	spans, _, err := trace.ScanSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no checkpoint_flush spans emitted; the sink was never exercised")
+	}
+	for _, e := range spans {
+		if e.Event != trace.SpanCheckpointFlush {
+			t.Fatalf("unexpected span event %q from the sweep layer", e.Event)
+		}
+		if e.Job != "j-telemetry" {
+			t.Fatalf("span job = %q, want the context job ID", e.Job)
+		}
+		if e.Detail == "" {
+			t.Fatalf("checkpoint_flush span carries no detail: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// WallHistogram bucket geometry: fixed log-scale bounds starting at 500µs
+// and doubling, so the same shape serves sub-millisecond queue waits and
+// multi-minute sweep executions. 22 finite buckets reach ~17.5 minutes;
+// one implicit overflow bucket catches the rest. The bounds are fixed at
+// compile time — no per-instance configuration — so two histograms are
+// always mergeable and the Prometheus exposition never has to negotiate
+// bucket layouts.
+const (
+	wallHistBuckets = 22
+	wallHistStart   = 500 * time.Microsecond
+)
+
+// WallHistogram is the wall-clock counterpart of the registry's Histogram:
+// a fixed log-scale latency histogram safe for concurrent observation. The
+// run Registry is single-threaded by design; the service layer's latency
+// tracking (queue wait, execution, end-to-end job time) is bumped by many
+// goroutines at once and must never perturb a simulation, so it lives in
+// plain atomics like AtomicCounter/AtomicPeak. The zero value is ready to
+// use, and every method is safe on a nil receiver.
+//
+// Observe is wait-free: one bit-scan plus three atomic adds, no locks and
+// no allocation. Snapshot reads each field atomically but not the set of
+// fields as one unit; under concurrent observation the counts it reports
+// are each exact-or-slightly-stale, which is the standard contract for a
+// Prometheus scrape (the next scrape catches up). Once writers quiesce, a
+// Snapshot is exact.
+type WallHistogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+	buckets [wallHistBuckets + 1]atomic.Uint64
+}
+
+// wallBucketIndex returns the bucket for duration d: the smallest i with
+// d <= wallHistStart<<i, or the overflow index when d exceeds every bound.
+func wallBucketIndex(d time.Duration) int {
+	if d <= wallHistStart {
+		return 0
+	}
+	// ceil(d / start) = k; bucket = ceil(log2(k)) = bits.Len(k-1).
+	k := uint64((d + wallHistStart - 1) / wallHistStart)
+	i := bits.Len64(k - 1)
+	if i > wallHistBuckets {
+		return wallHistBuckets // overflow bucket
+	}
+	return i
+}
+
+// Observe records one duration. Negative durations (a clock stepping
+// backward between the two readings) count into the first bucket with a
+// zero contribution to the sum rather than corrupting it. Safe on a nil
+// receiver (no-op) and for concurrent use.
+func (h *WallHistogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[wallBucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *WallHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time (0 on a nil receiver).
+func (h *WallHistogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// WallBounds returns the histogram's finite bucket upper bounds in seconds,
+// ascending; the implicit final bucket is +Inf. The slice is freshly
+// allocated (callers may keep it).
+func WallBounds() []float64 {
+	out := make([]float64, wallHistBuckets)
+	b := wallHistStart
+	for i := range out {
+		out[i] = b.Seconds()
+		b *= 2
+	}
+	return out
+}
+
+// WallHistogramSnapshot is a point-in-time copy of a WallHistogram in the
+// same shape as the registry's HistogramSnapshot: per-bucket (not
+// cumulative) counts, with Counts[len(Bounds)] the overflow bucket.
+type WallHistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	// Sum is in seconds (the Prometheus base unit for time).
+	Sum float64 `json:"sum"`
+}
+
+// Snapshot copies the histogram's state. Safe on a nil receiver (returns a
+// snapshot with the fixed bounds and zero counts).
+func (h *WallHistogram) Snapshot() WallHistogramSnapshot {
+	s := WallHistogramSnapshot{
+		Bounds: WallBounds(),
+		Counts: make([]uint64, wallHistBuckets+1),
+	}
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNS.Load()).Seconds()
+	return s
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallHistogramBucketing(t *testing.T) {
+	var h WallHistogram
+	bounds := WallBounds()
+	if len(bounds) != wallHistBuckets {
+		t.Fatalf("WallBounds returned %d bounds, want %d", len(bounds), wallHistBuckets)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, bounds)
+		}
+	}
+
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // negative clamps to the first bucket
+		{wallHistStart, 0},
+		{wallHistStart + 1, 1},
+		{2 * wallHistStart, 1},
+		{2*wallHistStart + 1, 2},
+		{4 * wallHistStart, 2},
+		{time.Hour, wallHistBuckets}, // beyond the last bound: overflow
+	}
+	for _, c := range cases {
+		if got := wallBucketIndex(max(c.d, 0)); got != c.want {
+			t.Errorf("bucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+		h.Observe(c.d)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(cases))
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, total count %d", total, s.Count)
+	}
+	if s.Counts[len(s.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1 (the one-hour observation)", s.Counts[len(s.Counts)-1])
+	}
+}
+
+func TestWallHistogramNilSafe(t *testing.T) {
+	var h *WallHistogram
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram reported observations")
+	}
+	s := h.Snapshot()
+	if len(s.Bounds) != wallHistBuckets || s.Count != 0 {
+		t.Fatalf("nil snapshot malformed: %+v", s)
+	}
+}
+
+// Concurrent stress under -race: no lost observations, exact totals once
+// writers quiesce, and a consistent relationship between buckets and count.
+func TestWallHistogramConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var h WallHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// A deterministic spread across buckets, including overflow.
+				d := time.Duration(1+(g*perG+i)%4096) * 250 * time.Microsecond
+				h.Observe(d)
+				if i%64 == 0 {
+					// Interleave reads so -race exercises the read/write pairs.
+					_ = h.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	want := uint64(goroutines * perG)
+	if s.Count != want {
+		t.Fatalf("Count = %d, want %d (lost or duplicated observations)", s.Count, want)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != want {
+		t.Fatalf("bucket sum = %d, want %d", total, want)
+	}
+	if s.Sum <= 0 {
+		t.Fatalf("Sum = %v, want > 0", s.Sum)
+	}
+}

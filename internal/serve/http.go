@@ -10,6 +10,8 @@ import (
 	"os"
 	"strconv"
 	"time"
+
+	"addcrn/internal/metrics"
 )
 
 // eventsPollInterval is how often the /events stream re-reads a growing
@@ -26,11 +28,15 @@ const maxSpecBytes = 1 << 20
 //	GET  /v1/jobs             list job records
 //	GET  /v1/jobs/{id}        one job record
 //	GET  /v1/jobs/{id}/result stored result (?format=csv for the raw CSV)
-//	GET  /v1/jobs/{id}/events stream the repetition journal as JSONL,
-//	                          following live jobs until they settle
+//	GET  /v1/jobs/{id}/events stream the repetition journal interleaved
+//	                          with lifecycle spans as JSONL, following
+//	                          live jobs until they settle (span lines
+//	                          carry "record":"span"; journal lines do not)
 //	GET  /healthz             process liveness (always 200)
 //	GET  /readyz              admission readiness (503 while draining)
-//	GET  /statsz              counters, bounds, cache and pool state
+//	GET  /metrics             Prometheus text-format exposition
+//	GET  /statsz              the same snapshot as JSON (deprecated in
+//	                          favor of /metrics; kept for compatibility)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -38,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -49,9 +56,16 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
+		writeJSON(w, http.StatusOK, s.Telemetry())
 	})
 	return mux
+}
+
+// handleMetrics serves the Prometheus text-format exposition over the same
+// Telemetry snapshot /statsz renders as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	writeProm(w, s.Telemetry())
 }
 
 // clientKey identifies the submitter for rate limiting: the X-ADDC-Client
@@ -142,10 +156,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// handleEvents streams the job's journal as JSONL: everything recorded so
-// far immediately, then appended lines as repetitions complete, until the
-// job leaves the running/queued states (or the client goes away). Each
-// line is one CheckpointEntry; the stream is the live progress feed.
+// handleEvents streams the job's timeline as JSONL: the repetition journal
+// interleaved with the job's lifecycle spans — everything recorded so far
+// immediately, then appended lines as the job progresses, until it leaves
+// the running/queued states (or the client goes away). Journal lines are
+// CheckpointEntry objects; span lines carry "record":"span", so a client
+// splits the two record types apart to reconstruct the timeline. The two
+// files are polled independently, so interleaving order across a poll
+// window is by file, not strictly by time — each record type stays in its
+// own order, and spans carry t_ms for exact reassembly.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.Job(id); !ok {
@@ -156,22 +175,30 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	flusher, _ := w.(http.Flusher)
 
-	var offset int64
+	journal, spans := s.JournalPath(id), s.SpanPath(id)
+	var jOff, sOff int64
 	ticker := time.NewTicker(eventsPollInterval)
 	defer ticker.Stop()
 	for {
-		n, err := s.streamJournal(w, id, offset)
-		offset += n
+		ns, err := streamFile(w, spans, sOff)
+		sOff += ns
 		if err != nil {
 			return // client gone or file unreadable; nothing to report
 		}
-		if n > 0 && flusher != nil {
+		nj, err := streamFile(w, journal, jOff)
+		jOff += nj
+		if err != nil {
+			return
+		}
+		if ns+nj > 0 && flusher != nil {
 			flusher.Flush()
 		}
 		j, ok := s.Job(id)
 		if !ok || terminalState(j.State) || j.State == StateInterrupted {
-			// One final read catches entries flushed during the last poll.
-			s.streamJournal(w, id, offset)
+			// One final read catches records flushed during the last poll;
+			// the terminal span is already on disk when the state persists.
+			streamFile(w, journal, jOff)
+			streamFile(w, spans, sOff)
 			return
 		}
 		select {
@@ -184,13 +211,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// streamJournal copies complete journal lines starting at offset to w,
-// returning how many bytes were consumed. It never emits a torn final
-// line: a partial append is left for the next poll.
-func (s *Server) streamJournal(w io.Writer, id string, offset int64) (int64, error) {
-	f, err := os.Open(s.JournalPath(id))
+// streamFile copies complete JSONL lines starting at offset to w, returning
+// how many bytes were consumed. It never emits a torn final line: a partial
+// append is left for the next poll.
+func streamFile(w io.Writer, path string, offset int64) (int64, error) {
+	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil // journal appears on the job's first flush
+		return 0, nil // the file appears on the job's first flush
 	}
 	if err != nil {
 		return 0, err

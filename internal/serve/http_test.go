@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"addcrn/internal/experiment"
+	"addcrn/internal/trace"
 )
 
 func postJob(t *testing.T, ts *httptest.Server, spec JobSpec, client string) *http.Response {
@@ -72,18 +73,34 @@ func TestHTTPLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer eventsResp.Body.Close()
+	// The stream interleaves two record types: lifecycle spans (marked
+	// "record":"span") and checkpoint-journal entries (everything else).
 	var events int
+	var spanEvents []string
 	scanner := bufio.NewScanner(eventsResp.Body)
 	for scanner.Scan() {
+		var sp trace.SpanEvent
+		if err := json.Unmarshal(scanner.Bytes(), &sp); err == nil && sp.Record == trace.SpanRecord {
+			spanEvents = append(spanEvents, sp.Event)
+			continue
+		}
 		var e experiment.CheckpointEntry
 		if err := json.Unmarshal(scanner.Bytes(), &e); err != nil {
-			t.Fatalf("events line %d is not a checkpoint entry: %v", events, err)
+			t.Fatalf("events line %d is neither a span nor a checkpoint entry: %v", events, err)
 		}
 		events++
 	}
 	// 2 x-values * 2 reps * 2 algorithms.
 	if events != 8 {
-		t.Fatalf("streamed %d events, want 8", events)
+		t.Fatalf("streamed %d journal events, want 8", events)
+	}
+	// The span timeline rides the same stream, in lifecycle order.
+	if len(spanEvents) < 4 {
+		t.Fatalf("streamed %d spans, want at least submitted/queued/started/done: %v", len(spanEvents), spanEvents)
+	}
+	if spanEvents[0] != trace.SpanSubmitted || spanEvents[1] != trace.SpanQueued ||
+		spanEvents[2] != trace.SpanStarted || spanEvents[len(spanEvents)-1] != trace.SpanDone {
+		t.Fatalf("span timeline out of order: %v", spanEvents)
 	}
 
 	var job Job

@@ -192,6 +192,9 @@ type Job struct {
 	// message for failed/deadline/interrupted states.
 	State string `json:"state"`
 	Error string `json:"error,omitempty"`
+	// Client is the rate-limit key the job was submitted under, kept so
+	// logs and audits can attribute work to submitters.
+	Client string `json:"client,omitempty"`
 	// Attempts counts sweep executions (1 + retries so far).
 	Attempts int `json:"attempts,omitempty"`
 	// Resumed counts repetitions replayed from the journal rather than
@@ -202,6 +205,15 @@ type Job struct {
 	SubmittedAt int64 `json:"submitted_at_ms,omitempty"`
 	StartedAt   int64 `json:"started_at_ms,omitempty"`
 	FinishedAt  int64 `json:"finished_at_ms,omitempty"`
+
+	// enqueuedAt is when the job last entered the queue (set under the
+	// server mutex; zero for jobs loaded terminal from disk). It feeds the
+	// queue-wait histogram and is deliberately not persisted: a queue wait
+	// spanning a daemon restart is not a meaningful latency sample.
+	enqueuedAt time.Time
+	// spans is the job's lifecycle span stream (nil only in tests that
+	// build Jobs by hand).
+	spans *spanLog
 }
 
 // JobResult is the stored outcome of a finished (or interrupted) job.
@@ -222,9 +234,12 @@ type JobResult struct {
 	MeanDelayRatio float64 `json:"mean_delay_ratio"`
 }
 
-// jobPath/journalPath/resultPath locate a job's files in the state dir.
+// jobPath/journalPath/spanPath/resultPath locate a job's files in the
+// state dir. Spans live beside the journal, never inside it: the journal
+// compacts by full rewrite, which would destroy interleaved span lines.
 func jobPath(dir, id string) string     { return filepath.Join(dir, id+".json") }
 func journalPath(dir, id string) string { return filepath.Join(dir, id+".journal.jsonl") }
+func spanPath(dir, id string) string    { return filepath.Join(dir, id+".spans.jsonl") }
 func resultPath(dir, id string) string  { return filepath.Join(dir, id+".result.json") }
 
 // saveJSON atomically persists v at path via a temp sibling and rename.

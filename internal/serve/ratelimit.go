@@ -73,12 +73,15 @@ func (l *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
 		b = &bucket{tokens: l.burst, last: now}
 		l.buckets[key] = b
 	}
-	// Refill for the elapsed interval (a clock that goes backward refills
-	// nothing rather than draining the bucket).
+	// Refill for the elapsed interval. A clock that goes backward refills
+	// nothing AND keeps the old watermark: regressing b.last here would make
+	// the eventual forward recovery look like a long idle stretch, minting
+	// unearned tokens and — worse — letting pruneLocked mistake a hot
+	// client's bucket for an idle one and silently reset its deficit.
 	if dt := now.Sub(b.last).Seconds(); dt > 0 {
 		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		b.last = now
 	}
-	b.last = now
 	if b.tokens >= 1 {
 		b.tokens--
 		return true, 0
@@ -96,14 +99,21 @@ func (l *rateLimiter) tokenTime(deficit float64) time.Duration {
 	return d
 }
 
-// pruneLocked drops buckets that have fully refilled (idle clients).
+// pruneLocked drops buckets that are state-identical to a fresh one: fully
+// refilled AND idle for at least a full refill-from-empty interval
+// (burst/rate seconds). The idle floor is the regression guard for clients
+// that are active but happen to sit near burst: dropping such a bucket and
+// recreating it later at full burst would quietly forgive whatever deficit
+// accrues in between. A bucket with any outstanding deficit is never
+// dropped, whatever the table pressure.
 func (l *rateLimiter) pruneLocked(now time.Time) {
+	minIdle := l.burst / l.rate // seconds to refill from empty
 	for key, b := range l.buckets {
-		tokens := b.tokens
-		if dt := now.Sub(b.last).Seconds(); dt > 0 {
-			tokens = math.Min(l.burst, tokens+dt*l.rate)
+		dt := now.Sub(b.last).Seconds()
+		if dt < minIdle {
+			continue
 		}
-		if tokens >= l.burst {
+		if math.Min(l.burst, b.tokens+dt*l.rate) >= l.burst {
 			delete(l.buckets, key)
 		}
 	}

@@ -69,6 +69,73 @@ func TestRateLimiterBackwardClock(t *testing.T) {
 	}
 }
 
+// A hot client's bucket — one with an outstanding deficit — must survive
+// table-pressure pruning with its deficit intact. Dropping it would recreate
+// the bucket at full burst on the next request, silently forgiving the
+// rate-limit debt.
+func TestRateLimiterPruneKeepsHotClient(t *testing.T) {
+	l := newRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+
+	// The hot client drains its bucket and keeps submitting.
+	if ok, _ := l.allow("hot", now); !ok {
+		t.Fatal("hot client's first request refused")
+	}
+	// Fill the rest of the table with clients that then go idle.
+	for i := 0; i < maxRateClients-1; i++ {
+		l.allow(fmt.Sprintf("idle%d", i), now)
+	}
+	// The hot client earns and spends one more token, leaving a deficit
+	// moments before the prune.
+	hotLast := now.Add(1400 * time.Millisecond)
+	if ok, _ := l.allow("hot", hotLast); !ok {
+		t.Fatal("hot client refused after its refill interval")
+	}
+
+	// A new client arrives: the full table forces a prune. Idle buckets have
+	// fully refilled and must go; the hot bucket must not.
+	pruneAt := now.Add(1500 * time.Millisecond)
+	if ok, _ := l.allow("newcomer", pruneAt); !ok {
+		t.Fatal("new client refused although idle buckets were prunable")
+	}
+	if _, ok := l.buckets["hot"]; !ok {
+		t.Fatal("prune dropped the hot client's partially-refilled bucket")
+	}
+	// The deficit survived: an immediate retry is still refused.
+	if ok, _ := l.allow("hot", pruneAt); ok {
+		t.Fatal("prune reset the hot client's rate-limit deficit")
+	}
+}
+
+// A backward clock step must not regress a bucket's refill watermark:
+// before the fix, allow() stamped last=now unconditionally, so when the
+// clock recovered the bucket looked long-idle, pruning dropped it, and the
+// client's deficit was silently reset.
+func TestRateLimiterBackwardClockKeepsWatermark(t *testing.T) {
+	l := newRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := l.allow("hot", now); !ok {
+		t.Fatal("first request refused")
+	}
+	// Clock steps back 100s; the refused request must not move the watermark.
+	if ok, _ := l.allow("hot", now.Add(-100*time.Second)); ok {
+		t.Fatal("backward clock minted a token")
+	}
+	if b := l.buckets["hot"]; !b.last.Equal(now) {
+		t.Fatalf("backward clock regressed the watermark to %v", b.last)
+	}
+	// Clock recovers to just past the original time: the bucket is 0.5s
+	// idle, not 100.5s, so a prune sweep must keep it and the deficit holds.
+	recovered := now.Add(500 * time.Millisecond)
+	l.pruneLocked(recovered)
+	if _, ok := l.buckets["hot"]; !ok {
+		t.Fatal("prune after clock recovery dropped the hot bucket")
+	}
+	if ok, _ := l.allow("hot", recovered); ok {
+		t.Fatal("deficit lost across the backward clock step")
+	}
+}
+
 func TestRateLimiterBoundedClients(t *testing.T) {
 	l := newRateLimiter(1, 1)
 	now := time.Unix(1000, 0)

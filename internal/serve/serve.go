@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
@@ -25,6 +27,7 @@ import (
 	"addcrn/internal/core"
 	"addcrn/internal/experiment"
 	"addcrn/internal/metrics"
+	"addcrn/internal/trace"
 )
 
 // Config bounds the server. The zero value of a field selects the default
@@ -54,6 +57,10 @@ type Config struct {
 	// MaxJobWorkers clamps one job's internal sweep parallelism
 	// (default 1: parallelism comes from running jobs side by side).
 	MaxJobWorkers int
+	// Logger receives the server's structured log stream; every job line
+	// carries job_id, client and state attributes. nil discards logs (the
+	// library default — cmd/addc-serve always wires one).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -93,12 +100,18 @@ type serverStats struct {
 	submitted    metrics.AtomicCounter
 	completed    metrics.AtomicCounter
 	failed       metrics.AtomicCounter
+	deadline     metrics.AtomicCounter
 	interrupted  metrics.AtomicCounter
 	retried      metrics.AtomicCounter
 	rejectedFull metrics.AtomicCounter
 	rejectedRate metrics.AtomicCounter
 	queued       metrics.AtomicPeak
 	running      metrics.AtomicPeak
+	// Wall-clock latency distributions: submission-to-pickup,
+	// pickup-to-terminal, submission-to-terminal.
+	queueWait metrics.WallHistogram
+	execution metrics.WallHistogram
+	duration  metrics.WallHistogram
 }
 
 // Stats is a point-in-time snapshot of the server for /statsz.
@@ -107,6 +120,7 @@ type Stats struct {
 	Submitted    int64                        `json:"submitted"`
 	Completed    int64                        `json:"completed"`
 	Failed       int64                        `json:"failed"`
+	Deadline     int64                        `json:"deadline"`
 	Interrupted  int64                        `json:"interrupted"`
 	Retried      int64                        `json:"retried"`
 	RejectedFull int64                        `json:"rejected_queue_full"`
@@ -128,6 +142,7 @@ type Server struct {
 	pool  *core.WorkspacePool
 	limit *rateLimiter
 	stats serverStats
+	log   *slog.Logger
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -155,12 +170,17 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: state dir: %w", err)
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
 		cache:   experiment.NewTopoCache(cfg.CacheBytes),
 		pool:    core.NewWorkspacePool(cfg.Workers),
 		limit:   newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
+		log:     logger,
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		baseCtx: ctx,
@@ -173,6 +193,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	for _, j := range loaded {
+		j.spans = newSpanLog(spanPath(cfg.StateDir, j.ID), j.ID)
 		s.jobs[j.ID] = j
 		var n int
 		if c, _ := fmt.Sscanf(j.ID, "j%06d", &n); c == 1 && n >= s.nextID {
@@ -202,11 +223,19 @@ func (s *Server) Start() {
 			requeue = append(requeue, j)
 		}
 	}
+	now := time.Now()
 	for _, j := range requeue {
 		j.State = StateQueued
+		j.enqueuedAt = now
 		s.persistLocked(j)
 	}
 	s.mu.Unlock()
+	for _, j := range requeue {
+		j.spans.Emit(trace.SpanEvent{Event: trace.SpanQueued, Detail: "requeued after restart"})
+		s.log.Info("job requeued", "job_id", j.ID, "client", j.Client, "state", StateQueued)
+	}
+	s.log.Info("server started",
+		"workers", s.cfg.Workers, "queue_depth", s.cfg.QueueDepth, "requeued", len(requeue))
 
 	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -255,21 +284,28 @@ func (s *Server) Submit(spec JobSpec, clientKey string) (*Job, error) {
 	if clientKey != "" {
 		if ok, retryAfter := s.limit.allow(clientKey, time.Now()); !ok {
 			s.stats.rejectedRate.Inc()
+			s.log.Warn("job rejected", "client", clientKey, "reason", "rate_limited",
+				"retry_after", retryAfter.String())
 			return nil, &RateLimitedError{RetryAfter: retryAfter}
 		}
 	}
 	if err := spec.Validate(); err != nil {
+		s.log.Warn("job rejected", "client", clientKey, "reason", "invalid_spec", "error", err.Error())
 		return nil, err
 	}
 
 	s.mu.Lock()
+	now := time.Now()
 	id := fmt.Sprintf("j%06d", s.nextID)
 	s.nextID++
 	j := &Job{
 		ID:          id,
 		Spec:        spec,
 		State:       StateQueued,
-		SubmittedAt: time.Now().UnixMilli(),
+		Client:      clientKey,
+		SubmittedAt: now.UnixMilli(),
+		enqueuedAt:  now,
+		spans:       newSpanLog(spanPath(s.cfg.StateDir, id), id),
 	}
 	select {
 	case s.queue <- j:
@@ -277,14 +313,24 @@ func (s *Server) Submit(spec JobSpec, clientKey string) (*Job, error) {
 		s.nextID-- // not admitted; reuse the ID
 		s.mu.Unlock()
 		s.stats.rejectedFull.Inc()
+		s.log.Warn("job rejected", "client", clientKey, "reason", "queue_full")
 		return nil, ErrQueueFull
 	}
 	s.jobs[id] = j
+	// Emit the admission spans before releasing the lock: the worker that
+	// picks the job up enters setState (which needs the lock) before its
+	// own started span, so submitted/queued are guaranteed to precede it.
+	j.spans.Emit(trace.SpanEvent{Event: trace.SpanSubmitted, Detail: "figure " + spec.Figure})
+	j.spans.Emit(trace.SpanEvent{Event: trace.SpanQueued})
 	err := s.persistLocked(j)
 	s.mu.Unlock()
+	s.log.Info("job admitted", "job_id", id, "client", clientKey, "state", StateQueued,
+		"figure", spec.Figure)
 	if err != nil {
 		// The job is enqueued and will run; surface the persistence problem
 		// to the submitter anyway, since restart-resume is now degraded.
+		s.log.Error("job record not persisted", "job_id", id, "client", clientKey,
+			"state", StateQueued, "error", err.Error())
 		return j, fmt.Errorf("serve: job %s admitted but not persisted: %w", id, err)
 	}
 	s.stats.submitted.Inc()
@@ -333,8 +379,20 @@ func (s *Server) JournalPath(id string) string {
 	return journalPath(s.cfg.StateDir, id)
 }
 
+// SpanPath returns where a job's lifecycle span stream lives.
+func (s *Server) SpanPath(id string) string {
+	return spanPath(s.cfg.StateDir, id)
+}
+
 // Stats snapshots the server's counters, bounds and cache/pool state.
 func (s *Server) Stats() Stats {
+	return s.Telemetry().Stats
+}
+
+// Telemetry is the full observability snapshot: Stats plus the wall-clock
+// latency histograms. /statsz and /metrics both render one Telemetry value
+// per request so the two views always agree.
+func (s *Server) Telemetry() Telemetry {
 	s.mu.Lock()
 	states := make(map[string]int)
 	for _, j := range s.jobs {
@@ -346,6 +404,7 @@ func (s *Server) Stats() Stats {
 		Submitted:    s.stats.submitted.Value(),
 		Completed:    s.stats.completed.Value(),
 		Failed:       s.stats.failed.Value(),
+		Deadline:     s.stats.deadline.Value(),
 		Interrupted:  s.stats.interrupted.Value(),
 		Retried:      s.stats.retried.Value(),
 		RejectedFull: s.stats.rejectedFull.Value(),
@@ -359,7 +418,12 @@ func (s *Server) Stats() Stats {
 	}
 	st.Config.Workers = s.cfg.Workers
 	st.Config.Queue = s.cfg.QueueDepth
-	return st
+	return Telemetry{
+		Stats:     st,
+		QueueWait: s.stats.queueWait.Snapshot(),
+		Execution: s.stats.execution.Snapshot(),
+		Duration:  s.stats.duration.Snapshot(),
+	}
 }
 
 // Draining reports whether Drain has begun (readiness turns false then).
@@ -386,6 +450,7 @@ func (s *Server) Drain(grace time.Duration) {
 	if grace <= 0 {
 		grace = s.cfg.DrainGrace
 	}
+	s.log.Info("drain started", "grace", grace.String())
 	close(s.drainCh)
 
 	done := make(chan struct{})
@@ -398,10 +463,12 @@ func (s *Server) Drain(grace time.Duration) {
 	case <-time.After(grace):
 		// Grace expired: interrupt in-flight sweeps at event-loop
 		// granularity. They checkpoint and persist before the workers exit.
+		s.log.Warn("drain grace expired, interrupting in-flight jobs")
 		s.cancel()
 		<-done
 	}
 	s.cancel() // release the context either way
+	s.log.Info("drain finished")
 }
 
 // worker pulls jobs until the queue drains or a drain begins.
@@ -427,16 +494,30 @@ func (s *Server) worker() {
 // its journal), classify the outcome, retry failures with backoff, and
 // persist every transition.
 func (s *Server) runJob(j *Job) {
+	// The span file handle is released when the worker is done with the
+	// job; a resumed job lazily reopens it with its numbering intact.
+	defer j.spans.close()
+	var queueWait time.Duration
 	s.setState(j, func() {
 		j.State = StateRunning
 		j.StartedAt = time.Now().UnixMilli()
+		if !j.enqueuedAt.IsZero() {
+			queueWait = time.Since(j.enqueuedAt)
+			j.enqueuedAt = time.Time{}
+		}
 	})
+	if queueWait > 0 {
+		s.stats.queueWait.Observe(queueWait)
+	}
 	s.stats.running.Add(1)
 	defer s.stats.running.Add(-1)
 
 	retries := j.Spec.Retries
 	for attempt := 0; ; attempt++ {
 		s.setState(j, func() { j.Attempts++ })
+		j.spans.Emit(trace.SpanEvent{Event: trace.SpanStarted, Attempt: j.Attempts})
+		s.log.Info("job started", "job_id", j.ID, "client", j.Client,
+			"state", StateRunning, "attempt", j.Attempts)
 		res, err := s.runAttempt(j)
 		if res != nil {
 			s.setState(j, func() { j.Resumed += res.Resumed })
@@ -444,25 +525,29 @@ func (s *Server) runJob(j *Job) {
 
 		switch {
 		case err == nil:
-			s.finish(j, StateDone, "", res, false)
+			s.terminate(j, StateDone, trace.SpanDone, "", res, false)
 			s.stats.completed.Inc()
 			return
 		case errors.Is(err, context.DeadlineExceeded) && j.Spec.Timeout > 0:
 			// The job's own wall-clock deadline fired; partial results are
 			// still worth recording — the journal holds every completed
 			// repetition.
-			s.finish(j, StateDeadline, err.Error(), res, true)
+			s.terminate(j, StateDeadline, trace.SpanDeadline, err.Error(), res, true)
+			s.stats.deadline.Inc()
 			s.stats.failed.Inc()
 			return
 		case errors.Is(err, context.Canceled):
 			// Drain interrupt: the sweep checkpointed; the next Start
 			// resumes it. Keep the partial summary for observability.
-			s.finish(j, StateInterrupted, err.Error(), res, true)
+			s.terminate(j, StateInterrupted, trace.SpanInterrupted, err.Error(), res, true)
 			s.stats.interrupted.Inc()
 			return
 		case attempt < retries:
 			s.stats.retried.Inc()
 			s.setState(j, func() { j.Error = err.Error() })
+			j.spans.Emit(trace.SpanEvent{Event: trace.SpanRetry, Attempt: j.Attempts, Detail: err.Error()})
+			s.log.Warn("job retrying", "job_id", j.ID, "client", j.Client,
+				"state", StateRunning, "attempt", j.Attempts, "error", err.Error())
 			// Exponential backoff, cancelable by drain: 100ms, 200ms, ...
 			// capped at 5s. Completed repetitions are journaled, so the
 			// retry only reruns what actually failed.
@@ -473,12 +558,12 @@ func (s *Server) runJob(j *Job) {
 			select {
 			case <-time.After(backoff):
 			case <-s.baseCtx.Done():
-				s.finish(j, StateInterrupted, err.Error(), res, true)
+				s.terminate(j, StateInterrupted, trace.SpanInterrupted, err.Error(), res, true)
 				s.stats.interrupted.Inc()
 				return
 			}
 		default:
-			s.finish(j, StateFailed, err.Error(), res, res != nil)
+			s.terminate(j, StateFailed, trace.SpanFailed, err.Error(), res, res != nil)
 			s.stats.failed.Inc()
 			return
 		}
@@ -502,8 +587,16 @@ func (s *Server) runAttempt(j *Job) (*experiment.SweepResult, error) {
 	// Resume is unconditional: it unifies fresh runs (empty journal),
 	// retries, and restarts after a drain or crash into one path.
 	sw.Resume = true
+	if j.spans != nil {
+		// The sweep reports checkpoint flushes into the job's span stream;
+		// purely observational (see the telemetry equivalence test).
+		sw.Spans = j.spans
+	}
 
-	ctx := s.baseCtx
+	// The job ID rides the context through queue → worker → sweep → engine
+	// so layers below the service can stamp their spans without new
+	// parameters.
+	ctx := trace.WithJobID(s.baseCtx, j.ID)
 	if j.Spec.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.Spec.Timeout))
@@ -512,9 +605,12 @@ func (s *Server) runAttempt(j *Job) (*experiment.SweepResult, error) {
 	return sw.RunContext(ctx)
 }
 
-// finish records a job's terminal (or interrupted) state and, when a
-// result is available, stores it.
-func (s *Server) finish(j *Job, state, errMsg string, res *experiment.SweepResult, partial bool) {
+// terminate records a job's terminal (or interrupted) state: it stores the
+// result when one is available, emits the closing lifecycle span before
+// the state persists (so an /events stream that stops at the terminal
+// record has already shipped the span), observes the latency histograms,
+// and logs the outcome.
+func (s *Server) terminate(j *Job, state, spanEvent, errMsg string, res *experiment.SweepResult, partial bool) {
 	if res != nil {
 		out := &JobResult{
 			ID:             j.ID,
@@ -526,13 +622,29 @@ func (s *Server) finish(j *Job, state, errMsg string, res *experiment.SweepResul
 		}
 		if err := saveJSON(resultPath(s.cfg.StateDir, j.ID), out); err != nil && errMsg == "" {
 			state, errMsg = StateFailed, fmt.Sprintf("store result: %v", err)
+			spanEvent = trace.SpanFailed
 		}
 	}
+	j.spans.Emit(trace.SpanEvent{Event: spanEvent, Attempt: j.Attempts, Detail: errMsg})
 	s.setState(j, func() {
 		j.State = state
 		j.Error = errMsg
 		j.FinishedAt = time.Now().UnixMilli()
 	})
+	if terminalState(state) {
+		if j.StartedAt > 0 && j.FinishedAt >= j.StartedAt {
+			s.stats.execution.Observe(time.Duration(j.FinishedAt-j.StartedAt) * time.Millisecond)
+		}
+		if j.SubmittedAt > 0 && j.FinishedAt >= j.SubmittedAt {
+			s.stats.duration.Observe(time.Duration(j.FinishedAt-j.SubmittedAt) * time.Millisecond)
+		}
+	}
+	level := slog.LevelInfo
+	if state != StateDone {
+		level = slog.LevelWarn
+	}
+	s.log.Log(context.Background(), level, "job finished", "job_id", j.ID, "client", j.Client,
+		"state", state, "attempts", j.Attempts, "error", errMsg)
 }
 
 // setState applies a mutation to the job under the table lock and persists

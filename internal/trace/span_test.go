@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLSpanSinkAssignsSeqAndDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSpanSink(&buf, "j000001", 0)
+	s.Emit(SpanEvent{Event: SpanSubmitted})
+	s.Emit(SpanEvent{Event: SpanQueued})
+	s.Emit(SpanEvent{Event: SpanStarted, Attempt: 1})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	spans, last, err := ScanSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 || last != 3 {
+		t.Fatalf("scanned %d spans (last seq %d), want 3/3", len(spans), last)
+	}
+	for i, e := range spans {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("span %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Job != "j000001" {
+			t.Fatalf("span %d job = %q", i, e.Job)
+		}
+		if e.Record != SpanRecord {
+			t.Fatalf("span %d record = %q", i, e.Record)
+		}
+		if e.WallMS == 0 {
+			t.Fatalf("span %d has no wall timestamp", i)
+		}
+	}
+	if spans[2].Event != SpanStarted || spans[2].Attempt != 1 {
+		t.Fatalf("span 3 = %+v", spans[2])
+	}
+}
+
+// Sequence numbering continues from a recovered stream: the restart path.
+func TestJSONLSpanSinkResumesSeq(t *testing.T) {
+	var buf bytes.Buffer
+	first := NewJSONLSpanSink(&buf, "j1", 0)
+	first.Emit(SpanEvent{Event: SpanSubmitted})
+	first.Emit(SpanEvent{Event: SpanInterrupted})
+
+	_, last, err := ScanSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := NewJSONLSpanSink(&buf, "j1", last)
+	second.Emit(SpanEvent{Event: SpanQueued})
+	second.Emit(SpanEvent{Event: SpanDone})
+
+	spans, _, err := ScanSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	for i, e := range spans {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("restart broke numbering: span %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+// ScanSpans skips interleaved non-span records (the /events stream mixes
+// spans with checkpoint-journal entries) and torn final lines.
+func TestScanSpansInterleavedAndTorn(t *testing.T) {
+	body := `{"sweep":"6c","xi":0,"rep":0,"algo":"addc","delay":10}
+{"record":"span","job":"j1","seq":1,"event":"queued","t_ms":5}
+{"sweep":"6c","xi":0,"rep":0,"algo":"coolest","delay":12}
+{"record":"span","job":"j1","seq":2,"event":"started","t_ms":6}
+{"record":"span","job":"j1","seq":3,"ev`
+	spans, last, err := ScanSpans(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || last != 2 {
+		t.Fatalf("got %d spans (last %d), want 2 complete spans", len(spans), last)
+	}
+}
+
+// Concurrent emitters under -race: every span gets a unique, dense
+// sequence number and none are lost — the invariant the job lifecycle
+// stream depends on.
+func TestJSONLSpanSinkConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	var buf bytes.Buffer
+	s := NewJSONLSpanSink(&buf, "stress", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Emit(SpanEvent{Event: SpanCheckpointFlush})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	spans, last, err := ScanSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goroutines * perG
+	if len(spans) != want || last != int64(want) {
+		t.Fatalf("got %d spans (last %d), want %d", len(spans), last, want)
+	}
+	seen := make(map[int64]bool, want)
+	prev := int64(0)
+	for _, e := range spans {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+		if e.Seq <= prev {
+			t.Fatalf("file order not monotone: %d after %d", e.Seq, prev)
+		}
+		prev = e.Seq
+	}
+	for i := int64(1); i <= int64(want); i++ {
+		if !seen[i] {
+			t.Fatalf("seq %d missing (lost transition)", i)
+		}
+	}
+}
+
+func TestJobIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := JobID(ctx); got != "" {
+		t.Fatalf("empty context carries job %q", got)
+	}
+	ctx = WithJobID(ctx, "j000042")
+	if got := JobID(ctx); got != "j000042" {
+		t.Fatalf("JobID = %q", got)
+	}
+}
