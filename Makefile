@@ -17,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race guard vuln bench bench-diff profile serve-smoke obs-smoke
+.PHONY: check build vet test race guard vuln bench bench-diff profile serve-smoke obs-smoke shard-chaos
 
 check: vet build test
 
@@ -46,6 +46,12 @@ serve-smoke:
 	./scripts/serve-smoke.sh
 
 obs-smoke: serve-smoke
+
+# shard-chaos runs the kill-resume chaos harness: shard worker processes
+# are SIGKILLed mid-sweep, resumed from their journals, and the merged
+# sharded output must be byte-identical to an uninterrupted unsharded run.
+shard-chaos:
+	./scripts/shard-chaos.sh
 
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \

@@ -1,0 +1,114 @@
+// Kill-resume chaos test: a shard worker is SIGKILLed mid-sweep (a real
+// process death — no cooperative shutdown, no flushing courtesy), resumed
+// from its journal, and the merged output must still be byte-identical to
+// an uninterrupted unsharded run. scripts/shard-chaos.sh drives the same
+// scenario through the installed binary; this test pins it in `go test`.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardWorkerHelper is not a test: it is the subprocess body the chaos
+// test SIGKILLs. It re-executes this test binary and routes the args in
+// ADDC_SHARD_ARGS (newline-separated, since args carry spaces) into run().
+func TestShardWorkerHelper(t *testing.T) {
+	if os.Getenv("ADDC_SHARD_HELPER") != "1" {
+		t.Skip("subprocess helper; only runs when re-executed by the chaos test")
+	}
+	args := strings.Split(os.Getenv("ADDC_SHARD_ARGS"), "\n")
+	if err := run(args); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func TestKillResumeMergeMatchesUnsharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills subprocesses; skipped in -short")
+	}
+	dir := t.TempDir()
+	// -flush-batch 1 persists every completed (x, rep) pair immediately, so
+	// the SIGKILL loses at most the pair in flight. -workers 1 pins journal
+	// entry order so the byte comparison is meaningful.
+	common := []string{
+		"-fig", "6c", "-xs", "0.1,0.2", "-reps", "3", "-seed", "7",
+		"-num-su", "80", "-area", "55", "-num-pu", "3",
+		"-max-virtual", "30m", "-workers", "1", "-flush-batch", "1",
+	}
+
+	// Uninterrupted unsharded baseline.
+	baseCP := filepath.Join(dir, "baseline.jsonl")
+	if err := run(append(append([]string{}, common...), "-checkpoint", baseCP)); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	want, err := os.ReadFile(baseCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("baseline journaled nothing; the comparison would be vacuous")
+	}
+
+	// Shard 1/2 runs as a real subprocess and takes a SIGKILL as soon as it
+	// has journaled its header plus at least one entry.
+	cp := filepath.Join(dir, "cp.jsonl")
+	shard1 := append(append([]string{}, common...), "-checkpoint", cp, "-shard", "1/2")
+	shard1Journal := cp[:len(cp)-len(".jsonl")] + ".shard-1-of-2.jsonl"
+
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestShardWorkerHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"ADDC_SHARD_HELPER=1",
+		"ADDC_SHARD_ARGS="+strings.Join(shard1, "\n"))
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if data, err := os.ReadFile(shard1Journal); err == nil && bytes.Count(data, []byte("\n")) >= 2 {
+			break // header + at least one journaled entry: kill now
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("shard subprocess journaled nothing within a minute; output:\n%s", out.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// SIGKILL: the process gets no chance to flush, sync or unwind. The
+	// shard may legitimately finish before the signal lands; the contract
+	// under test (resume + merge == unsharded bytes) holds either way.
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// Resume the killed shard in-process; it must replay the journaled pairs
+	// and run only what the kill lost.
+	if err := run(append(append([]string{}, shard1...), "-resume")); err != nil {
+		t.Fatalf("resume of killed shard: %v", err)
+	}
+	// Shard 2/2 runs uninterrupted.
+	if err := run(append(append([]string{}, common...), "-checkpoint", cp, "-shard", "2/2")); err != nil {
+		t.Fatalf("shard 2/2: %v", err)
+	}
+	// Merge validates coverage and assembles the unsharded journal.
+	if err := run(append(append([]string{}, common...), "-checkpoint", cp, "-merge")); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	got, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("kill-resume merged journal diverges from uninterrupted unsharded run:\n--- merged\n%s--- baseline\n%s", got, want)
+	}
+}

@@ -21,6 +21,16 @@
 // stderr), and -resume picks
 // up exactly where the journal stops, reproducing the uninterrupted output
 // byte for byte. -guard runs every simulation with runtime invariant guards.
+//
+// Sweeps also shard across processes or machines: -shard i/k runs only the
+// i-th of k deterministic partitions of the (x, rep) grid, journaling to
+// <checkpoint>.shard-i-of-k.jsonl (a killed shard resumes with -resume);
+// once every shard has run, -merge validates coverage and assembles the
+// journal and summary a single-process run would have produced, byte for
+// byte:
+//
+//	for i in 1 2 3; do addc-experiments -fig 6c -shard $i/3 -checkpoint cp.jsonl & done; wait
+//	addc-experiments -fig 6c -merge -checkpoint cp.jsonl
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -63,12 +74,48 @@ func run(args []string) error {
 		resume     = fs.Bool("resume", false, "with -checkpoint: skip repetitions the journal already records")
 		guard      = fs.Bool("guard", false, "run every simulation with runtime invariant guards")
 		shareTopo  = fs.Bool("share-topology", false, "memoize deployments and share construction artifacts across grid points and repetitions (changes the placement-seed derivation; each mode is internally deterministic)")
+
+		shardFlag    = fs.String("shard", "", "run only shard i/k of each sweep's (x, rep) grid, journaling to <checkpoint>.shard-i-of-k.jsonl (requires -checkpoint; run all k shards, then -merge)")
+		merge        = fs.Bool("merge", false, "merge the shard journals beside -checkpoint into the unsharded journal and print the summary it implies (requires -checkpoint)")
+		allowMissing = fs.Bool("allow-missing", false, "with -merge: tolerate missing or empty shards and print the partial summary the surviving shards cover")
+		flushBatch   = fs.Int("flush-batch", 0, "checkpoint flush batch size (default 32; 1 persists every completed pair immediately — what the chaos harness uses)")
+		workers      = fs.Int("workers", 0, "cap sweep parallelism (default GOMAXPROCS)")
+		xsFlag       = fs.String("xs", "", "comma-separated x values overriding the figure's sweep axis (small grids for smoke tests)")
+		numSU        = fs.Int("num-su", 0, "override the number of secondary users")
+		numPU        = fs.Int("num-pu", 0, "override the number of primary users")
+		area         = fs.Float64("area", 0, "override the deployment area side length")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	var shard experiment.ShardSpec
+	if *shardFlag != "" {
+		var err error
+		if shard, err = experiment.ParseShard(*shardFlag); err != nil {
+			return err
+		}
+		if *checkpoint == "" {
+			return fmt.Errorf("-shard requires -checkpoint (each shard streams results to its own journal)")
+		}
+		if *merge {
+			return fmt.Errorf("-shard and -merge are different phases: run every shard first, then merge")
+		}
+	}
+	if *merge && *checkpoint == "" {
+		return fmt.Errorf("-merge requires -checkpoint (the merged journal's path, with shard journals beside it)")
+	}
+	var xs []float64
+	if *xsFlag != "" {
+		for _, field := range strings.Split(*xsFlag, ",") {
+			x, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return fmt.Errorf("-xs: %w", err)
+			}
+			xs = append(xs, x)
+		}
 	}
 
 	// SIGINT/SIGTERM stop sweeps cooperatively; completed repetitions are
@@ -86,6 +133,15 @@ func run(args []string) error {
 	if *paperScale {
 		base = netmodel.DefaultParams()
 		model = spectrum.ModelAggregate
+	}
+	if *numSU > 0 {
+		base.NumSU = *numSU
+	}
+	if *numPU > 0 {
+		base.NumPU = *numPU
+	}
+	if *area > 0 {
+		base.Area = *area
 	}
 
 	var figures []string
@@ -124,9 +180,29 @@ func run(args []string) error {
 		sweep.SameMAC = *sameMAC
 		sweep.Guard = *guard
 		sweep.ShareTopology = *shareTopo
+		sweep.Workers = *workers
+		sweep.FlushBatch = *flushBatch
+		if xs != nil {
+			sweep.Xs = xs
+		}
 		if *checkpoint != "" {
 			sweep.Checkpoint = checkpointPath(*checkpoint, id, len(figures) > 1)
 			sweep.Resume = *resume
+		}
+		if *merge {
+			// Merge phase: assemble the shard journals into the unsharded
+			// journal, then replay it through the sweep's aggregation so the
+			// printed summary is the one the merged journal implies — byte
+			// for byte what a single-process run prints when coverage is
+			// complete.
+			if err := mergeShards(sweep, *allowMissing, *csv); err != nil {
+				return err
+			}
+			continue
+		}
+		if !shard.IsZero() {
+			sweep.Shard = shard
+			sweep.Checkpoint = experiment.ShardJournalPath(sweep.Checkpoint, shard)
 		}
 		res, err := sweep.RunContext(ctx)
 		if err != nil {
@@ -191,6 +267,46 @@ func runFaultSweep(ctx context.Context, base netmodel.Params, reps int, seed uin
 		return err
 	}
 	fmt.Print(res.FormatTable())
+	return nil
+}
+
+// mergeShards assembles the shard journals beside sweep.Checkpoint into the
+// unsharded journal at sweep.Checkpoint, then replays that journal through
+// the sweep's index-order aggregation and prints the summary — byte for
+// byte what the single-process run prints when every shard is present.
+func mergeShards(sweep *experiment.Sweep, allowMissing, csv bool) error {
+	paths, err := experiment.ShardJournalGlob(sweep.Checkpoint)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no shard journals beside %s (shards journal to e.g. %s)",
+			sweep.Checkpoint, experiment.ShardJournalPath(sweep.Checkpoint, experiment.ShardSpec{Index: 1, Count: 3}))
+	}
+	stats, err := experiment.MergeJournals(sweep.Checkpoint, paths, experiment.MergeOptions{AllowMissing: allowMissing})
+	if err != nil {
+		return err
+	}
+	if want := sweep.GridHash(); stats.GridHash != want {
+		return fmt.Errorf("shard journals were written for grid %s, but these flags describe grid %s: rerun -merge with the same -fig/-reps/-seed/-xs/parameter flags the shards ran with",
+			stats.GridHash, want)
+	}
+	fmt.Fprintf(os.Stderr, "addc-experiments: merged %d journals (%d shards, %d entries, %d duplicate entries dropped) into %s\n",
+		len(paths), stats.Shards, stats.Entries, stats.Duplicates, sweep.Checkpoint)
+	if n := len(stats.MissingPairs); n > 0 {
+		fmt.Fprintf(os.Stderr, "addc-experiments: %d (x, rep) pairs missing — the summary below is partial; resume the failed shards or rerun with -resume on the merged journal\n", n)
+	}
+	sweep.Resume = true
+	sweep.ReplayOnly = true
+	res, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Printf("# fig %s\n%s", sweep.ID, res.FormatCSV())
+	} else {
+		fmt.Println(res.FormatTable())
+	}
 	return nil
 }
 

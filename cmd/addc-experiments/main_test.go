@@ -35,3 +35,44 @@ func TestRunCurvesWritesSVG(t *testing.T) {
 		t.Error("curves output is not SVG")
 	}
 }
+
+// -shard flag validation: malformed specs and out-of-range indices are
+// rejected before any work starts, and a shard without a checkpoint (or
+// combined with the merge phase) is a usage error.
+func TestRunRejectsBadShardFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"malformed", []string{"-shard", "banana", "-checkpoint", "cp.jsonl"}},
+		{"no-slash", []string{"-shard", "13", "-checkpoint", "cp.jsonl"}},
+		{"index-zero", []string{"-shard", "0/3", "-checkpoint", "cp.jsonl"}},
+		{"index-negative", []string{"-shard", "-1/3", "-checkpoint", "cp.jsonl"}},
+		{"index-past-count", []string{"-shard", "4/3", "-checkpoint", "cp.jsonl"}},
+		{"count-zero", []string{"-shard", "1/0", "-checkpoint", "cp.jsonl"}},
+		{"count-negative", []string{"-shard", "1/-2", "-checkpoint", "cp.jsonl"}},
+		{"float-index", []string{"-shard", "1.5/3", "-checkpoint", "cp.jsonl"}},
+		{"empty-count", []string{"-shard", "1/", "-checkpoint", "cp.jsonl"}},
+		{"no-checkpoint", []string{"-shard", "1/3"}},
+		{"shard-and-merge", []string{"-shard", "1/3", "-merge", "-checkpoint", "cp.jsonl"}},
+		{"merge-no-checkpoint", []string{"-merge"}},
+		{"bad-xs", []string{"-xs", "0.1,zebra"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Errorf("run(%v) accepted", tc.args)
+			}
+		})
+	}
+}
+
+// Merging with no shard journals present names the expected layout instead
+// of failing obscurely.
+func TestRunMergeWithoutShardJournals(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "cp.jsonl")
+	err := run([]string{"-fig", "6c", "-merge", "-checkpoint", cp})
+	if err == nil || !strings.Contains(err.Error(), "no shard journals") {
+		t.Fatalf("err = %v, want a no-shard-journals explanation", err)
+	}
+}

@@ -71,6 +71,12 @@ type CheckpointEntry struct {
 type Journal struct {
 	path    string
 	entries []CheckpointEntry
+	// header, when non-nil, is written as the journal's first line. Only
+	// shard journals carry one; unsharded journals stay headerless so
+	// their bytes match every release since checkpointing shipped — and so
+	// a merged journal (written headerless) is byte-identical to an
+	// unsharded run's.
+	header *ShardHeader
 
 	// f and w are live once the first Flush has compacted the file; from
 	// then on flushes append entries[persisted:] instead of rewriting.
@@ -119,6 +125,29 @@ func LoadJournal(path string) (*Journal, error) {
 		if len(chunk) == 0 {
 			continue
 		}
+		// A shard journal's header line would silently decode as a zeroed
+		// CheckpointEntry (encoding/json ignores unknown fields), so sniff
+		// the discriminating "record" key before the entry unmarshal.
+		if rec := recordKind(chunk); rec != "" {
+			if rec != shardHeaderRecord {
+				if torn {
+					break
+				}
+				return nil, fmt.Errorf("experiment: checkpoint %s line %d: unknown record kind %q", path, line, rec)
+			}
+			var h ShardHeader
+			if err := json.Unmarshal(chunk, &h); err != nil {
+				if torn {
+					break
+				}
+				return nil, fmt.Errorf("experiment: checkpoint %s line %d: %w", path, line, err)
+			}
+			if torn {
+				break // a torn header is as untrustworthy as a torn entry
+			}
+			j.header = &h
+			continue
+		}
 		var e CheckpointEntry
 		if err := json.Unmarshal(chunk, &e); err != nil {
 			if torn {
@@ -130,6 +159,26 @@ func LoadJournal(path string) (*Journal, error) {
 	}
 	return j, nil
 }
+
+// recordKind extracts the "record" discriminator from a JSONL line, or ""
+// for plain CheckpointEntry lines (which have no such key).
+func recordKind(chunk []byte) string {
+	var probe struct {
+		Record string `json:"record"`
+	}
+	if err := json.Unmarshal(chunk, &probe); err != nil {
+		return ""
+	}
+	return probe.Record
+}
+
+// Header returns the journal's shard header, nil for unsharded journals.
+func (j *Journal) Header() *ShardHeader { return j.header }
+
+// SetHeader declares the shard header the journal writes as its first line
+// on the next compacting flush. Setting it after the first flush would
+// leave the persisted file headerless, so it must be set before any Flush.
+func (j *Journal) SetHeader(h *ShardHeader) { j.header = h }
 
 // Entries returns the journaled outcomes in file order.
 func (j *Journal) Entries() []CheckpointEntry { return j.entries }
@@ -168,6 +217,13 @@ func (j *Journal) compact() error {
 	}
 	w := bufio.NewWriter(tmp)
 	enc := json.NewEncoder(w)
+	if j.header != nil {
+		if err := enc.Encode(j.header); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("experiment: encode checkpoint header: %w", err)
+		}
+	}
 	for _, e := range j.entries {
 		if err := enc.Encode(e); err != nil {
 			tmp.Close()

@@ -25,6 +25,7 @@ import (
 	"addcrn/internal/cds"
 	"addcrn/internal/coolest"
 	"addcrn/internal/core"
+	"addcrn/internal/fault"
 	"addcrn/internal/graphx"
 	"addcrn/internal/metrics"
 	"addcrn/internal/netmodel"
@@ -99,6 +100,28 @@ type Sweep struct {
 	// skips repetitions it already records; the resumed sweep's summaries
 	// are byte-identical to an uninterrupted run.
 	Resume bool
+	// Shard, when non-zero, restricts execution to the (x, rep) pairs this
+	// shard owns (round-robin over the flattened grid index — see
+	// ShardSpec) and stamps the checkpoint journal with a ShardHeader so
+	// MergeJournals can validate coverage. Hash-derived per-pair seeds make
+	// every partition reproduce exactly what an unsharded run computes for
+	// the same pairs; k shard journals merge into the byte-identical
+	// journal and summary of a single-process run.
+	Shard ShardSpec
+	// ReplayOnly, with Resume, assembles the summary purely from journaled
+	// pairs without executing anything: missing pairs stay missing. The
+	// merge paths use it to render a (possibly partial) summary from a
+	// merged journal deterministically.
+	ReplayOnly bool
+	// FlushBatch and FlushInterval override the journal flush policy
+	// (default batch 32 / 500ms). The chaos harness sets batch 1 so a
+	// SIGKILLed shard has journaled every completed pair.
+	FlushBatch    int
+	FlushInterval time.Duration
+	// Faults, when non-nil, injects the same deterministic fault plan into
+	// every repetition (see fault.Spec); part of the sweep's grid identity,
+	// so shards disagree loudly instead of merging mixed results.
+	Faults *fault.Spec
 
 	// Cache, when non-nil, supplies the topology cache ShareTopology
 	// memoizes into; nil builds a private unbounded cache per Run. The
@@ -272,6 +295,14 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 	if len(s.Xs) == 0 {
 		return nil, fmt.Errorf("experiment: sweep %q has no x values", s.ID)
 	}
+	if !s.Shard.IsZero() {
+		if err := s.Shard.Validate(); err != nil {
+			return nil, err
+		}
+		if s.Checkpoint == "" {
+			return nil, fmt.Errorf("experiment: sweep %q shard %s needs a checkpoint journal to stream results to", s.ID, s.Shard)
+		}
+	}
 	reps := s.Reps
 	if reps <= 0 {
 		reps = 10
@@ -302,10 +333,12 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 
 	type job struct{ xi, rep int }
 	var pending []job
-	for xi := range s.Xs {
-		for rep := 0; rep < reps; rep++ {
-			if grid[xi][rep] == nil {
-				pending = append(pending, job{xi: xi, rep: rep})
+	if !s.ReplayOnly {
+		for xi := range s.Xs {
+			for rep := 0; rep < reps; rep++ {
+				if grid[xi][rep] == nil && s.Shard.owns(xi, rep, reps) {
+					pending = append(pending, job{xi: xi, rep: rep})
+				}
 			}
 		}
 	}
@@ -404,7 +437,7 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 			jr.Add(o.entry(s.ID))
 		}
 		before := jr.persisted
-		if err := jr.MaybeFlush(journalFlushBatch, journalFlushInterval); err != nil && flushErr == nil {
+		if err := jr.MaybeFlush(s.flushBatch(), s.flushInterval()); err != nil && flushErr == nil {
 			flushErr = err
 		}
 		flushSpan(before)
@@ -495,14 +528,33 @@ func (s *Sweep) loadCheckpoint(grid [][][]runOutcome, reps int) (*Journal, int, 
 	if s.Checkpoint == "" {
 		return nil, 0, nil
 	}
+	var header *ShardHeader
+	if !s.Shard.IsZero() {
+		header = s.shardHeader(reps)
+	}
 	if !s.Resume {
-		return NewJournal(s.Checkpoint), 0, nil
+		jr := NewJournal(s.Checkpoint)
+		jr.SetHeader(header)
+		return jr, 0, nil
 	}
 	loaded, err := LoadJournal(s.Checkpoint)
 	if err != nil {
 		return nil, 0, err
 	}
+	// A sharded resume must be resuming the same shard of the same sweep:
+	// a journal whose header disagrees (different grid hash, fan-out, or
+	// shard index) holds results this run cannot vouch for, and silently
+	// merging them would defeat the merge step's coverage validation.
+	if prev := loaded.Header(); prev != nil && header != nil && *prev != *header {
+		return nil, 0, fmt.Errorf("%w: resuming shard %s of sweep %q grid %s, but %s was written by shard %d/%d grid %s",
+			ErrShardMismatch, s.Shard, s.ID, header.GridHash,
+			s.Checkpoint, prev.Index, prev.Count, prev.GridHash)
+	} else if prev != nil && header == nil {
+		return nil, 0, fmt.Errorf("%w: %s is shard %d/%d's journal; resume it with the matching -shard (or merge the shards instead)",
+			ErrShardMismatch, s.Checkpoint, prev.Index, prev.Count)
+	}
 	jr := NewJournal(s.Checkpoint)
+	jr.SetHeader(header)
 	byPair := make(map[[2]int]map[string]CheckpointEntry)
 	for _, e := range loaded.Entries() {
 		if e.Sweep != s.ID {
@@ -511,6 +563,9 @@ func (s *Sweep) loadCheckpoint(grid [][][]runOutcome, reps int) (*Journal, int, 
 		}
 		if e.Xi < 0 || e.Xi >= len(grid) || e.Rep < 0 || e.Rep >= reps {
 			continue // stale geometry (sweep definition changed): rerun
+		}
+		if !s.Shard.owns(e.Xi, e.Rep, reps) {
+			continue // not this shard's pair: drop rather than claim it
 		}
 		key := [2]int{e.Xi, e.Rep}
 		if byPair[key] == nil {
@@ -533,6 +588,22 @@ func (s *Sweep) loadCheckpoint(grid [][][]runOutcome, reps int) (*Journal, int, 
 		}
 	}
 	return jr, resumed, nil
+}
+
+// flushBatch and flushInterval resolve the journal flush policy, defaulting
+// to the package-wide batched policy.
+func (s *Sweep) flushBatch() int {
+	if s.FlushBatch > 0 {
+		return s.FlushBatch
+	}
+	return journalFlushBatch
+}
+
+func (s *Sweep) flushInterval() time.Duration {
+	if s.FlushInterval > 0 {
+		return s.FlushInterval
+	}
+	return journalFlushInterval
 }
 
 // runPair executes one repetition with panic isolation and bounded retry: a
@@ -674,6 +745,7 @@ func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest
 		MaxVirtualTime: budget,
 		DisableHandoff: s.DisableHandoff,
 		Guard:          s.Guard,
+		Faults:         s.Faults,
 		Adj:            adj,
 		Tables:         tables,
 		Workspace:      env.ws,

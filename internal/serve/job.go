@@ -84,6 +84,16 @@ type JobSpec struct {
 	Guard          bool `json:"guard,omitempty"`
 	SameMAC        bool `json:"same_mac,omitempty"`
 	DisableHandoff bool `json:"disable_handoff,omitempty"`
+	// Shards, when at least 2, runs the job as a coordinator: the (x, rep)
+	// grid splits into this many deterministic partitions, each executed
+	// by its own shard job on the ordinary queue/worker/retry substrate
+	// and journaling beside the parent's journal. The coordinator parks
+	// (occupying no worker) until every shard reaches a terminal state,
+	// then merges the shard journals and stores the summary they imply —
+	// byte-identical to the unsharded job when every shard completed,
+	// partial otherwise. A shard whose worker dies is re-enqueued and
+	// resumes from its journal, so crashes cost only un-flushed work.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Validate checks the spec without running it.
@@ -99,6 +109,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Retries < 0 || s.Retries > 16 {
 		return fmt.Errorf("serve: retries %d out of range [0,16]", s.Retries)
+	}
+	if s.Shards < 0 || s.Shards == 1 || s.Shards > 16 {
+		return fmt.Errorf("serve: shards %d out of range [2,16] (0 = unsharded)", s.Shards)
 	}
 	if s.Timeout < 0 || s.MaxVirtual < 0 {
 		return fmt.Errorf("serve: negative durations are invalid")
@@ -162,15 +175,19 @@ func (s *JobSpec) sweep(maxWorkers int) (*experiment.Sweep, error) {
 
 // Job states. queued and running are live; interrupted means a drain or
 // crash stopped the job mid-sweep with its progress journaled (a restarted
-// server resumes it); done, failed, deadline and canceled are terminal.
+// server resumes it); coordinating means a sharded job is parked —
+// occupying no worker — waiting for its shard jobs to finish (the last
+// shard's termination, or a restart, requeues it for the merge phase);
+// done, failed, deadline and canceled are terminal.
 const (
-	StateQueued      = "queued"
-	StateRunning     = "running"
-	StateDone        = "done"
-	StateFailed      = "failed"
-	StateDeadline    = "deadline"
-	StateInterrupted = "interrupted"
-	StateCanceled    = "canceled"
+	StateQueued       = "queued"
+	StateRunning      = "running"
+	StateCoordinating = "coordinating"
+	StateDone         = "done"
+	StateFailed       = "failed"
+	StateDeadline     = "deadline"
+	StateInterrupted  = "interrupted"
+	StateCanceled     = "canceled"
 )
 
 // terminalState reports whether a job in state will never run again.
@@ -205,6 +222,16 @@ type Job struct {
 	SubmittedAt int64 `json:"submitted_at_ms,omitempty"`
 	StartedAt   int64 `json:"started_at_ms,omitempty"`
 	FinishedAt  int64 `json:"finished_at_ms,omitempty"`
+
+	// Parent, Shard and ShardOf mark a shard job minted by a coordinator:
+	// it executes shard Shard/ShardOf of the parent job Parent's grid,
+	// journaling to the shard journal beside the parent's journal. ShardIDs
+	// on the parent lists its minted shard jobs in shard order (persisted,
+	// so a restarted daemon re-arms the coordinator instead of re-minting).
+	Parent   string   `json:"parent,omitempty"`
+	Shard    int      `json:"shard,omitempty"`
+	ShardOf  int      `json:"shard_of,omitempty"`
+	ShardIDs []string `json:"shard_ids,omitempty"`
 
 	// enqueuedAt is when the job last entered the queue (set under the
 	// server mutex; zero for jobs loaded terminal from disk). It feeds the

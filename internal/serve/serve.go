@@ -105,8 +105,16 @@ type serverStats struct {
 	retried      metrics.AtomicCounter
 	rejectedFull metrics.AtomicCounter
 	rejectedRate metrics.AtomicCounter
-	queued       metrics.AtomicPeak
-	running      metrics.AtomicPeak
+	// Shard-job progress for coordinator (sharded) jobs: shards minted,
+	// shards that reached done, shards that ended failed/deadline, and
+	// shard executions beyond the first (retries, requeues after a worker
+	// death or restart — each one resumes from the shard's journal).
+	shardsSpawned   metrics.AtomicCounter
+	shardsCompleted metrics.AtomicCounter
+	shardsFailed    metrics.AtomicCounter
+	shardReexec     metrics.AtomicCounter
+	queued          metrics.AtomicPeak
+	running         metrics.AtomicPeak
 	// Wall-clock latency distributions: submission-to-pickup,
 	// pickup-to-terminal, submission-to-terminal.
 	queueWait metrics.WallHistogram
@@ -116,22 +124,26 @@ type serverStats struct {
 
 // Stats is a point-in-time snapshot of the server for /statsz.
 type Stats struct {
-	States       map[string]int               `json:"jobs_by_state"`
-	Submitted    int64                        `json:"submitted"`
-	Completed    int64                        `json:"completed"`
-	Failed       int64                        `json:"failed"`
-	Deadline     int64                        `json:"deadline"`
-	Interrupted  int64                        `json:"interrupted"`
-	Retried      int64                        `json:"retried"`
-	RejectedFull int64                        `json:"rejected_queue_full"`
-	RejectedRate int64                        `json:"rejected_rate_limited"`
-	Queued       int64                        `json:"queued_now"`
-	QueuedPeak   int64                        `json:"queued_peak"`
-	Running      int64                        `json:"running_now"`
-	RunningPeak  int64                        `json:"running_peak"`
-	TopoCache    experiment.TopoCacheStats    `json:"topo_cache"`
-	Workspaces   core.WorkspacePoolStats      `json:"workspace_pool"`
-	Config       struct{ Workers, Queue int } `json:"bounds"`
+	States           map[string]int               `json:"jobs_by_state"`
+	Submitted        int64                        `json:"submitted"`
+	Completed        int64                        `json:"completed"`
+	Failed           int64                        `json:"failed"`
+	Deadline         int64                        `json:"deadline"`
+	Interrupted      int64                        `json:"interrupted"`
+	Retried          int64                        `json:"retried"`
+	RejectedFull     int64                        `json:"rejected_queue_full"`
+	RejectedRate     int64                        `json:"rejected_rate_limited"`
+	ShardsSpawned    int64                        `json:"shards_spawned"`
+	ShardsCompleted  int64                        `json:"shards_completed"`
+	ShardsFailed     int64                        `json:"shards_failed"`
+	ShardReexecution int64                        `json:"shard_reexecutions"`
+	Queued           int64                        `json:"queued_now"`
+	QueuedPeak       int64                        `json:"queued_peak"`
+	Running          int64                        `json:"running_now"`
+	RunningPeak      int64                        `json:"running_peak"`
+	TopoCache        experiment.TopoCacheStats    `json:"topo_cache"`
+	Workspaces       core.WorkspacePoolStats      `json:"workspace_pool"`
+	Config           struct{ Workers, Queue int } `json:"bounds"`
 }
 
 // Server owns the job table, the bounded queue, and the worker pool. Create
@@ -216,10 +228,14 @@ func (s *Server) Start() {
 	for _, id := range s.jobIDs() {
 		j := s.jobs[id]
 		switch j.State {
-		case StateQueued, StateRunning, StateInterrupted:
+		case StateQueued, StateRunning, StateInterrupted, StateCoordinating:
 			// A "running" record means the previous daemon died without
 			// draining; its journal holds everything completed before the
-			// crash. Requeue persists the corrected state.
+			// crash. Requeue persists the corrected state. A "coordinating"
+			// record is a parked sharded job: requeueing re-arms it — it
+			// re-parks if shards are still unfinished, merges otherwise
+			// (including the crash-during-merge case, since the merge is
+			// idempotent).
 			requeue = append(requeue, j)
 		}
 	}
@@ -307,10 +323,27 @@ func (s *Server) Submit(spec JobSpec, clientKey string) (*Job, error) {
 		enqueuedAt:  now,
 		spans:       newSpanLog(spanPath(s.cfg.StateDir, id), id),
 	}
+	// Admission is gated on the queued counter, not channel occupancy, and
+	// the counter increments under the lock: a worker decrements only after
+	// it removed a job from the channel, so occupancy never exceeds the
+	// counter, the non-blocking send below cannot fail when the counter is
+	// under the bound, and the addc_queue_depth peak can never read above
+	// QueueDepth from the submit path. (Checking the channel instead races:
+	// a pickup frees a slot before its decrement lands, and a submit in that
+	// window overshoots the peak.) Restart-recovery and coordinator feeders
+	// bypass this gate by design and use blocking sends.
+	if s.stats.queued.Current() >= int64(s.cfg.QueueDepth) {
+		s.nextID-- // not admitted; reuse the ID
+		s.mu.Unlock()
+		s.stats.rejectedFull.Inc()
+		s.log.Warn("job rejected", "client", clientKey, "reason", "queue_full")
+		return nil, ErrQueueFull
+	}
 	select {
 	case s.queue <- j:
+		s.stats.queued.Add(1)
 	default:
-		s.nextID-- // not admitted; reuse the ID
+		s.nextID-- // a recovery feeder overfilled the queue; reuse the ID
 		s.mu.Unlock()
 		s.stats.rejectedFull.Inc()
 		s.log.Warn("job rejected", "client", clientKey, "reason", "queue_full")
@@ -334,7 +367,6 @@ func (s *Server) Submit(spec JobSpec, clientKey string) (*Job, error) {
 		return j, fmt.Errorf("serve: job %s admitted but not persisted: %w", id, err)
 	}
 	s.stats.submitted.Inc()
-	s.stats.queued.Add(1)
 	return j, nil
 }
 
@@ -374,8 +406,16 @@ func (s *Server) Result(id string) (*JobResult, error) {
 }
 
 // JournalPath returns where a job's repetition journal lives (the /events
-// stream reads it directly).
+// stream reads it directly). A shard job journals to the shard journal
+// beside its parent's journal, so the merge step can discover the full set.
 func (s *Server) JournalPath(id string) string {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if ok && j.Parent != "" && j.ShardOf > 1 {
+		return experiment.ShardJournalPath(journalPath(s.cfg.StateDir, j.Parent),
+			experiment.ShardSpec{Index: j.Shard, Count: j.ShardOf})
+	}
 	return journalPath(s.cfg.StateDir, id)
 }
 
@@ -400,21 +440,25 @@ func (s *Server) Telemetry() Telemetry {
 	}
 	s.mu.Unlock()
 	st := Stats{
-		States:       states,
-		Submitted:    s.stats.submitted.Value(),
-		Completed:    s.stats.completed.Value(),
-		Failed:       s.stats.failed.Value(),
-		Deadline:     s.stats.deadline.Value(),
-		Interrupted:  s.stats.interrupted.Value(),
-		Retried:      s.stats.retried.Value(),
-		RejectedFull: s.stats.rejectedFull.Value(),
-		RejectedRate: s.stats.rejectedRate.Value(),
-		Queued:       s.stats.queued.Current(),
-		QueuedPeak:   s.stats.queued.Peak(),
-		Running:      s.stats.running.Current(),
-		RunningPeak:  s.stats.running.Peak(),
-		TopoCache:    s.cache.Stats(),
-		Workspaces:   s.pool.Stats(),
+		States:           states,
+		Submitted:        s.stats.submitted.Value(),
+		Completed:        s.stats.completed.Value(),
+		Failed:           s.stats.failed.Value(),
+		Deadline:         s.stats.deadline.Value(),
+		Interrupted:      s.stats.interrupted.Value(),
+		Retried:          s.stats.retried.Value(),
+		RejectedFull:     s.stats.rejectedFull.Value(),
+		RejectedRate:     s.stats.rejectedRate.Value(),
+		ShardsSpawned:    s.stats.shardsSpawned.Value(),
+		ShardsCompleted:  s.stats.shardsCompleted.Value(),
+		ShardsFailed:     s.stats.shardsFailed.Value(),
+		ShardReexecution: s.stats.shardReexec.Value(),
+		Queued:           s.stats.queued.Current(),
+		QueuedPeak:       s.stats.queued.Peak(),
+		Running:          s.stats.running.Current(),
+		RunningPeak:      s.stats.running.Peak(),
+		TopoCache:        s.cache.Stats(),
+		Workspaces:       s.pool.Stats(),
 	}
 	st.Config.Workers = s.cfg.Workers
 	st.Config.Queue = s.cfg.QueueDepth
@@ -497,6 +541,22 @@ func (s *Server) runJob(j *Job) {
 	// The span file handle is released when the worker is done with the
 	// job; a resumed job lazily reopens it with its numbering intact.
 	defer j.spans.close()
+	if j.Spec.Shards > 1 {
+		s.runCoordinator(j)
+		return
+	}
+	if j.Parent != "" {
+		if j.Attempts > 0 {
+			// A shard job with attempts on record is being re-executed — a
+			// retry, or a requeue after its worker died or the daemon
+			// restarted. It resumes from its journal either way.
+			s.stats.shardReexec.Inc()
+		}
+		// However this execution ends, tell the coordinator: when the last
+		// shard reaches a terminal state, the parked parent requeues for
+		// its merge phase.
+		defer s.shardFinished(j)
+	}
 	var queueWait time.Duration
 	s.setState(j, func() {
 		j.State = StateRunning
@@ -544,6 +604,9 @@ func (s *Server) runJob(j *Job) {
 			return
 		case attempt < retries:
 			s.stats.retried.Inc()
+			if j.Parent != "" {
+				s.stats.shardReexec.Inc()
+			}
 			s.setState(j, func() { j.Error = err.Error() })
 			j.spans.Emit(trace.SpanEvent{Event: trace.SpanRetry, Attempt: j.Attempts, Detail: err.Error()})
 			s.log.Warn("job retrying", "job_id", j.ID, "client", j.Client,
@@ -584,6 +647,13 @@ func (s *Server) runAttempt(j *Job) (*experiment.SweepResult, error) {
 	sw.Cache = s.cache
 	sw.Workspaces = s.pool
 	sw.Checkpoint = journalPath(s.cfg.StateDir, j.ID)
+	if j.Parent != "" && j.ShardOf > 1 {
+		// A shard job runs only its partition of the grid, journaling to
+		// the shard journal beside the parent's journal (where the merge
+		// phase looks for it).
+		sw.Shard = experiment.ShardSpec{Index: j.Shard, Count: j.ShardOf}
+		sw.Checkpoint = s.JournalPath(j.ID)
+	}
 	// Resume is unconditional: it unifies fresh runs (empty journal),
 	// retries, and restarts after a drain or crash into one path.
 	sw.Resume = true

@@ -38,7 +38,7 @@ type Telemetry struct {
 // exposes the full vector, zeroes included — absent series break dashboard
 // joins and delta queries.
 var allStates = []string{
-	StateQueued, StateRunning, StateDone, StateFailed,
+	StateQueued, StateRunning, StateCoordinating, StateDone, StateFailed,
 	StateDeadline, StateInterrupted, StateCanceled,
 }
 
@@ -70,6 +70,11 @@ func writeProm(w io.Writer, t Telemetry) error {
 	counter("addc_jobs_interrupted_total", "jobs interrupted by a drain (they resume on restart)", t.Interrupted)
 	counter("addc_jobs_deadline_total", "jobs whose wall-clock deadline expired (a subset of failed)", t.Deadline)
 	counter("addc_job_retries_total", "job-level retry attempts after transient failures", t.Retried)
+
+	counter("addc_shards_spawned_total", "shard jobs minted by coordinator (sharded) jobs", t.ShardsSpawned)
+	counter("addc_shards_completed_total", "shard jobs that reached state done", t.ShardsCompleted)
+	counter("addc_shards_failed_total", "shard jobs that ended failed, deadline or canceled", t.ShardsFailed)
+	counter("addc_shard_reexecutions_total", "shard executions beyond a shard's first (retries and requeues after a worker death or restart; each resumes from the shard's journal)", t.ShardReexecution)
 
 	p.Family("addc_jobs_rejected_total", "counter", "submissions refused at admission, by reason")
 	p.Int("addc_jobs_rejected_total", labels("reason", "queue_full"), t.RejectedFull)
@@ -150,7 +155,12 @@ func (l *spanLog) Emit(e trace.SpanEvent) {
 		if err != nil {
 			return
 		}
-		_, last, err := trace.ScanSpans(f)
+		// RecoverSpans, not ScanSpans: a crash mid-append leaves a torn
+		// unterminated final line, and appending onto it would fuse two
+		// records into one unparseable line — losing a span and re-issuing
+		// its sequence number on the next recovery. RecoverSpans repairs
+		// the tail (seal or truncate) so the append is clean.
+		_, last, err := trace.RecoverSpans(f)
 		if err != nil {
 			f.Close()
 			return

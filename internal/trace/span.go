@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -43,6 +44,14 @@ const (
 	SpanDone            = "done"
 	SpanFailed          = "failed"
 	SpanInterrupted     = "interrupted"
+
+	// Coordinator lifecycle: a sharded job additionally emits
+	// shards_spawned when it mints its shard jobs, coordinating each time
+	// it parks to wait for them, and merged when the shard journals have
+	// been assembled into the final one.
+	SpanShardsSpawned = "shards_spawned"
+	SpanCoordinating  = "coordinating"
+	SpanMerged        = "merged"
 )
 
 // SpanEvent is one wall-clock lifecycle transition of a job.
@@ -192,6 +201,50 @@ func ScanSpans(r io.Reader) ([]SpanEvent, int64, error) {
 		return spans, last, fmt.Errorf("trace: scan spans: %w", err)
 	}
 	return spans, last, nil
+}
+
+// RecoverSpans prepares a span file for appending after a crash or
+// restart: it scans the existing spans and repairs a torn final line
+// before returning the parsed spans and the highest sequence number.
+//
+// ScanSpans alone tolerates a torn tail when *reading*, but a sink that
+// reopens the file for appending must not leave the tear in place: the
+// next Emit would append onto the unterminated line, fusing two records
+// into one unparseable line — silently losing the newer span, so the next
+// recovery scan would under-count and re-issue duplicate sequence numbers.
+// RecoverSpans makes the tail safe to append to: a final line that is a
+// complete span merely missing its newline (the write landed, the
+// terminator did not) is newline-terminated and kept; anything else
+// unterminated is truncated away, exactly as the checkpoint journal drops
+// its torn tail on resume.
+//
+// f must be positioned anywhere (RecoverSpans seeks) and opened writable.
+func RecoverSpans(f *os.File) ([]SpanEvent, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("trace: recover spans: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: recover spans: %w", err)
+	}
+	if n := len(data); n > 0 && data[n-1] != '\n' {
+		keep := bytes.LastIndexByte(data, '\n') + 1 // 0 when no newline at all
+		tail := data[keep:]
+		var e SpanEvent
+		if json.Unmarshal(tail, &e) == nil && e.Record == SpanRecord {
+			// The span itself is intact; only its newline was lost. Seal it.
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				return nil, 0, fmt.Errorf("trace: recover spans: terminate tail: %w", err)
+			}
+			data = append(data, '\n')
+		} else {
+			if err := f.Truncate(int64(keep)); err != nil {
+				return nil, 0, fmt.Errorf("trace: recover spans: truncate torn tail: %w", err)
+			}
+			data = data[:keep]
+		}
+	}
+	return ScanSpans(bytes.NewReader(data))
 }
 
 // jobIDKey carries the job/request ID minted at admission through the

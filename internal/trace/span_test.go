@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -148,5 +150,116 @@ func TestJobIDContext(t *testing.T) {
 	ctx = WithJobID(ctx, "j000042")
 	if got := JobID(ctx); got != "j000042" {
 		t.Fatalf("JobID = %q", got)
+	}
+}
+
+// Regression: a crash mid-append leaves a torn unterminated final line.
+// Re-scanning alone tolerates it for reading, but an appending sink must
+// repair it first — otherwise the next Emit fuses onto the torn line,
+// losing a span and re-issuing its sequence number on the next recovery.
+// RecoverSpans truncates the torn tail so numbering stays dense across
+// repeated crash/append cycles.
+func TestRecoverSpansTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.spans.jsonl")
+	write := func(events ...string) {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		_, last, err := RecoverSpans(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewJSONLSpanSink(f, "j1", last)
+		for _, ev := range events {
+			s.Emit(SpanEvent{Event: ev})
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tear := func(n int64) {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, info.Size()-n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write(SpanSubmitted, SpanQueued, SpanStarted)
+	tear(20) // cut deep into the "started" span: seq 3 is lost
+	write(SpanInterrupted)
+	tear(3) // tear the "interrupted" span too
+	write(SpanQueued, SpanDone)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, last, err := ScanSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// submitted, queued, then the two post-tear appends: the torn spans are
+	// gone, but every surviving line parses and seqs are dense in file
+	// order with no duplicates.
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+	if last != int64(len(spans)) {
+		t.Fatalf("seqs not dense: %d spans, last %d", len(spans), last)
+	}
+	for i, e := range spans {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("span %d has seq %d (lost or duplicated transition)", i, e.Seq)
+		}
+	}
+	if spans[3].Event != SpanDone {
+		t.Fatalf("final span = %+v, want done", spans[3])
+	}
+}
+
+// A final line that is a complete span merely missing its terminating
+// newline is sealed and kept, not thrown away.
+func TestRecoverSpansSealsNewlinelessTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.spans.jsonl")
+	body := `{"record":"span","job":"j1","seq":1,"event":"submitted","t_ms":5}
+{"record":"span","job":"j1","seq":2,"event":"queued","t_ms":6}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, last, err := RecoverSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || last != 2 {
+		t.Fatalf("got %d spans (last %d), want the sealed tail kept", len(spans), last)
+	}
+	s := NewJSONLSpanSink(f, "j1", last)
+	s.Emit(SpanEvent{Event: SpanStarted})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, last, err = ScanSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 || last != 3 {
+		t.Fatalf("append after seal: got %d spans (last %d), want 3/3", len(spans), last)
 	}
 }

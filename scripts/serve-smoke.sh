@@ -50,6 +50,8 @@ require_families() {
         addc_jobs_submitted_total addc_jobs_completed_total \
         addc_jobs_failed_total addc_jobs_interrupted_total \
         addc_jobs_deadline_total addc_job_retries_total \
+        addc_shards_spawned_total addc_shards_completed_total \
+        addc_shards_failed_total addc_shard_reexecutions_total \
         addc_jobs_rejected_total addc_jobs_state \
         addc_queue_depth addc_queue_capacity \
         addc_workers addc_workers_busy addc_worker_utilization \

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Kill-resume chaos harness for sharded sweeps: run a small fig-6c sweep
+# unsharded to get the reference journal and CSV, then run the same sweep
+# as K shard worker processes while SIGKILLing each worker mid-sweep (a
+# real, uncooperative process death — no flush, no unwind), resuming every
+# killed worker from its journal until the shard completes, merging, and
+# requiring the merged journal AND the merged CSV to be byte-identical to
+# the uninterrupted unsharded run. Shard workers run with -flush-batch 1 so
+# a kill can lose at most the repetition in flight.
+#
+# The Go test suite pins the same contract in-process
+# (internal/experiment's equivalence tests, cmd/addc-experiments'
+# TestKillResumeMergeMatchesUnsharded); this script is the end-to-end
+# variant against the installed binary, with repeated kill rounds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHARDS="${SHARDS:-3}"
+KILL_ROUNDS="${KILL_ROUNDS:-3}"   # kill+resume cycles per shard before letting it finish
+FIG=6c
+XS=0.1,0.2
+REPS=6
+SEED=7
+COMMON=(-fig "$FIG" -xs "$XS" -reps "$REPS" -seed "$SEED"
+        -num-su 80 -area 55 -num-pu 3 -max-virtual 30m
+        -workers 1 -flush-batch 1)
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/addc-experiments" ./cmd/addc-experiments
+bin="$workdir/addc-experiments"
+
+echo "== reference: uninterrupted unsharded run"
+"$bin" "${COMMON[@]}" -checkpoint "$workdir/reference.jsonl" -csv \
+    >"$workdir/reference.csv"
+[ -s "$workdir/reference.jsonl" ] || { echo "reference journaled nothing"; exit 1; }
+
+# run_shard_with_kills <i>: run shard i/K, SIGKILLing it mid-sweep
+# KILL_ROUNDS times (each next round resumes from the journal), then let a
+# final resume run to completion.
+run_shard_with_kills() {
+    local i=$1 round pid journal
+    journal="$workdir/cp.shard-$i-of-$SHARDS.jsonl"
+    for round in $(seq 1 "$KILL_ROUNDS"); do
+        local args=("${COMMON[@]}" -checkpoint "$workdir/cp.jsonl" -shard "$i/$SHARDS")
+        [ "$round" -gt 1 ] && args+=(-resume)
+        "$bin" "${args[@]}" >/dev/null 2>>"$workdir/shard-$i.log" &
+        pid=$!
+        # Kill as soon as the journal holds one more line than it started
+        # with; if the worker finishes first, that is a legal outcome too.
+        local want=2
+        [ -f "$journal" ] && want=$(($(wc -l <"$journal") + 1))
+        for _ in $(seq 1 200); do
+            if ! kill -0 "$pid" 2>/dev/null; then break; fi
+            if [ -f "$journal" ] && [ "$(wc -l <"$journal")" -ge "$want" ]; then
+                if kill -9 "$pid" 2>/dev/null; then
+                    echo "round $round: SIGKILL" >>"$workdir/kills-$i.log"
+                fi
+                break
+            fi
+            sleep 0.01
+        done
+        wait "$pid" 2>/dev/null || true
+    done
+    # Final resume: must complete cleanly.
+    "$bin" "${COMMON[@]}" -checkpoint "$workdir/cp.jsonl" -shard "$i/$SHARDS" -resume \
+        >/dev/null 2>>"$workdir/shard-$i.log" \
+        || { echo "shard $i/$SHARDS failed to resume to completion"; cat "$workdir/shard-$i.log"; exit 1; }
+}
+
+echo "== chaos: $SHARDS shard workers, $KILL_ROUNDS SIGKILL rounds each"
+for i in $(seq 1 "$SHARDS"); do
+    run_shard_with_kills "$i" &
+done
+wait
+
+echo "== merge"
+"$bin" "${COMMON[@]}" -checkpoint "$workdir/cp.jsonl" -merge -csv \
+    >"$workdir/merged.csv" 2>"$workdir/merge.log" \
+    || { echo "merge failed"; cat "$workdir/merge.log"; exit 1; }
+
+cmp "$workdir/cp.jsonl" "$workdir/reference.jsonl" \
+    || { echo "FAIL: merged journal differs from uninterrupted unsharded journal"; exit 1; }
+cmp "$workdir/merged.csv" "$workdir/reference.csv" \
+    || { echo "FAIL: merged CSV differs from uninterrupted unsharded CSV"; exit 1; }
+
+kills=$(cat "$workdir"/kills-*.log 2>/dev/null | wc -l)
+echo "shard-chaos: $kills SIGKILLs landed mid-sweep; merged output byte-identical to the uninterrupted run"
+if [ "$kills" -eq 0 ]; then
+    echo "shard-chaos: WARNING: every worker finished before its kill; rerun or raise REPS for real chaos"
+fi
+echo "shard-chaos: OK"
