@@ -12,6 +12,7 @@ package addcrn
 import (
 	"math"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -507,6 +508,32 @@ func BenchmarkSweepSmallGridCheckpoint(b *testing.B) {
 		s.Checkpoint = path
 	})
 }
+
+// benchSweepBatched pins Workers to 1 and GOMAXPROCS to 1 so the batched
+// benchmarks measure the lane engine's single-thread throughput — no worker
+// parallelism, no background GC threads absorbing allocation pressure: the
+// B = 1 baseline and the B = 4/16 lockstep variants differ only in how many
+// repetitions one worker interleaves per event loop.
+func benchSweepBatched(b *testing.B, batch int) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	benchSweepRun(b, func(s *experiment.Sweep) {
+		s.Workers = 1
+		s.Batch = batch
+	})
+}
+
+// BenchmarkSweepSmallGridBatchedB1 is the scalar-engine baseline for the
+// lane-batch speedup: same grid, one worker, one repetition at a time.
+func BenchmarkSweepSmallGridBatchedB1(b *testing.B) { benchSweepBatched(b, 1) }
+
+// BenchmarkSweepSmallGridBatchedB4 interleaves 4 repetitions per block
+// through one event loop, sharing the block's topology, PCR derivation and
+// coolest parent construction across lanes.
+func BenchmarkSweepSmallGridBatchedB4(b *testing.B) { benchSweepBatched(b, 4) }
+
+// BenchmarkSweepSmallGridBatchedB16 is the wide variant; the perf gate for
+// the lane engine is ns/op at most 1/1.5 of the B1 baseline.
+func BenchmarkSweepSmallGridBatchedB16(b *testing.B) { benchSweepBatched(b, 16) }
 
 // BenchmarkSweepFig6cFull runs the entire Fig. 6c sweep (all x values, 2
 // repetitions) per iteration — the cost of one full figure regeneration.

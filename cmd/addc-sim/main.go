@@ -64,6 +64,7 @@ func run(args []string) error {
 		pt      = fs.Float64("pt", base.ActiveProb, "PU per-slot activity probability")
 		seed    = fs.Uint64("seed", 1, "run seed")
 		runs    = fs.Int("runs", 1, "repeat the simulation with seeds seed, seed+1, ... reusing one simulation workspace between runs")
+		batch   = fs.Int("batch", 1, "execute -runs in lockstep blocks of this size through the lane-batched engine; each block shares the deployment built from its first seed (changes placement per run, like a sweep's block seeding), while collection seeds stay seed, seed+1, ...")
 		alg     = fs.String("alg", "addc", "algorithm: addc or coolest")
 		model   = fs.String("pu-model", "exact", "PU model: exact or aggregate")
 		budget  = fs.Duration("max-virtual", 30*time.Minute, "virtual-time budget")
@@ -90,6 +91,9 @@ func run(args []string) error {
 	}
 	if *runs < 1 {
 		return fmt.Errorf("-runs must be at least 1, got %d", *runs)
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be at least 1, got %d", *batch)
 	}
 	if *runs > 1 && (*metricsOut != "" || *traceOut != "") {
 		return fmt.Errorf("-runs > 1 does not combine with -metrics-out or -trace-out")
@@ -176,57 +180,45 @@ func run(args []string) error {
 		defer cancelTimeout()
 	}
 
-	// Repeated runs (-runs > 1) share one workspace: the event arena, MAC
-	// state and scratch buffers are wiped in place between runs instead of
-	// reallocated, matching the sweep layer's per-worker engine reuse.
-	ws := core.NewWorkspace()
-	for i := 0; i < *runs; i++ {
-		runSeed := *seed + uint64(i)
+	// setup resolves one deployment and the algorithm's routing structure on
+	// it. The returned config still needs its per-run Seed.
+	setup := func(topoSeed uint64) (*netmodel.Network, []int32, core.CollectConfig, error) {
 		nw, err := core.BuildNetwork(core.Options{
 			Params:         params,
-			Seed:           runSeed,
+			Seed:           topoSeed,
 			PUModel:        kind,
 			MaxVirtualTime: *budget,
 		})
 		if err != nil {
-			return err
+			return nil, nil, cfg, err
 		}
 		runCfg := cfg
-		runCfg.Seed = runSeed
-		runCfg.Workspace = ws
 		var parents []int32
 		switch *alg {
 		case "addc":
 			tree, err := core.BuildTree(nw)
 			if err != nil {
-				return err
+				return nil, nil, cfg, err
 			}
 			parents = tree.Parent
 			runCfg.Tree = tree // repair prefers dominators/connectors
 		case "coolest":
 			consts, err := pcr.Compute(params)
 			if err != nil {
-				return err
+				return nil, nil, cfg, err
 			}
 			parents, err = coolest.BuildParents(nw, consts.Range, coolest.MetricAccumulated)
 			if err != nil {
-				return err
+				return nil, nil, cfg, err
 			}
 		default:
-			return fmt.Errorf("unknown algorithm %q", *alg)
+			return nil, nil, cfg, fmt.Errorf("unknown algorithm %q", *alg)
 		}
+		return nw, parents, runCfg, nil
+	}
 
-		res, err := core.CollectContext(ctx, nw, parents, runCfg)
-		if sink != nil {
-			if ferr := sink.Flush(); ferr != nil && err == nil {
-				err = ferr
-			}
-		}
-		if reg != nil {
-			if werr := writeMetrics(*metricsOut, reg); werr != nil && err == nil {
-				err = werr
-			}
-		}
+	// report prints one run's outcome, or its cancellation state on stderr.
+	report := func(runSeed uint64, res *core.Result, err error, last bool) error {
 		var ce *core.CanceledError
 		if errors.As(err, &ce) {
 			fmt.Fprintf(os.Stderr, "addc-sim: interrupted at %v (virtual): %d/%d delivered, %d lost\n",
@@ -265,8 +257,78 @@ func run(args []string) error {
 			fmt.Printf("faults: crashes=%d recoveries=%d repairs=%d link-losses=%d ack-losses=%d retries=%d drops=%d\n",
 				fr.Crashes, fr.Recoveries, fr.Repairs, fr.LinkLosses, fr.AckLosses, fr.Retries, fr.Drops)
 		}
-		if i+1 < *runs {
+		if !last {
 			fmt.Println()
+		}
+		return nil
+	}
+
+	// Repeated runs (-runs > 1) share one workspace: the event arena, MAC
+	// state and scratch buffers are wiped in place between runs instead of
+	// reallocated, matching the sweep layer's per-worker engine reuse.
+	ws := core.NewWorkspace()
+	if *batch > 1 {
+		// Lane-batched: blocks of -batch runs execute in lockstep through
+		// one interleaved event loop, sharing the deployment built from the
+		// block's first seed. Collection seeds stay seed, seed+1, ...
+		for b0 := 0; b0 < *runs; b0 += *batch {
+			bn := min(b0+*batch, *runs)
+			nw, parents, runCfg, err := setup(*seed + uint64(b0))
+			if err != nil {
+				return err
+			}
+			runCfg.Workspace = ws
+			// reg and sink are non-nil only for a single run, which is a
+			// single lane. A typed-nil *JSONLSink must not reach the
+			// interface field.
+			var laneSink trace.Sink
+			if sink != nil {
+				laneSink = sink
+			}
+			lanes := make([]core.Lane, bn-b0)
+			for j := range lanes {
+				lanes[j] = core.Lane{Seed: *seed + uint64(b0+j), Metrics: reg, Sink: laneSink}
+			}
+			out, err := core.CollectBatch(ctx, nw, parents, runCfg, lanes)
+			if sink != nil && err == nil {
+				err = sink.Flush()
+			}
+			if reg != nil && err == nil {
+				err = writeMetrics(*metricsOut, reg)
+			}
+			if err != nil {
+				return err
+			}
+			for j, lr := range out {
+				if err := report(*seed+uint64(b0+j), lr.Result, lr.Err, bn == *runs && j == len(out)-1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for i := 0; i < *runs; i++ {
+		runSeed := *seed + uint64(i)
+		nw, parents, runCfg, err := setup(runSeed)
+		if err != nil {
+			return err
+		}
+		runCfg.Seed = runSeed
+		runCfg.Workspace = ws
+
+		res, err := core.CollectContext(ctx, nw, parents, runCfg)
+		if sink != nil {
+			if ferr := sink.Flush(); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
+		if reg != nil {
+			if werr := writeMetrics(*metricsOut, reg); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if err := report(runSeed, res, err, i+1 == *runs); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"addcrn/internal/netmodel"
+)
+
+// benchBatchNetwork builds the sweep benchmark's operating point once.
+func benchBatchNetwork(b *testing.B) (*netmodel.Network, []int32, CollectConfig) {
+	b.Helper()
+	opts := DefaultOptions()
+	opts.Params.NumSU = 40
+	opts.Params.Area = 40
+	opts.Params.NumPU = 2
+	opts.Seed = 1
+	nw, err := BuildNetwork(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := BuildTree(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw, tree.Parent, CollectConfig{Tree: tree}
+}
+
+// BenchmarkCollectBatchLanes measures the engine-level cost per repetition
+// of running B repetitions of one topology through the interleaved lane
+// engine; the Scalar variant is the same work as B sequential Collects on a
+// reused workspace. ns/op is per batch of 16 either way, so the two numbers
+// compare directly.
+func BenchmarkCollectBatchLanes(b *testing.B) {
+	const lanes = 16
+	nw, parent, base := benchBatchNetwork(b)
+	b.Run("Scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		ws := NewWorkspace()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < lanes; j++ {
+				cfg := base
+				cfg.Seed = uint64(j) + 1
+				cfg.Workspace = ws
+				if _, err := Collect(nw, parent, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Batched", func(b *testing.B) {
+		b.ReportAllocs()
+		ws := NewWorkspace()
+		lcs := make([]Lane, lanes)
+		for j := range lcs {
+			lcs[j] = Lane{Seed: uint64(j) + 1}
+		}
+		cfg := base
+		cfg.Workspace = ws
+		for i := 0; i < b.N; i++ {
+			out, err := CollectBatch(context.Background(), nw, parent, cfg, lcs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, lr := range out {
+				if lr.Err != nil {
+					b.Fatal(lr.Err)
+				}
+			}
+		}
+	})
+}

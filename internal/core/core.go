@@ -494,8 +494,23 @@ type CollectConfig struct {
 // per-repetition allocation to O(changed state). It is not safe for
 // concurrent use — give each worker goroutine its own.
 type Workspace struct {
-	eng       *sim.Engine
+	eng *sim.Engine
+	// scalar is the single-run scratch; lanes/slabs serve CollectBatch,
+	// which keeps one scratch slot and one slab lane per batch lane so a
+	// renewed batch reuses every MAC and buffer in place.
+	scalar laneScratch
+	lanes  []laneScratch
+	slabs  *mac.Slabs
+}
+
+// laneScratch is the retained per-run state of one execution lane: the MAC,
+// PU model, SIR monitor and root randomness source (each renewed in place
+// between runs) and the measurement scratch buffers.
+type laneScratch struct {
 	m         *mac.MAC
+	src       *rng.Source
+	exact     *spectrum.ExactModel
+	mon       *spectrum.RxMonitor
 	latencies []float64
 	hops      []float64
 	perNodeTx []float64
@@ -538,7 +553,71 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 	if err := ctx.Err(); err != nil {
 		return nil, &CanceledError{Cause: err}
 	}
-	stopPhase := cfg.Metrics.StartPhase("pcr")
+	env, err := newCollectEnv(nw, parent, cfg, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	ws := cfg.Workspace
+	var eng *sim.Engine
+	var scratch *laneScratch
+	if ws != nil {
+		eng = ws.engine()
+		scratch = &ws.scalar
+	} else {
+		eng = sim.New()
+	}
+	ln, err := env.prepareLane(eng, laneIO{
+		seed: cfg.Seed,
+		met:  cfg.Metrics,
+		sink: combineSinks(cfg.Trace, cfg.Sink),
+	}, rng.New, scratch, nil)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Done() != nil {
+		// Cooperative cancellation at event-loop granularity: the engine
+		// polls ctx every cancelPollEvents executed events.
+		eng.SetInterrupt(cancelPollEvents, ctx.Err)
+	}
+	for !ln.done {
+		if !eng.Step() {
+			if cause := eng.InterruptErr(); cause != nil {
+				ln.finish(eng.Now(), eng.Steps())
+				return ln.res, ln.canceledErr(cause, eng.Now())
+			}
+			break // queue drained: nothing can make progress anymore
+		}
+		if eng.Now() > env.deadline {
+			ln.finish(eng.Now(), eng.Steps())
+			return ln.res, ln.deadlineErr(eng.Now())
+		}
+	}
+	ln.finish(eng.Now(), eng.Steps())
+	return ln.seal()
+}
+
+// collectEnv is the lane-independent part of a collection: the derived PCR
+// constants, the resolved sensing ranges, and the defaulted config. One env
+// serves every lane of a batch (and the scalar path), so batched
+// repetitions pay the derivation once.
+type collectEnv struct {
+	nw       *netmodel.Network
+	parent   []int32
+	cfg      CollectConfig
+	consts   pcr.Constants
+	puSense  float64
+	suSense  float64
+	slot     sim.Time
+	deadline sim.Time
+
+	// gains memoizes pairwise pathloss for the SIR monitor; lanes of a batch
+	// share it, so each (tx, rx) gain is computed once per topology rather
+	// than once per encounter per lane. Nil when no run uses a monitor.
+	gains *spectrum.GainTable
+}
+
+func newCollectEnv(nw *netmodel.Network, parent []int32, cfg CollectConfig, met *metrics.Registry) (*collectEnv, error) {
+	stopPhase := met.StartPhase("pcr")
 	consts, err := pcr.Compute(nw.Params)
 	stopPhase(0)
 	if err != nil {
@@ -565,94 +644,223 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 	if cfg.PUModel == 0 {
 		cfg.PUModel = spectrum.ModelExact
 	}
-
-	ws := cfg.Workspace
-	var eng *sim.Engine
-	if ws != nil {
-		eng = ws.engine()
-	} else {
-		eng = sim.New()
+	env := &collectEnv{
+		nw:       nw,
+		parent:   parent,
+		cfg:      cfg,
+		consts:   consts,
+		puSense:  puSense,
+		suSense:  suSense,
+		slot:     sim.FromDuration(nw.Params.Slot),
+		deadline: sim.FromDuration(cfg.MaxVirtualTime),
 	}
-	src := rng.New(cfg.Seed)
+	if cfg.GenericCSMA || cfg.SIRValidate {
+		env.gains = spectrum.NewGainTable(nw)
+	}
+	return env, nil
+}
+
+// combineSinks fans a run's trace stream out to the legacy ring Buffer and
+// the pluggable Sink; both see identical records.
+func combineSinks(buf *trace.Buffer, sink trace.Sink) trace.Sink {
+	switch {
+	case buf != nil && sink != nil:
+		return trace.MultiSink{buf, sink}
+	case buf != nil:
+		return buf
+	default:
+		return sink
+	}
+}
+
+// laneIO is the per-lane I/O surface of a collection run: the seed and the
+// observability endpoints. Scalar runs mirror the CollectConfig fields;
+// CollectBatch gives every lane its own.
+type laneIO struct {
+	seed uint64
+	met  *metrics.Registry
+	sink trace.Sink
+}
+
+// lane is one repetition's live state during a (possibly batched) run.
+type lane struct {
+	env         *collectEnv
+	res         *Result
+	done        bool
+	latencies   []float64
+	hops        []float64
+	m           *mac.MAC
+	model       spectrum.PUModel
+	rep         *repairer
+	grd         *guard
+	obs         *observer
+	scratch     *laneScratch
+	stopCollect func(sim.Time)
+}
+
+// finish seals the lane's measurements at virtual time now after steps
+// executed events (under batching: the lane's own clock and step count, not
+// the shared engine's).
+func (ln *lane) finish(now sim.Time, steps uint64) {
+	ln.stopCollect(now)
+	finishResult(ln.res, ln.env.nw, ln.m, now, steps, ln.latencies, ln.hops, ln.env.slot, ln.scratch)
+	if ln.scratch != nil {
+		// Retain the (possibly grown) scratch backing for the next run.
+		ln.scratch.latencies, ln.scratch.hops = ln.latencies, ln.hops
+	}
+	fillFaultReport(ln.res, ln.env.nw, ln.m, ln.rep)
+	ln.obs.finish(ln.res, ln.env.nw, ln.m, ln.env.cfg.Tree, ln.model.BusyFraction(now))
+	if ln.grd != nil {
+		ln.grd.finish(now)
+	}
+}
+
+// canceledErr marks the lane canceled and returns the typed partial-result
+// error. Call finish first.
+func (ln *lane) canceledErr(cause error, now sim.Time) error {
+	ln.res.Outcome = OutcomeCanceled
+	return &CanceledError{
+		Cause:     cause,
+		Delivered: ln.res.Delivered,
+		Expected:  ln.res.Expected,
+		Lost:      ln.res.Lost,
+		Elapsed:   now,
+	}
+}
+
+// deadlineErr marks the lane as having exhausted its virtual-time budget.
+// Call finish first.
+func (ln *lane) deadlineErr(now sim.Time) error {
+	ln.res.Outcome = OutcomeDeadline
+	return &DeadlineExceededError{
+		Delivered: ln.res.Delivered,
+		Expected:  ln.res.Expected,
+		Lost:      ln.res.Lost,
+		Elapsed:   now,
+	}
+}
+
+// seal classifies a lane that ran to completion (or stalled) and applies
+// the invariant-guard verdict.
+func (ln *lane) seal() (*Result, error) {
+	res := ln.res
+	switch {
+	case res.Delivered == res.Expected:
+		res.Outcome = OutcomeComplete
+	case ln.done:
+		// Every missing packet is attributed to an injected fault: the run
+		// degraded gracefully rather than timing out.
+		res.Outcome = OutcomePartial
+	default:
+		return res, fmt.Errorf("core: simulation stalled with %d/%d delivered", res.Delivered, res.Expected)
+	}
+	if err := ln.grd.err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// stallErr is the error a lane reports when its event queue drains with
+// packets still unaccounted for.
+func (ln *lane) stallErr() error {
+	return fmt.Errorf("core: simulation stalled with %d/%d delivered", ln.res.Delivered, ln.res.Expected)
+}
+
+// prepareLane builds one repetition on eng — result, hooks, MAC, PU model,
+// fault schedule — and starts it, leaving the lane ready to step. newSrc
+// makes the lane's root randomness source (rng.New for scalar runs; a
+// seed-state cache under batching, where lanes repeatedly re-derive the
+// same streams). scratch, when non-nil, is the retained per-lane workspace
+// slot; slab, when non-nil, backs the MAC's dense arrays (see mac.NewSlabs).
+func (env *collectEnv) prepareLane(eng *sim.Engine, io laneIO, newSrc func(uint64) *rng.Source, scratch *laneScratch, slab *mac.LaneSlab) (*lane, error) {
+	cfg := &env.cfg
+	nw := env.nw
+	var src *rng.Source
+	if scratch != nil && scratch.src != nil {
+		src = scratch.src
+		src.Reseed(io.seed)
+	} else {
+		src = newSrc(io.seed)
+		if scratch != nil {
+			scratch.src = src
+		}
+	}
 
 	// Fault layer: compile the deterministic plan up front so the MAC can
 	// carry the loss profile. A nil or zero Spec compiles to nothing and
 	// leaves every code path below bit-identical to the fault-free run.
 	var plan *fault.Plan
 	if cfg.Faults != nil && !cfg.Faults.Zero() {
-		plan, err = fault.Compile(*cfg.Faults, nw, consts.Range, rng.New(cfg.Seed).Child("fault/plan"))
+		p, err := fault.Compile(*cfg.Faults, nw, env.consts.Range, newSrc(io.seed).Child("fault/plan"))
 		if err != nil {
 			return nil, err
 		}
+		plan = p
 	}
 
 	res := &Result{
 		Expected:  nw.NumNodes() - 1,
-		PCR:       consts,
+		PCR:       env.consts,
 		TreeStats: cfg.TreeStats,
 	}
-	var latencies, hops []float64
-	if ws != nil {
-		latencies = grow(ws.latencies, res.Expected)
-		hops = grow(ws.hops, res.Expected)
+	ln := &lane{env: env, res: res, scratch: scratch}
+	if scratch != nil {
+		ln.latencies = grow(scratch.latencies, res.Expected)
+		ln.hops = grow(scratch.hops, res.Expected)
 	} else {
-		latencies = make([]float64, 0, res.Expected)
-		hops = make([]float64, 0, res.Expected)
+		ln.latencies = make([]float64, 0, res.Expected)
+		ln.hops = make([]float64, 0, res.Expected)
 	}
-	slot := sim.FromDuration(nw.Params.Slot)
+	slot := env.slot
 
 	var monitor *spectrum.RxMonitor
 	if cfg.GenericCSMA || cfg.SIRValidate {
-		monitor = spectrum.NewRxMonitor(nw.Params.Alpha)
+		if scratch != nil {
+			scratch.mon = spectrum.RenewRxMonitor(scratch.mon, nw.Params.Alpha)
+			monitor = scratch.mon
+		} else {
+			monitor = spectrum.NewRxMonitor(nw.Params.Alpha)
+		}
+		monitor.SetGainTable(env.gains)
 	}
 
-	// Trace fan-out: the legacy ring Buffer and the pluggable Sink see the
-	// same stream.
-	var sink trace.Sink
-	switch {
-	case cfg.Trace != nil && cfg.Sink != nil:
-		sink = trace.MultiSink{cfg.Trace, cfg.Sink}
-	case cfg.Trace != nil:
-		sink = cfg.Trace
-	case cfg.Sink != nil:
-		sink = cfg.Sink
-	}
+	sink := io.sink
 	rec := func(k trace.Kind, node int32, arg int64) {
 		if sink != nil {
 			sink.Add(trace.Record{Time: eng.Now(), Node: node, Kind: k, Arg: arg})
 		}
 	}
 
-	obs := newObserver(cfg.Metrics, slot)
+	obs := newObserver(io.met, slot)
 
 	// Invariant guards (opt-in; ADDC_GUARD=1 force-enables the mode for the
 	// `make guard` test tier).
 	var grd *guard
 	if cfg.Guard || guardEnv {
-		grd = newGuard(nw, res, suSense, cfg.Metrics)
+		grd = newGuard(nw, res, env.suSense, io.met)
 	}
 
 	// The run ends when every packet is accounted for: delivered to the
 	// base station or destroyed by a fault (graceful degradation).
-	done := false
 	accounted := func() {
 		if res.Delivered+res.Lost == res.Expected {
-			done = true
+			ln.done = true
 		}
 	}
 
 	macCfg := mac.Config{
 		Network:      nw,
-		Parent:       parent,
-		PUSenseRange: puSense,
-		SUSenseRange: suSense,
+		Parent:       env.parent,
+		PUSenseRange: env.puSense,
+		SUSenseRange: env.suSense,
 		Engine:       eng,
 		Rand:         src,
+		Slab:         slab,
 		OnDeliver: func(pkt mac.Packet, now sim.Time) {
 			res.Delivered++
 			latSlots := float64(now-pkt.Born) / float64(slot)
-			latencies = append(latencies, latSlots)
-			hops = append(hops, float64(pkt.Hops))
+			ln.latencies = append(ln.latencies, latSlots)
+			ln.hops = append(ln.hops, float64(pkt.Hops))
 			if pkt.Hops > 0 {
 				if perHop := latSlots / float64(pkt.Hops); perHop > res.maxPerHopWait {
 					res.maxPerHopWait = perHop
@@ -739,9 +947,10 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 		}
 	}
 	var m *mac.MAC
-	if ws != nil {
-		m, err = mac.Renew(ws.m, macCfg)
-		ws.m = m
+	var err error
+	if scratch != nil {
+		m, err = mac.Renew(scratch.m, macCfg)
+		scratch.m = m
 	} else {
 		m, err = mac.New(macCfg)
 	}
@@ -753,7 +962,7 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 		grd.checkTree(eng.Now()) // validate the initial routing tree
 	}
 
-	rep, err := scheduleFaults(eng, nw, m, plan, cfg.Tree, cfg.Adj, parent, res, rec)
+	rep, err := scheduleFaults(eng, nw, m, plan, cfg.Tree, cfg.Adj, env.parent, res, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -777,7 +986,13 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 		}
 		model = traceModel
 	case cfg.PUModel == spectrum.ModelExact:
-		exact := spectrum.NewExactModel(nw, m.Tracker(), src)
+		var exact *spectrum.ExactModel
+		if scratch != nil {
+			scratch.exact = spectrum.RenewExactModel(scratch.exact, nw, m.Tracker(), src)
+			exact = scratch.exact
+		} else {
+			exact = spectrum.NewExactModel(nw, m.Tracker(), src)
+		}
 		if monitor != nil {
 			exact.AttachMonitor(monitor)
 		}
@@ -793,67 +1008,13 @@ func CollectContext(ctx context.Context, nw *netmodel.Network, parent []int32, c
 	model.Start(eng)
 	m.Start()
 
-	stopCollect := cfg.Metrics.StartPhase("collect")
-	if ctx.Done() != nil {
-		// Cooperative cancellation at event-loop granularity: the engine
-		// polls ctx every cancelPollEvents executed events.
-		eng.SetInterrupt(cancelPollEvents, ctx.Err)
-	}
-	deadline := sim.FromDuration(cfg.MaxVirtualTime)
-	finish := func() {
-		stopCollect(eng.Now())
-		finishResult(res, nw, m, eng, latencies, hops, slot, ws)
-		if ws != nil {
-			// Retain the (possibly grown) scratch backing for the next run.
-			ws.latencies, ws.hops = latencies, hops
-		}
-		fillFaultReport(res, nw, m, rep)
-		obs.finish(res, nw, m, cfg.Tree, model.BusyFraction(eng.Now()))
-		if grd != nil {
-			grd.finish(eng.Now())
-		}
-	}
-	for !done {
-		if !eng.Step() {
-			if cause := eng.InterruptErr(); cause != nil {
-				finish()
-				res.Outcome = OutcomeCanceled
-				return res, &CanceledError{
-					Cause:     cause,
-					Delivered: res.Delivered,
-					Expected:  res.Expected,
-					Lost:      res.Lost,
-					Elapsed:   eng.Now(),
-				}
-			}
-			break // queue drained: nothing can make progress anymore
-		}
-		if eng.Now() > deadline {
-			finish()
-			res.Outcome = OutcomeDeadline
-			return res, &DeadlineExceededError{
-				Delivered: res.Delivered,
-				Expected:  res.Expected,
-				Lost:      res.Lost,
-				Elapsed:   eng.Now(),
-			}
-		}
-	}
-	finish()
-	switch {
-	case res.Delivered == res.Expected:
-		res.Outcome = OutcomeComplete
-	case done:
-		// Every missing packet is attributed to an injected fault: the run
-		// degraded gracefully rather than timing out.
-		res.Outcome = OutcomePartial
-	default:
-		return res, fmt.Errorf("core: simulation stalled with %d/%d delivered", res.Delivered, res.Expected)
-	}
-	if err := grd.err(); err != nil {
-		return res, err
-	}
-	return res, nil
+	ln.m = m
+	ln.model = model
+	ln.rep = rep
+	ln.grd = grd
+	ln.obs = obs
+	ln.stopCollect = io.met.StartPhase("collect")
+	return ln, nil
 }
 
 // scheduleFaults places every compiled fault event on the engine and builds
@@ -971,10 +1132,10 @@ func fillFaultReport(res *Result, nw *netmodel.Network, m *mac.MAC, rep *repaire
 	}
 }
 
-func finishResult(res *Result, nw *netmodel.Network, m *mac.MAC, eng *sim.Engine,
-	latencies, hops []float64, slot sim.Time, ws *Workspace) {
+func finishResult(res *Result, nw *netmodel.Network, m *mac.MAC, now sim.Time, steps uint64,
+	latencies, hops []float64, slot sim.Time, scratch *laneScratch) {
 	if res.Delay == 0 && res.Delivered < res.Expected {
-		res.Delay = eng.Now()
+		res.Delay = now
 	}
 	res.DelaySlots = float64(res.Delay) / float64(slot)
 	if res.Expected > 0 {
@@ -984,9 +1145,9 @@ func finishResult(res *Result, nw *netmodel.Network, m *mac.MAC, eng *sim.Engine
 		res.Capacity = float64(res.Delivered) * nw.Params.PacketBits / res.Delay.Seconds()
 	}
 	var perNodeTx []float64
-	if ws != nil {
-		perNodeTx = grow(ws.perNodeTx, nw.NumNodes()-1)
-		defer func() { ws.perNodeTx = perNodeTx }()
+	if scratch != nil {
+		perNodeTx = grow(scratch.perNodeTx, nw.NumNodes()-1)
+		defer func() { scratch.perNodeTx = perNodeTx }()
 	} else {
 		perNodeTx = make([]float64, 0, nw.NumNodes()-1)
 	}
@@ -1003,5 +1164,5 @@ func finishResult(res *Result, nw *netmodel.Network, m *mac.MAC, eng *sim.Engine
 	res.FairnessIndex = stats.JainIndex(perNodeTx)
 	res.HopStats = stats.Summarize(hops)
 	res.LatencySlots = stats.Summarize(latencies)
-	res.EngineSteps = eng.Steps()
+	res.EngineSteps = steps
 }

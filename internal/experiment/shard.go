@@ -147,6 +147,12 @@ func (s *Sweep) gridHash(reps int) string {
 	if s.Faults != nil {
 		fmt.Fprintf(h, "|%+v", *s.Faults)
 	}
+	// Batch > 1 switches placement-seed derivation to block granularity, so
+	// batched and scalar shards of "the same" sweep must never merge. Batch
+	// <= 1 is left out of the hash to keep existing scalar journals valid.
+	if s.Batch > 1 {
+		fmt.Fprintf(h, "|batch=%d", s.Batch)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

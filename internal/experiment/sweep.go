@@ -68,6 +68,20 @@ type Sweep struct {
 	SameMAC bool
 	// Workers caps parallelism (default GOMAXPROCS).
 	Workers int
+	// Batch executes repetitions in lane-batched blocks of this size: each
+	// worker runs up to Batch repetitions of one grid point as a single
+	// interleaved simulation over one shared topology (see
+	// core.CollectBatch), amortizing topology construction, routing-tree
+	// builds and RNG seeding across the block. The default (<= 1) is the
+	// scalar path, bit-identical to every previous release. Batch > 1
+	// changes the placement-seed derivation — a block shares the topology
+	// derived for its first repetition — so batched and scalar sweeps are
+	// each internally deterministic but not bit-identical to each other;
+	// per-repetition collection seeds keep the historical derivation, and
+	// each lane's outcome depends only on (block topology seed, lane seed),
+	// so resume, sharding and merge compose exactly as in scalar mode as
+	// long as every participant uses the same Batch.
+	Batch int
 
 	// Guard enables runtime invariant guards in every run (see
 	// core.CollectConfig.Guard); violations surface as per-point failures.
@@ -153,6 +167,10 @@ type Sweep struct {
 	// but rebuild every topology from scratch, for cache-vs-fresh
 	// equivalence tests.
 	noTopoCache bool
+	// noBatchEngine (tests only) keeps Batch's block scheduling and seed
+	// derivation but executes each lane through the scalar engine, for
+	// batched-vs-scalar byte-identity tests.
+	noBatchEngine bool
 }
 
 // PointResult aggregates both algorithms at one x value.
@@ -331,13 +349,32 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		return nil, err
 	}
 
-	type job struct{ xi, rep int }
+	// A job is one block of pending repetitions of one grid point. Scalar
+	// mode (batch 1) makes single-rep blocks; batch mode groups the rep
+	// axis into aligned blocks of Batch, each executed as one interleaved
+	// simulation. Resume and sharding compose naturally: a block carries
+	// only the reps that are pending AND owned here, while its topology
+	// seed derives from the block's aligned start, which depends on neither.
+	batch := s.Batch
+	if batch <= 1 {
+		batch = 1
+	}
+	type job struct {
+		xi   int
+		reps []int
+	}
 	var pending []job
 	if !s.ReplayOnly {
 		for xi := range s.Xs {
-			for rep := 0; rep < reps; rep++ {
-				if grid[xi][rep] == nil && s.Shard.owns(xi, rep, reps) {
-					pending = append(pending, job{xi: xi, rep: rep})
+			for b0 := 0; b0 < reps; b0 += batch {
+				var block []int
+				for rep := b0; rep < b0+batch && rep < reps; rep++ {
+					if grid[xi][rep] == nil && s.Shard.owns(xi, rep, reps) {
+						block = append(block, rep)
+					}
+				}
+				if len(block) > 0 {
+					pending = append(pending, job{xi: xi, reps: block})
 				}
 			}
 		}
@@ -371,15 +408,23 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 			}
 			for j := range jobs {
 				if cause := ctx.Err(); cause != nil {
-					// Drain without running: mark the pair canceled so it
-					// is neither summarized nor journaled.
-					results <- []runOutcome{
-						{xi: j.xi, rep: j.rep, err: cause, canceled: true},
-						{xi: j.xi, rep: j.rep, coolest: true, err: cause, canceled: true},
+					// Drain without running: mark the pairs canceled so
+					// they are neither summarized nor journaled.
+					for _, rep := range j.reps {
+						results <- []runOutcome{
+							{xi: j.xi, rep: rep, err: cause, canceled: true},
+							{xi: j.xi, rep: rep, coolest: true, err: cause, canceled: true},
+						}
 					}
 					continue
 				}
-				results <- s.runPair(ctx, j.xi, j.rep, metric, env)
+				if batch == 1 {
+					results <- s.runPair(ctx, j.xi, j.reps[0], metric, env)
+					continue
+				}
+				for _, outs := range s.runBlock(ctx, j.xi, j.reps, batch, metric, env) {
+					results <- outs
+				}
 			}
 		}()
 	}
@@ -640,6 +685,9 @@ type runEnv struct {
 	cache *TopoCache
 	ws    *core.Workspace
 	reg   *metrics.Registry
+	// regs is the batch path's per-lane registry pool, grown on demand and
+	// reset in place between blocks (nil entries are never handed out).
+	regs []*metrics.Registry
 }
 
 // registry returns the run's metrics registry: the worker's reusable one,
@@ -652,6 +700,25 @@ func (env *runEnv) registry() *metrics.Registry {
 	return env.reg
 }
 
+// registries returns n per-lane metrics registries for one block: the
+// worker's reusable pool, reset in place, or fresh ones when reuse is off.
+func (env *runEnv) registries(n int) []*metrics.Registry {
+	if env.reg == nil {
+		regs := make([]*metrics.Registry, n)
+		for i := range regs {
+			regs[i] = metrics.NewRegistry()
+		}
+		return regs
+	}
+	for len(env.regs) < n {
+		env.regs = append(env.regs, metrics.NewRegistry())
+	}
+	for i := 0; i < n; i++ {
+		env.regs[i].Reset()
+	}
+	return env.regs[:n]
+}
+
 // discard drops the worker's reusable state after a panic; the next job
 // rebuilds from scratch.
 func (env *runEnv) discard() {
@@ -661,6 +728,7 @@ func (env *runEnv) discard() {
 	if env.reg != nil {
 		env.reg = metrics.NewRegistry()
 	}
+	env.regs = nil
 }
 
 // retryable reports whether the pair failed for a reason a fresh seed can
@@ -703,37 +771,12 @@ func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest
 	// Topology: shared via the memoizing cache, or built fresh. Either way
 	// the run sees the same artifacts — a Network with this point's params,
 	// the unit-disk adjacency, and the CDS tree with its statistics.
-	var (
-		nw        *netmodel.Network
-		adj       graphx.Adjacency
-		tree      *cds.Tree
-		treeStats cds.Stats
-		tables    spectrum.NeighborTables
-		parentsOf func(sensingRange float64) ([]int32, error)
-	)
-	if s.ShareTopology && !s.noTopoCache {
-		if err := params.Validate(); err != nil {
-			return fail(err) // never cache a non-topological validation failure
-		}
-		topo, err := env.cache.get(params, seed)
-		if err != nil {
-			return fail(err)
-		}
-		nw, err = topo.NW.WithParams(params)
-		if err != nil {
-			return fail(err)
-		}
-		adj, tree, treeStats, tables = topo.Adj, topo.Tree, topo.Stats, topo
-		runNW := nw
-		parentsOf = func(r float64) ([]int32, error) { return topo.coolestParents(runNW, r, metric) }
-	} else {
-		topo, err := BuildTopology(params, seed)
-		if err != nil {
-			return fail(err)
-		}
-		nw, adj, tree, treeStats = topo.NW, topo.Adj, topo.Tree, topo.Stats
-		parentsOf = func(r float64) ([]int32, error) { return coolest.BuildParentsOn(adj, nw, r, metric) }
+	topo, err := s.topologyFor(params, seed, metric, env)
+	if err != nil {
+		return fail(err)
 	}
+	nw, adj, tree, treeStats, tables := topo.nw, topo.adj, topo.tree, topo.treeStats, topo.tables
+	parentsOf := topo.parentsOf
 
 	budget := s.MaxVirtualTime
 	if budget <= 0 {
@@ -800,6 +843,246 @@ func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest
 		outs = append(outs, runOutcome{xi: xi, rep: rep, coolest: true, delay: r.DelaySlots, capacity: r.Capacity, aborts: float64(r.TotalAborts + r.TotalCollisions)})
 	}
 	return outs
+}
+
+// runTopo bundles the construction artifacts one (params, seed) topology
+// hands to a run (or to every lane of a block).
+type runTopo struct {
+	nw        *netmodel.Network
+	adj       graphx.Adjacency
+	tree      *cds.Tree
+	treeStats cds.Stats
+	tables    spectrum.NeighborTables
+	parentsOf func(sensingRange float64) ([]int32, error)
+}
+
+// topologyFor resolves a deployment for one placement seed: shared via the
+// memoizing cache under ShareTopology, or built fresh.
+func (s *Sweep) topologyFor(params netmodel.Params, seed uint64, metric coolest.Metric, env *runEnv) (runTopo, error) {
+	if s.ShareTopology && !s.noTopoCache {
+		if err := params.Validate(); err != nil {
+			return runTopo{}, err // never cache a non-topological validation failure
+		}
+		topo, err := env.cache.get(params, seed)
+		if err != nil {
+			return runTopo{}, err
+		}
+		nw, err := topo.NW.WithParams(params)
+		if err != nil {
+			return runTopo{}, err
+		}
+		return runTopo{
+			nw: nw, adj: topo.Adj, tree: topo.Tree, treeStats: topo.Stats, tables: topo,
+			parentsOf: func(r float64) ([]int32, error) { return topo.coolestParents(nw, r, metric) },
+		}, nil
+	}
+	topo, err := BuildTopology(params, seed)
+	if err != nil {
+		return runTopo{}, err
+	}
+	return runTopo{
+		// The freshly built Topology is also the block's memoizing neighbor-
+		// table provider: without it every lane's carrier-sense tracker
+		// rebuilds the same CSR tables from the raw Network.
+		nw: topo.NW, adj: topo.Adj, tree: topo.Tree, treeStats: topo.Stats, tables: topo,
+		parentsOf: func(r float64) ([]int32, error) { return coolest.BuildParentsOn(topo.Adj, topo.NW, r, metric) },
+	}, nil
+}
+
+// runBlock executes one lane-batched block of repetitions with the same
+// panic isolation and bounded-retry policy as runPair. A panic anywhere in
+// the block fails every repetition in it (carrying the stack trace) and
+// discards the worker's reusable context; a transient deployment failure
+// re-attempts the whole block with a fresh derived placement seed.
+func (s *Sweep) runBlock(ctx context.Context, xi int, blockReps []int, batch int, metric coolest.Metric, env *runEnv) (blocks [][]runOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("experiment: sweep %s x[%d] reps %v panicked: %v\n%s",
+				s.ID, xi, blockReps, r, debug.Stack())
+			blocks = make([][]runOutcome, len(blockReps))
+			for i, rep := range blockReps {
+				blocks[i] = []runOutcome{
+					{xi: xi, rep: rep, err: err},
+					{xi: xi, rep: rep, coolest: true, err: err},
+				}
+			}
+			env.discard()
+		}
+	}()
+	for attempt := 0; ; attempt++ {
+		blocks = s.runBlockOnce(ctx, xi, blockReps, batch, attempt, metric, env)
+		retry := false
+		for _, outs := range blocks {
+			if retryable(outs) {
+				retry = true
+				break
+			}
+		}
+		if attempt >= s.Retries || !retry {
+			return blocks
+		}
+	}
+}
+
+// sweepSeeds memoizes the seeded generator states behind the block path's
+// per-repetition seed derivations. The same (sweep seed, label, rep) triple
+// recurs across the block's topology seed, retries and resumed shards, so
+// deriving each lane seed costs two reads off a cached state instead of two
+// math/rand seeding walks. Bit-identical to the uncached derivation the
+// scalar path performs.
+var sweepSeeds = rng.NewCache(0)
+
+// runBlockOnce executes both algorithms for every repetition of one block
+// as two interleaved lane-batched collections over one shared topology. The
+// block's placement seed derives from its aligned start repetition
+// (rep - rep%batch over the full grid, regardless of which reps are pending
+// or owned here), while each lane's collection seed keeps the historical
+// per-repetition derivation — so a lane's outcome is a function of the
+// block geometry and its own seed only, and resume/shard/merge reproduce
+// pairs exactly as long as every participant runs the same Batch.
+func (s *Sweep) runBlockOnce(ctx context.Context, xi int, blockReps []int, batch, attempt int, metric coolest.Metric, env *runEnv) [][]runOutcome {
+	params := s.Apply(s.Base, s.Xs[xi])
+	label := fmt.Sprintf("sweep/%s/x%d", s.ID, xi)
+	if s.ShareTopology {
+		label = fmt.Sprintf("sweep/%s/topo", s.ID)
+	}
+	if attempt > 0 {
+		label += fmt.Sprintf("/attempt%d", attempt)
+	}
+	blockStart := (blockReps[0] / batch) * batch
+	topoSeed := sweepSeeds.FirstUint64(rng.ChildSeedN(s.Seed, label, blockStart))
+	laneSeeds := make([]uint64, len(blockReps))
+	for i, rep := range blockReps {
+		laneSeeds[i] = sweepSeeds.FirstUint64(rng.ChildSeedN(s.Seed, label, rep))
+	}
+
+	out := make([][]runOutcome, len(blockReps))
+	failAll := func(err error) [][]runOutcome {
+		canceled := isCanceled(err)
+		for i, rep := range blockReps {
+			out[i] = []runOutcome{
+				{xi: xi, rep: rep, err: err, canceled: canceled},
+				{xi: xi, rep: rep, coolest: true, err: err, canceled: canceled},
+			}
+		}
+		return out
+	}
+
+	topo, err := s.topologyFor(params, topoSeed, metric, env)
+	if err != nil {
+		return failAll(err)
+	}
+
+	budget := s.MaxVirtualTime
+	if budget <= 0 {
+		budget = 2 * time.Hour // virtual; generous enough for starved points
+	}
+	cfg := core.CollectConfig{
+		PUModel:        s.PUModel,
+		MaxVirtualTime: budget,
+		DisableHandoff: s.DisableHandoff,
+		Guard:          s.Guard,
+		Faults:         s.Faults,
+		Adj:            topo.adj,
+		Tables:         topo.tables,
+		Workspace:      env.ws,
+	}
+
+	// ADDC lanes, instrumented per lane so every rep's tightness, PU busy
+	// fraction and fairness reach the point summary.
+	regs := env.registries(len(blockReps))
+	addcCfg := cfg
+	addcCfg.Tree = topo.tree
+	addcCfg.TreeStats = topo.treeStats
+	lanes := make([]core.Lane, len(blockReps))
+	for i := range blockReps {
+		lanes[i] = core.Lane{Seed: laneSeeds[i], Metrics: regs[i]}
+	}
+	addcOut, err := s.collectLanes(ctx, topo.nw, topo.tree.Parent, addcCfg, lanes)
+	if err != nil {
+		return failAll(err)
+	}
+	for i, rep := range blockReps {
+		if lr := addcOut[i]; lr.Err != nil {
+			out[i] = append(out[i], runOutcome{xi: xi, rep: rep, err: lr.Err, canceled: isCanceled(lr.Err)})
+		} else {
+			o := runOutcome{
+				xi:        xi,
+				rep:       rep,
+				delay:     lr.Result.DelaySlots,
+				capacity:  lr.Result.Capacity,
+				aborts:    float64(lr.Result.TotalAborts),
+				tightness: -1,
+				puBusy:    regs[i].Gauge("spectrum_pu_busy_fraction").Value(),
+				fairness:  lr.Result.FairnessIndex,
+			}
+			if lr.Result.Theory != nil {
+				o.tightness = lr.Result.Theory.ServiceTightness
+			}
+			out[i] = append(out[i], o)
+		}
+	}
+
+	// Coolest lanes: one routing-tree build serves the whole block.
+	coolFail := func(err error) [][]runOutcome {
+		canceled := isCanceled(err)
+		for i, rep := range blockReps {
+			out[i] = append(out[i], runOutcome{xi: xi, rep: rep, coolest: true, err: err, canceled: canceled})
+		}
+		return out
+	}
+	consts, err := pcr.Compute(params)
+	if err != nil {
+		return coolFail(err)
+	}
+	coolCfg := cfg
+	coolCfg.GenericCSMA = !s.SameMAC
+	parents, err := topo.parentsOf(consts.Range)
+	if err != nil {
+		return coolFail(err)
+	}
+	coolLanes := make([]core.Lane, len(blockReps))
+	for i := range blockReps {
+		coolLanes[i] = core.Lane{Seed: laneSeeds[i]}
+	}
+	coolOut, err := s.collectLanes(ctx, topo.nw, parents, coolCfg, coolLanes)
+	if err != nil {
+		return coolFail(err)
+	}
+	for i, rep := range blockReps {
+		if lr := coolOut[i]; lr.Err != nil {
+			out[i] = append(out[i], runOutcome{xi: xi, rep: rep, coolest: true, err: lr.Err, canceled: isCanceled(lr.Err)})
+		} else {
+			out[i] = append(out[i], runOutcome{
+				xi: xi, rep: rep, coolest: true,
+				delay:    lr.Result.DelaySlots,
+				capacity: lr.Result.Capacity,
+				aborts:   float64(lr.Result.TotalAborts + lr.Result.TotalCollisions),
+			})
+		}
+	}
+	return out
+}
+
+// collectLanes dispatches one side of a block to the lane-batched engine —
+// or, under the noBatchEngine test hook, runs each lane through the scalar
+// engine with identical seeds and instruments, giving equivalence tests a
+// scalar reference for the exact batched schedule.
+func (s *Sweep) collectLanes(ctx context.Context, nw *netmodel.Network, parent []int32, cfg core.CollectConfig, lanes []core.Lane) ([]core.LaneResult, error) {
+	if !s.noBatchEngine {
+		return core.CollectBatch(ctx, nw, parent, cfg, lanes)
+	}
+	out := make([]core.LaneResult, len(lanes))
+	for i, lc := range lanes {
+		c := cfg
+		c.Seed = lc.Seed
+		c.Metrics = lc.Metrics
+		c.Trace = lc.Trace
+		c.Sink = lc.Sink
+		r, err := core.CollectContext(ctx, nw, parent, c)
+		out[i] = core.LaneResult{Result: r, Err: err}
+	}
+	return out, nil
 }
 
 // isCanceled reports whether err is a context cancellation surfaced by the

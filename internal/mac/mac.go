@@ -21,6 +21,7 @@ package mac
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"addcrn/internal/netmodel"
 	"addcrn/internal/rng"
@@ -241,6 +242,13 @@ type Config struct {
 	// retry budget ran out (cause ErrRetriesExhausted) or the node holding
 	// it crashed (cause ErrNodeCrashed). May be nil.
 	OnPacketLost func(pkt Packet, node int32, now sim.Time, cause error)
+
+	// Slab, when non-nil, supplies external backing for the MAC's dense
+	// per-node hot arrays (states, eligibility masks, tracker counters)
+	// from a lane of a batch slab; see NewSlabs. The view must be sized
+	// for exactly Network.NumNodes(). Nil allocates privately — the
+	// scalar path, bit-identical to the pre-slab MAC.
+	Slab *LaneSlab
 }
 
 // FaultProfile parameterizes the bounded-retry fault machine (Config.Faults).
@@ -285,6 +293,9 @@ type MAC struct {
 	// callbacks, which are no-ops by construction.
 	busyElig []bool
 	freeElig []bool
+	// slab remembers which lane view (if any) backs the arrays above, so
+	// Renew can tell whether prev's backing still matches cfg.Slab.
+	slab *LaneSlab
 
 	// parent is the MAC's own routing view, a copy of Config.Parent so that
 	// self-healing repair (SetParent) never mutates the caller's tree.
@@ -387,6 +398,7 @@ func New(cfg Config) (*MAC, error) {
 		slot:   sim.FromDuration(cfg.Network.Params.Slot),
 		window: window,
 		root:   root,
+		slab:   cfg.Slab,
 	}
 	if f := cfg.Faults; f != nil {
 		m.retryCap = f.RetryCap
@@ -405,12 +417,20 @@ func New(cfg Config) (*MAC, error) {
 	subtree := make([]int32, nn)
 	subtreeCounts(m.parent, root, subtree)
 	m.subtree = subtree
-	m.sts = make([]state, nn)
-	m.busyElig = make([]bool, nn)
-	m.freeElig = make([]bool, nn)
+	if cfg.Slab != nil {
+		if err := m.adoptSlab(cfg.Slab, nn); err != nil {
+			return nil, err
+		}
+	} else {
+		m.sts = make([]state, nn)
+		m.busyElig = make([]bool, nn)
+		m.freeElig = make([]bool, nn)
+	}
 	for i := range m.nodes {
 		n := &m.nodes[i]
 		m.sts[i] = stateIdle
+		m.busyElig[i] = false
+		m.freeElig[i] = false
 		n.cwScale = 1
 		if subtree[i] > 0 {
 			n.queue = make([]Packet, 0, subtree[i])
@@ -422,7 +442,11 @@ func New(cfg Config) (*MAC, error) {
 		n.endTxFn = func(t sim.Time) { m.endTx(id, t) }
 		n.postWaitFn = func(t sim.Time) { m.postWaitDone(id, t) }
 	}
-	tracker, err := spectrum.NewTracker(cfg.Network, cfg.PUSenseRange, cfg.SUSenseRange, m)
+	var trkSlab spectrum.SlabLane
+	if cfg.Slab != nil {
+		trkSlab = cfg.Slab.tracker
+	}
+	tracker, err := spectrum.NewTrackerBacked(cfg.Network, cfg.PUSenseRange, cfg.SUSenseRange, m, trkSlab)
 	if err != nil {
 		return nil, err
 	}
@@ -456,12 +480,12 @@ func Renew(prev *MAC, cfg Config) (*MAC, error) {
 	if err != nil {
 		return nil, err
 	}
-	if prev == nil || len(prev.nodes) != cfg.Network.NumNodes() {
+	if prev == nil || len(prev.nodes) != cfg.Network.NumNodes() || prev.slab != cfg.Slab {
 		return New(cfg)
 	}
 	m := prev
 	m.cfg = cfg
-	m.src = cfg.Rand.Child("mac/backoff")
+	m.src = rng.ReseedChild(m.src, cfg.Rand, "mac/backoff")
 	m.parent = append(m.parent[:0], cfg.Parent...)
 	m.slot = sim.FromDuration(cfg.Network.Params.Slot)
 	m.window = sim.FromDuration(cfg.Network.Params.ContentionWindow)
@@ -484,7 +508,10 @@ func Renew(prev *MAC, cfg Config) (*MAC, error) {
 		n := &m.nodes[i]
 		n.down = false
 		if c := int(m.subtree[i]); cap(n.queue) < c {
-			n.queue = make([]Packet, 0, c)
+			// Round up to the next power of two: subtree sizes jitter from
+			// topology to topology, and exact-fit capacities would reallocate
+			// on every renewal that lands on a slightly larger deployment.
+			n.queue = make([]Packet, 0, 1<<bits.Len(uint(c-1)))
 		} else {
 			n.queue = n.queue[:0]
 		}
@@ -719,8 +746,8 @@ func (m *MAC) beginTx(id int32, now sim.Time) {
 		selfPos := m.cfg.Network.SU[id]
 		rxPos := m.cfg.Network.SU[m.parent[id]]
 		power := m.cfg.Network.Params.PowerSU
-		n.txToken = mon.AddTransmitter(selfPos, power)
-		n.rxToken = mon.BeginReception(rxPos, selfPos, power, m.cfg.Network.Params.EtaSU(), n.txToken)
+		n.txToken = mon.AddTransmitterNode(id, selfPos, power)
+		n.rxToken = mon.BeginReceptionNode(m.parent[id], rxPos, id, selfPos, power, m.cfg.Network.Params.EtaSU(), n.txToken)
 	}
 	m.tracker.AddSUTransmitter(id, now)
 	if m.cfg.OnTxStart != nil {

@@ -169,6 +169,7 @@ type metricEntry struct {
 	name   string
 	labels []Label // sorted by key
 	kind   metricKind
+	gen    uint64 // registry generation that last acquired this entry
 
 	counter *Counter
 	gauge   *Gauge
@@ -180,6 +181,7 @@ type metricEntry struct {
 type Registry struct {
 	entries map[string]*metricEntry
 	wall    []WallTiming
+	gen     uint64 // bumped by Reset; entries from older generations are invisible
 }
 
 // NewRegistry returns an empty registry.
@@ -188,11 +190,14 @@ func NewRegistry() *Registry {
 }
 
 // Reset empties the registry in place so one allocation of it can serve a
-// sequence of runs: every interned instrument is dropped and the wall-timing
-// log truncated, while the map's buckets and the wall slice's backing array
-// stay allocated. Handles obtained before a Reset keep working but update
-// orphaned instruments that no Snapshot will ever see — callers are expected
-// to re-acquire every instrument each run (the observer layer already does),
+// sequence of runs: the wall-timing log is truncated and every interned
+// instrument becomes invisible until re-acquired. Instruments are not freed —
+// Reset bumps a generation counter and lookup revives a stale entry by
+// zeroing it in place, so a run that re-registers the previous run's
+// instrument set (the common case under worker reuse) allocates nothing.
+// Handles obtained before a Reset keep working but update orphaned
+// instruments that no Snapshot will ever see — callers are expected to
+// re-acquire every instrument each run (the observer layer already does),
 // which is what makes a reset registry produce snapshots byte-identical to a
 // fresh one even when consecutive runs register different instrument sets.
 // Safe on a nil registry (no-op).
@@ -200,7 +205,7 @@ func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
-	clear(r.entries)
+	r.gen++
 	r.wall = r.wall[:0]
 }
 
@@ -236,17 +241,37 @@ func sortedLabels(labels []Label) []Label {
 
 // lookup returns the interned entry for (name, labels), creating it via
 // build on first use. Requesting an existing key as a different metric kind
-// is an instrumentation bug and panics.
-func (r *Registry) lookup(name string, labels []Label, kind metricKind, build func(*metricEntry)) *metricEntry {
-	ls := sortedLabels(labels)
-	k := key(name, ls)
-	if e, ok := r.entries[k]; ok {
-		if e.kind != kind {
-			panic(fmt.Sprintf("metrics: %q registered as %v, requested as %v", k, e.kind, kind))
-		}
-		return e
+// within one generation is an instrumentation bug and panics. A stale entry
+// left behind by Reset is revived in place when revive succeeds (it must
+// restore the instrument to its just-built state) and rebuilt from scratch
+// otherwise, so a reset registry stays observationally identical to a fresh
+// one. Zero or one label skips the sort and, on a hit, the label copy.
+func (r *Registry) lookup(name string, labels []Label, kind metricKind, build func(*metricEntry), revive func(*metricEntry) bool) *metricEntry {
+	var ls []Label
+	var k string
+	if len(labels) <= 1 {
+		k = key(name, labels)
+	} else {
+		ls = sortedLabels(labels)
+		k = key(name, ls)
 	}
-	e := &metricEntry{name: name, labels: ls, kind: kind}
+	if e, ok := r.entries[k]; ok {
+		if e.gen == r.gen {
+			if e.kind != kind {
+				panic(fmt.Sprintf("metrics: %q registered as %v, requested as %v", k, e.kind, kind))
+			}
+			return e
+		}
+		if e.kind == kind && revive(e) {
+			e.gen = r.gen
+			return e
+		}
+		// Stale entry we can't reuse: fall through and rebuild.
+	}
+	if ls == nil && len(labels) == 1 {
+		ls = append([]Label(nil), labels...)
+	}
+	e := &metricEntry{name: name, labels: ls, kind: kind, gen: r.gen}
 	build(e)
 	r.entries[k] = e
 	return e
@@ -260,6 +285,9 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	}
 	return r.lookup(name, labels, kindCounter, func(e *metricEntry) {
 		e.counter = &Counter{}
+	}, func(e *metricEntry) bool {
+		e.counter.v = 0
+		return true
 	}).counter
 }
 
@@ -271,6 +299,9 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	}
 	return r.lookup(name, labels, kindGauge, func(e *metricEntry) {
 		e.gauge = &Gauge{}
+	}, func(e *metricEntry) bool {
+		e.gauge.v = 0
+		return true
 	}).gauge
 }
 
@@ -292,6 +323,21 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 			bounds: append([]float64(nil), bounds...),
 			counts: make([]uint64, len(bounds)+1),
 		}
+	}, func(e *metricEntry) bool {
+		// Revive only when the bounds match; a fresh registry would honor
+		// the new bounds, so a mismatch forces a rebuild.
+		h := e.hist
+		if len(h.bounds) != len(bounds) {
+			return false
+		}
+		for i, b := range bounds {
+			if h.bounds[i] != b {
+				return false
+			}
+		}
+		clear(h.counts)
+		h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+		return true
 	}).hist
 }
 

@@ -71,7 +71,10 @@ func (r *Registry) Snapshot() Snapshot {
 		return s
 	}
 	keys := make([]string, 0, len(r.entries))
-	for k := range r.entries {
+	for k, e := range r.entries {
+		if e.gen != r.gen {
+			continue // stale since the last Reset; invisible until re-acquired
+		}
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -1,0 +1,165 @@
+package rng
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// math/rand's default source is an additive lagged-Fibonacci generator
+// (Mitchell & Reeds): x_i = x_{i-607} + x_{i-273} over uint64, seeded by an
+// LCG expansion that walks a 607-word table. That seeding walk is what makes
+// rand.NewSource cost ~14µs — two orders of magnitude more than the draws a
+// typical collect run takes from the stream afterwards.
+//
+// lfSource is a bit-exact replica of that generator whose state can be
+// snapshotted and restored by a plain array copy. The position-0 state of a
+// freshly seeded math/rand source is recovered through the public API alone:
+// each Uint64() returns the full 64-bit word it just wrote into the state
+// vector, so 607 draws determine the entire vector, and the seeded values
+// they overwrote fall out of the recurrence —
+//
+//	t in [274, 607]: seed[feed_t] = x_t - x_{t-273}
+//	t in [1, 273]:   seed[feed_t] = x_t - seed[tap_t]   (tap_t recovered above)
+//
+// with feed_t = (334-t) mod 607 and tap_t = (607-t) mod 607, all arithmetic
+// mod 2^64. A Cache memoizes these recovered states per seed; cloning one is
+// a 4.9KB copy instead of a reseeding walk, and the clone's stream is
+// bit-identical to rand.New(rand.NewSource(seed)) from the first draw.
+const (
+	lfLen = 607
+	lfTap = 273
+)
+
+// lfState is the seeded state vector of a lagged-Fibonacci source before any
+// draws. It is immutable once captured; clones copy it.
+type lfState struct {
+	vec [lfLen]uint64
+}
+
+// captureState recovers the position-0 state of rand.NewSource(seed).
+func captureState(seed uint64) *lfState {
+	src := rand.NewSource(int64(seed)).(rand.Source64) //nolint:gosec // reproducibility, not security
+	var x [lfLen + 1]uint64                            // 1-indexed draws
+	for t := 1; t <= lfLen; t++ {
+		x[t] = src.Uint64()
+	}
+	st := &lfState{}
+	feed := func(t int) int { return ((lfLen - lfTap - t) % lfLen + lfLen) % lfLen }
+	for t := lfTap + 1; t <= lfLen; t++ {
+		st.vec[feed(t)] = x[t] - x[t-lfTap]
+	}
+	for t := 1; t <= lfTap; t++ {
+		tap := (lfLen - t) % lfLen
+		st.vec[feed(t)] = x[t] - st.vec[tap]
+	}
+	return st
+}
+
+// lfSource is the replica generator; it implements rand.Source64, so
+// rand.Rand drives it through exactly the code paths it uses for the
+// stdlib source, and every derived method (Float64, Int63n, Perm, ...)
+// produces identical values.
+type lfSource struct {
+	tap, feed int32
+	vec       [lfLen]uint64
+}
+
+func newLFSource(st *lfState) *lfSource {
+	s := &lfSource{tap: 0, feed: lfLen - lfTap}
+	s.vec = st.vec
+	return s
+}
+
+// Uint64 mirrors math/rand's rngSource.Uint64.
+func (s *lfSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += lfLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += lfLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return x
+}
+
+// Int63 mirrors math/rand's rngSource.Int63.
+func (s *lfSource) Int63() int64 {
+	return int64(s.Uint64() & (1<<63 - 1))
+}
+
+// Seed re-seeds the replica to the state of rand.NewSource(seed).
+func (s *lfSource) Seed(seed int64) {
+	st := captureState(uint64(seed))
+	s.tap, s.feed = 0, lfLen-lfTap
+	s.vec = st.vec
+}
+
+// Cache memoizes seeded generator states so that sources for seeds already
+// seen cost an array copy instead of math/rand's seeding walk. The batch
+// execution layer threads one through every lane's derivation chain: within
+// a lane the ADDC and Coolest collects re-seed the same root and child seeds,
+// so the second collect's whole derivation tree hits the cache.
+//
+// The cache is safe for concurrent use. When it reaches its capacity it is
+// cleared wholesale: reuse is clustered (the two collects of one pair, the
+// lanes of one block), so an epoch clear costs at most one extra capture per
+// live seed and keeps the memory bound hard.
+type Cache struct {
+	mu  sync.RWMutex
+	m   map[uint64]*lfState
+	max int
+}
+
+// NewCache returns a cache bounded to max seeded states (~4.9KB each);
+// max <= 0 selects the default of 2048 (~10MB).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 2048
+	}
+	return &Cache{m: make(map[uint64]*lfState), max: max}
+}
+
+// state returns the seeded state for seed, capturing and memoizing it on
+// first use.
+func (c *Cache) state(seed uint64) *lfState {
+	c.mu.RLock()
+	st := c.m[seed]
+	c.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	st = captureState(seed)
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		clear(c.m)
+	}
+	c.m[seed] = st
+	c.mu.Unlock()
+	return st
+}
+
+// FirstUint64 returns New(seed).Uint64() — the stream's first draw — read
+// straight off the memoized state, with no source built and no state copied.
+// rand.Rand forwards Uint64 to the underlying Source64, so the first draw is
+// vec[feed-1] + vec[tap-1] of the position-0 state.
+func (c *Cache) FirstUint64(seed uint64) uint64 {
+	st := c.state(seed)
+	return st.vec[lfLen-lfTap-1] + st.vec[lfLen-1]
+}
+
+// New returns a Source seeded with seed whose stream is bit-identical to
+// rng.New(seed). Children derived from it (Child, ChildN) inherit the cache,
+// so an entire derivation tree re-seeded with the same seeds is served from
+// memoized states.
+func (c *Cache) New(seed uint64) *Source {
+	lf := newLFSource(c.state(seed))
+	return &Source{
+		seed:  seed,
+		rnd:   rand.New(lf), //nolint:gosec // reproducibility, not security
+		cache: c,
+		lf:    lf,
+	}
+}

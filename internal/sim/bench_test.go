@@ -30,3 +30,69 @@ func BenchmarkRearm(b *testing.B) {
 	b.ResetTimer()
 	e.Run()
 }
+
+// BenchmarkArenaChurn measures the cancel/re-arm cycle the carrier-sense
+// freeze path drives constantly: every iteration cancels a pending timer
+// (eager heap removal + slot release) and schedules a replacement (slot
+// reuse off the free list). Steady state must not allocate.
+func BenchmarkArenaChurn(b *testing.B) {
+	e := New()
+	const live = 256 // one backoff timer per node at a mid-size operating point
+	timers := make([]Timer, live)
+	for j := range timers {
+		timers[j] = e.After(Time(1000+j*13%512), func(Time) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % live
+		timers[j].Cancel()
+		timers[j] = e.After(Time(1000+(i*37)%512), func(Time) {})
+	}
+}
+
+// BenchmarkResetReuse measures workspace-style engine recycling: fill the
+// arena, drain it, Reset, repeat. The arena, free list, and heap backings
+// must be retained across iterations.
+func BenchmarkResetReuse(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 512; j++ {
+			e.After(Time(j%97), func(Time) {})
+		}
+		e.Run()
+		e.Reset()
+	}
+}
+
+// benchLanes drives the same self-rescheduling workload on B lanes
+// multiplexed over one engine — the lane-heap hot path: every step scans
+// the head index, pops one lane's heap, and the event re-arms into the same
+// lane.
+func benchLanes(b *testing.B, lanes int) {
+	e := New()
+	e.SetLanes(lanes)
+	total := 0
+	budget := b.N
+	for l := 0; l < lanes; l++ {
+		e.SetLane(l)
+		period := Time(5 + 2*l)
+		var rearm func(now Time)
+		rearm = func(now Time) {
+			total++
+			if total < budget {
+				e.After(period, rearm)
+			}
+		}
+		e.After(period, rearm)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for e.Step() {
+	}
+}
+
+func BenchmarkLaneStep1(b *testing.B)  { benchLanes(b, 1) }
+func BenchmarkLaneStep4(b *testing.B)  { benchLanes(b, 4) }
+func BenchmarkLaneStep16(b *testing.B) { benchLanes(b, 16) }

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestLaneInterleavingMatchesPrivateEngines: B lanes multiplexed on one
+// engine must each see exactly the event sequence they would see on a
+// private engine — same fire times, same within-lane order, same per-lane
+// step counts — regardless of how the lanes interleave globally.
+func TestLaneInterleavingMatchesPrivateEngines(t *testing.T) {
+	const lanes = 4
+	type fire struct {
+		at   Time
+		tag  int
+		lane int
+	}
+
+	// drive schedules a small self-rescheduling workload: each lane starts
+	// at a different phase and period so the global interleaving is
+	// irregular.
+	drive := func(eng *Engine, lane int, record *[]fire) {
+		period := Time(3 + 2*lane)
+		var tick func(now Time)
+		depth := 0
+		tick = func(now Time) {
+			*record = append(*record, fire{at: now, tag: depth, lane: lane})
+			depth++
+			if depth < 25 {
+				eng.After(period, tick)
+				if depth%5 == 0 { // occasional same-time event
+					eng.After(0, func(now Time) {
+						*record = append(*record, fire{at: now, tag: -depth, lane: lane})
+					})
+				}
+			}
+		}
+		eng.After(Time(lane), tick)
+	}
+
+	// Reference: each lane on its own engine.
+	var want [lanes][]fire
+	for l := 0; l < lanes; l++ {
+		eng := New()
+		drive(eng, l, &want[l])
+		eng.Run()
+	}
+
+	// Batched: all lanes on one engine.
+	eng := New()
+	eng.SetLanes(lanes)
+	var got [lanes][]fire
+	for l := 0; l < lanes; l++ {
+		eng.SetLane(l)
+		drive(eng, l, &got[l])
+	}
+	for eng.Step() {
+	}
+
+	for l := 0; l < lanes; l++ {
+		if len(got[l]) != len(want[l]) {
+			t.Fatalf("lane %d: %d fires batched vs %d sequential", l, len(got[l]), len(want[l]))
+		}
+		for i := range got[l] {
+			if got[l][i] != want[l][i] {
+				t.Fatalf("lane %d fire %d: batched %+v vs sequential %+v", l, i, got[l][i], want[l][i])
+			}
+		}
+		if eng.LaneSteps(l) != uint64(len(want[l])) {
+			t.Fatalf("lane %d: LaneSteps %d, want %d", l, eng.LaneSteps(l), len(want[l]))
+		}
+		if eng.LanePending(l) != 0 {
+			t.Fatalf("lane %d: %d events left pending", l, eng.LanePending(l))
+		}
+	}
+	total := uint64(0)
+	for l := 0; l < lanes; l++ {
+		total += eng.LaneSteps(l)
+	}
+	if eng.Steps() != total {
+		t.Fatalf("global Steps %d != sum of lane steps %d", eng.Steps(), total)
+	}
+}
+
+// TestLaneGlobalOrder: Step must always pick the globally earliest
+// (time, sequence) event, exactly as a single shared heap would.
+func TestLaneGlobalOrder(t *testing.T) {
+	eng := New()
+	eng.SetLanes(3)
+	var order []int
+	for l := 0; l < 3; l++ {
+		eng.SetLane(l)
+		l := l
+		for i := 0; i < 5; i++ {
+			i := i
+			if _, err := eng.At(Time(10*i+l), func(Time) { order = append(order, 10*i+l) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for eng.Step() {
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("events out of global time order: %v", order)
+		}
+	}
+	if len(order) != 15 {
+		t.Fatalf("executed %d events, want 15", len(order))
+	}
+}
+
+// TestStopLaneDropsPendingOnly: stopping a lane discards its queue (without
+// executing anything) and invalidates its timers, while other lanes proceed.
+func TestStopLaneDropsPendingOnly(t *testing.T) {
+	eng := New()
+	eng.SetLanes(2)
+	fired := [2]int{}
+	var timers []Timer
+	for l := 0; l < 2; l++ {
+		eng.SetLane(l)
+		l := l
+		for i := 1; i <= 10; i++ {
+			tm, err := eng.At(Time(i), func(Time) { fired[l]++ })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l == 0 {
+				timers = append(timers, tm)
+			}
+		}
+	}
+	eng.StopLane(0)
+	if eng.LanePending(0) != 0 {
+		t.Fatalf("lane 0 still has %d pending after StopLane", eng.LanePending(0))
+	}
+	for _, tm := range timers {
+		if tm.Active() {
+			t.Fatal("timer still active after StopLane")
+		}
+	}
+	for eng.Step() {
+	}
+	if fired[0] != 0 || fired[1] != 10 {
+		t.Fatalf("fired = %v, want [0 10]", fired)
+	}
+	// The freed arena slots must be reusable by the surviving lane.
+	eng.SetLane(1)
+	n := 0
+	eng.After(1, func(Time) { n++ })
+	for eng.Step() {
+	}
+	if n != 1 {
+		t.Fatal("scheduling after StopLane broke")
+	}
+}
+
+// TestLaneInheritance: events scheduled inside an event body land in the
+// body's lane even when another lane was selected with SetLane in between.
+func TestLaneInheritance(t *testing.T) {
+	eng := New()
+	eng.SetLanes(2)
+	var fromLane int32 = -1
+	eng.SetLane(1)
+	eng.After(5, func(Time) {
+		eng.After(1, func(Time) {}) // must join lane 1
+	})
+	eng.SetLane(0) // would mis-tag the nested event if inheritance broke
+	lane, ok := eng.StepLane()
+	if !ok || lane != 1 {
+		t.Fatalf("StepLane = (%d, %v), want (1, true)", lane, ok)
+	}
+	if eng.LanePending(1) != 1 || eng.LanePending(0) != 0 {
+		t.Fatalf("nested event landed in the wrong lane: pending = [%d %d]",
+			eng.LanePending(0), eng.LanePending(1))
+	}
+	lane, _ = eng.StepLane()
+	fromLane = lane
+	if fromLane != 1 {
+		t.Fatalf("nested event ran on lane %d, want 1", fromLane)
+	}
+}
+
+// TestLaneCancelAcrossLanes: Timer.Cancel must remove the event from its
+// own lane's heap even when the engine is currently positioned on another
+// lane.
+func TestLaneCancelAcrossLanes(t *testing.T) {
+	eng := New()
+	eng.SetLanes(2)
+	eng.SetLane(1)
+	tm, err := eng.At(7, func(Time) { t.Fatal("canceled event fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetLane(0)
+	tm.Cancel()
+	if eng.LanePending(1) != 0 {
+		t.Fatal("cancel left the event pending")
+	}
+	if eng.Step() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestSetLanesReset: Reset returns the engine to single-lane mode and
+// SetLanes afterwards reuses the lane backings.
+func TestSetLanesReset(t *testing.T) {
+	eng := New()
+	eng.SetLanes(4)
+	eng.SetLane(3)
+	eng.After(1, func(Time) {})
+	eng.Reset()
+	if eng.Lanes() != 1 {
+		t.Fatalf("Lanes() = %d after Reset, want 1", eng.Lanes())
+	}
+	// Scalar scheduling works immediately after Reset.
+	n := 0
+	eng.After(1, func(Time) { n++ })
+	for eng.Step() {
+	}
+	if n != 1 {
+		t.Fatal("scalar run after Reset broke")
+	}
+	eng.Reset()
+	eng.SetLanes(2)
+	eng.SetLane(1)
+	eng.After(1, func(Time) { n++ })
+	for eng.Step() {
+	}
+	if n != 2 {
+		t.Fatal("batched run after Reset broke")
+	}
+}

@@ -11,11 +11,29 @@
 //
 // The event queue is a concrete indexed 4-ary heap over a pooled entry
 // arena: entries live in a flat slice, freed slots are recycled through a
-// free list, and the heap orders int32 arena indices. Scheduling an event in
-// steady state therefore allocates nothing, and heap maintenance runs
-// without interface-method dispatch. Because (time, sequence) is a strict
-// total order, the pop order — and with it every simulation result — is
-// identical to the binary container/heap implementation this replaced.
+// free list, and the heap orders int32 arena indices. The (time, sequence)
+// sort keys are mirrored in a dense per-position key array, so sifts compare
+// against contiguous 16-byte keys (one cache line covers a 4-ary node's
+// children) instead of chasing arena entries. Scheduling an event in steady
+// state therefore allocates nothing, and heap maintenance runs without
+// interface-method dispatch. Because (time, sequence) is a strict total
+// order, the pop order — and with it every simulation result — is identical
+// to the binary container/heap implementation this replaced.
+//
+// # Lanes
+//
+// The engine can multiplex B independent runs ("lanes") over one arena and
+// one virtual-time order: SetLanes(B) gives each lane its own heap, clock
+// and step counter, every entry carries the lane it belongs to, and events
+// scheduled from inside an event body inherit the running event's lane — so
+// simulation code (MAC, spectrum models) needs no lane awareness at all.
+// Step always executes the globally earliest (time, sequence) event, which
+// is exactly the order one shared heap would produce, but per-lane heaps
+// keep sift depth independent of B. Because lanes share nothing mutable,
+// each lane's event order equals the order the same run would see on a
+// private engine, which is what makes batched execution bit-identical to
+// sequential runs (see internal/core's lane equivalence tests). The default
+// single-lane mode bypasses all lane bookkeeping.
 package sim
 
 import (
@@ -67,20 +85,23 @@ type Timer struct {
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled timer is a no-op. Cancel on a zero Timer is a no-op.
 //
-// Cancellation is eager: the entry leaves the heap immediately, so a
-// workload that cancels and re-arms constantly (carrier-sense freezes) never
-// accumulates dead entries for later sifts to climb over.
+// Cancellation is lazy: the entry is only marked dead and the pop loop
+// discards it when it reaches the top of its heap. Canceled timers are
+// overwhelmingly near-future backoffs (carrier-sense freezes), so dead
+// entries surface within a contention window and never pile up, while the
+// cancel itself — the single hottest queue operation in a collection run —
+// costs two writes instead of an O(log n) heap repair.
 func (t Timer) Cancel() {
 	e := t.eng
 	if e == nil {
 		return
 	}
 	en := &e.arena[t.idx]
-	if en.gen != t.gen {
-		return // slot was recycled; this timer already fired or was canceled
+	if en.gen != t.gen || en.fn == nil {
+		return // already fired or already canceled
 	}
-	e.heapRemoveAt(int(en.pos))
-	e.release(t.idx)
+	en.fn = nil
+	e.lanes[en.lane].live--
 }
 
 // Active reports whether the event is still pending.
@@ -105,15 +126,42 @@ func (t Timer) When() Time {
 }
 
 // entry is one arena slot. gen increments every time the slot is released to
-// the free list, invalidating outstanding Timer handles. pos is the entry's
-// current index in the heap (maintained by every sift), which is what makes
-// eager cancellation O(log n) instead of a deferred skip at pop time.
+// the free list, invalidating outstanding Timer handles. A nil fn while the
+// entry is still queued marks a lazily canceled event, discarded when it
+// reaches the top of its heap. The (time, sequence) sort key lives in the
+// lane's dense key array; at is duplicated here only for Timer.When and the
+// past-scheduling check.
 type entry struct {
+	at   Time
+	fn   EventFunc
+	gen  uint32
+	lane int32
+}
+
+// hkey is a heap sort key: events fire in (at, seq) order. Keys are stored
+// densely by heap position so sift comparisons stay on hot cache lines.
+type hkey struct {
 	at  Time
 	seq uint64
-	fn  EventFunc
-	gen uint32
-	pos int32
+}
+
+func (k hkey) less(o hkey) bool {
+	return k.at < o.at || (k.at == o.at && k.seq < o.seq)
+}
+
+// headEmpty marks an empty lane in the head index: it compares after every
+// real key (no schedulable event reaches the maximal sequence number).
+var headEmpty = hkey{at: MaxTime, seq: ^uint64(0)}
+
+// laneQ is one lane's event queue and clock. live counts queued events that
+// have not been lazily canceled; the heap may additionally hold dead entries
+// awaiting their pop.
+type laneQ struct {
+	heap  []int32
+	keys  []hkey
+	live  int32
+	now   Time
+	steps uint64
 }
 
 // Engine is the event queue and virtual clock.
@@ -122,11 +170,20 @@ type Engine struct {
 	seq    uint64
 	nsteps uint64
 
-	// arena holds every entry ever allocated; free lists recycled slots;
-	// heap is a 4-ary min-heap of arena indices ordered by (at, seq).
+	// arena holds every entry ever allocated; free lists recycled slots.
+	// Each lane owns a 4-ary min-heap of arena indices ordered by
+	// (at, seq); lane 0 is the whole queue in single-lane mode.
 	arena []entry
 	free  []int32
-	heap  []int32
+	lanes []laneQ
+
+	// nlanes and curLane are the lane multiplex state: At tags entries
+	// with curLane, Step restores it from the entry it pops. Cross-lane
+	// selection reads each lane's keys[0] directly — the batch runner only
+	// re-selects once per burst, so a per-event head mirror would cost more
+	// in push/pop upkeep than the scan it saves.
+	nlanes  int32
+	curLane int32
 
 	// Cooperative interrupt: poll is consulted every pollEvery executed
 	// events; a non-nil error stops the engine (see SetInterrupt).
@@ -138,7 +195,7 @@ type Engine struct {
 
 // New returns an engine with the clock at zero and an empty queue.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{lanes: make([]laneQ, 1), nlanes: 1}
 }
 
 // NewWithCapacity returns an engine whose arena and heap are pre-sized for n
@@ -149,20 +206,22 @@ func NewWithCapacity(n int) *Engine {
 		n = 0
 	}
 	return &Engine{
-		arena: make([]entry, 0, n),
-		free:  make([]int32, 0, n),
-		heap:  make([]int32, 0, n),
+		arena:  make([]entry, 0, n),
+		free:   make([]int32, 0, n),
+		lanes:  []laneQ{{heap: make([]int32, 0, n), keys: make([]hkey, 0, n)}},
+		nlanes: 1,
 	}
 }
 
 // Reset returns the engine to its initial state — clock at zero, empty
-// queue, no interrupt poll — while keeping the arena, free-list, and heap
-// backing arrays for the next run. Every arena slot's generation is bumped,
-// so Timer handles issued before the Reset go permanently inert instead of
-// aliasing events scheduled after it. The free list is rebuilt so slots are
-// handed out in ascending index order, exactly as a fresh engine appends
-// them; since event order depends only on (time, sequence), a reset engine
-// is observationally identical to one returned by New.
+// queues, single-lane mode, no interrupt poll — while keeping the arena,
+// free-list, and heap backing arrays for the next run. Every arena slot's
+// generation is bumped, so Timer handles issued before the Reset go
+// permanently inert instead of aliasing events scheduled after it. The free
+// list is rebuilt so slots are handed out in ascending index order, exactly
+// as a fresh engine appends them; since event order depends only on
+// (time, sequence), a reset engine is observationally identical to one
+// returned by New.
 func (e *Engine) Reset() {
 	for i := range e.arena {
 		en := &e.arena[i]
@@ -173,7 +232,16 @@ func (e *Engine) Reset() {
 	for i := len(e.arena) - 1; i >= 0; i-- {
 		e.free = append(e.free, int32(i))
 	}
-	e.heap = e.heap[:0]
+	for i := range e.lanes {
+		l := &e.lanes[i]
+		l.heap = l.heap[:0]
+		l.keys = l.keys[:0]
+		l.live = 0
+		l.now = 0
+		l.steps = 0
+	}
+	e.nlanes = 1
+	e.curLane = 0
 	e.now = 0
 	e.seq = 0
 	e.nsteps = 0
@@ -183,14 +251,78 @@ func (e *Engine) Reset() {
 	e.interruptErr = nil
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time: the time of the most recently
+// executed event (across all lanes).
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of queued events across all lanes. Lazily
+// canceled events do not count: they can never fire.
+func (e *Engine) Pending() int {
+	n := 0
+	for i := range e.lanes[:e.nlanes] {
+		n += int(e.lanes[i].live)
+	}
+	return n
+}
 
-// Steps returns the number of events executed so far.
+// Steps returns the number of events executed so far (across all lanes).
 func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// SetLanes configures the engine to multiplex b independent lanes; it must
+// be called on a fresh or reset engine, before any events are scheduled.
+// Lane backing arrays from earlier batched runs are retained and reused.
+// b <= 1 leaves the engine in ordinary single-lane mode.
+func (e *Engine) SetLanes(b int) {
+	if e.seq != 0 || e.Pending() != 0 {
+		panic("sim: SetLanes on an engine with scheduled events")
+	}
+	if b < 1 {
+		b = 1
+	}
+	for len(e.lanes) < b {
+		e.lanes = append(e.lanes, laneQ{})
+	}
+	e.nlanes = int32(b)
+	e.curLane = 0
+}
+
+// Lanes returns the configured lane count.
+func (e *Engine) Lanes() int { return int(e.nlanes) }
+
+// SetLane selects the lane that subsequently scheduled events belong to.
+// It is needed only while setting a lane's simulation up; once events run,
+// events scheduled from inside an event body inherit that event's lane.
+func (e *Engine) SetLane(lane int) {
+	if lane < 0 || lane >= int(e.nlanes) {
+		panic("sim: SetLane out of range")
+	}
+	e.curLane = int32(lane)
+}
+
+// StopLane discards every pending event of the given lane (releasing their
+// arena slots and invalidating their timers) so a finished lane's re-arming
+// processes — PU activity toggles never stop on their own — cannot hold the
+// batch loop open. Other lanes are unaffected.
+func (e *Engine) StopLane(lane int) {
+	l := &e.lanes[lane]
+	for _, idx := range l.heap {
+		e.release(idx)
+	}
+	l.heap = l.heap[:0]
+	l.keys = l.keys[:0]
+	l.live = 0
+}
+
+// LaneNow returns the time of the lane's most recently executed event.
+func (e *Engine) LaneNow(lane int) Time { return e.lanes[lane].now }
+
+// LaneSteps returns how many events the lane has executed, matching what
+// Steps would report for the same run on a private engine.
+func (e *Engine) LaneSteps(lane int) uint64 { return e.lanes[lane].steps }
+
+// LanePending returns the number of events queued in the lane, not counting
+// lazily canceled ones.
+func (e *Engine) LanePending(lane int) int { return int(e.lanes[lane].live) }
 
 // SetInterrupt installs a cooperative cancellation poll: fn is consulted
 // every `every` executed events (every <= 0 means every event), and the
@@ -221,7 +353,9 @@ var ErrPast = errors.New("sim: event scheduled in the past")
 var errNilEvent = errors.New("sim: nil event function")
 
 // At schedules fn at absolute virtual time t; t may equal Now (the event
-// fires after all currently queued events at the same time).
+// fires after all currently queued events at the same time). In multi-lane
+// mode the event joins the current lane — the lane of the running event
+// body, or the one selected with SetLane during setup.
 func (e *Engine) At(t Time, fn EventFunc) (Timer, error) {
 	if t < e.now {
 		return Timer{}, ErrPast
@@ -237,12 +371,15 @@ func (e *Engine) At(t Time, fn EventFunc) (Timer, error) {
 		e.arena = append(e.arena, entry{})
 		idx = int32(len(e.arena) - 1)
 	}
+	lane := e.curLane
 	en := &e.arena[idx]
 	en.at = t
-	en.seq = e.seq
 	en.fn = fn
+	en.lane = lane
+	l := &e.lanes[lane]
+	e.heapPush(l, idx, hkey{at: t, seq: e.seq})
+	l.live++
 	e.seq++
-	e.heapPush(idx)
 	return Timer{eng: e, idx: idx, gen: en.gen}, nil
 }
 
@@ -269,13 +406,106 @@ func (e *Engine) release(idx int32) {
 	e.free = append(e.free, idx)
 }
 
-// Step executes the single earliest pending event and returns true, or
-// returns false when the queue is empty. Canceled events are skipped
-// without advancing the step count. When an interrupt poll (SetInterrupt)
-// has fired — now or on an earlier call — Step executes nothing and
-// returns false; distinguish the interrupted case from queue exhaustion
-// via InterruptErr.
+// Step executes the single earliest pending event (by (time, sequence),
+// across all lanes) and returns true, or returns false when the queue is
+// empty. When an interrupt poll (SetInterrupt) has fired — now or on an
+// earlier call — Step executes nothing and returns false; distinguish the
+// interrupted case from queue exhaustion via InterruptErr.
 func (e *Engine) Step() bool {
+	_, ok := e.StepLane()
+	return ok
+}
+
+// StepLane is Step exposing which lane the executed event belonged to
+// (always 0 in single-lane mode). The batch runner uses it to apply
+// per-lane completion checks after each event.
+func (e *Engine) StepLane() (int32, bool) {
+	if e.interruptErr != nil {
+		return -1, false
+	}
+	if e.poll != nil {
+		e.pollCountdown--
+		if e.pollCountdown == 0 {
+			e.pollCountdown = e.pollEvery
+			if err := e.poll(); err != nil {
+				e.interruptErr = err
+				return -1, false
+			}
+		}
+	}
+	// Re-scan after discarding a dead top: the lane's next event may now be
+	// later than another lane's, and StepLane promises global (time, seq)
+	// order over live events.
+	for {
+		var lane int32
+		if e.nlanes == 1 {
+			lane = 0
+			if len(e.lanes[0].heap) == 0 {
+				return -1, false
+			}
+		} else {
+			lane = -1
+			best := headEmpty
+			for i := range e.lanes[:e.nlanes] {
+				if k := e.lanes[i].keys; len(k) > 0 && k[0].less(best) {
+					lane, best = int32(i), k[0]
+				}
+			}
+			if lane < 0 {
+				return -1, false
+			}
+		}
+		l := &e.lanes[lane]
+		idx := e.heapPop(l)
+		en := &e.arena[idx]
+		fn := en.fn
+		at := en.at
+		// Recycle the slot before running the body: the event is no longer
+		// pending, its Timer handles must read inactive, and the body is free
+		// to reuse the slot for the events it schedules.
+		e.release(idx)
+		if fn == nil {
+			continue // lazily canceled; discard and rescan
+		}
+		l.live--
+		e.now = at
+		e.nsteps++
+		l.now = at
+		l.steps++
+		e.curLane = lane
+		fn(at)
+		return lane, true
+	}
+}
+
+// NextLane returns the lane holding the globally earliest pending event, or
+// -1 when every lane's queue is empty (always 0 or -1 in single-lane mode).
+// Together with StepInLane it lets a batch runner schedule lanes in bursts:
+// lanes are independent simulations, so executing a run of one lane's events
+// before re-scanning keeps that lane's state hot in cache without changing
+// any lane's own event order.
+func (e *Engine) NextLane() int32 {
+	if e.nlanes == 1 {
+		if len(e.lanes[0].heap) == 0 {
+			return -1
+		}
+		return 0
+	}
+	lane := int32(-1)
+	best := headEmpty
+	for i := range e.lanes[:e.nlanes] {
+		if k := e.lanes[i].keys; len(k) > 0 && k[0].less(best) {
+			lane, best = int32(i), k[0]
+		}
+	}
+	return lane
+}
+
+// StepInLane executes lane's earliest pending event and returns true, or
+// returns false when that lane's queue is empty or an interrupt poll has
+// fired (distinguish via InterruptErr). It skips the cross-lane selection
+// scan entirely — the caller chose the lane, typically via NextLane.
+func (e *Engine) StepInLane(lane int32) bool {
 	if e.interruptErr != nil {
 		return false
 	}
@@ -289,22 +519,28 @@ func (e *Engine) Step() bool {
 			}
 		}
 	}
-	if len(e.heap) == 0 {
-		return false
+	l := &e.lanes[lane]
+	for {
+		if len(l.heap) == 0 {
+			return false
+		}
+		idx := e.heapPop(l)
+		en := &e.arena[idx]
+		fn := en.fn
+		at := en.at
+		e.release(idx)
+		if fn == nil {
+			continue // lazily canceled; discard and retry within the lane
+		}
+		l.live--
+		e.now = at
+		e.nsteps++
+		l.now = at
+		l.steps++
+		e.curLane = lane
+		fn(at)
+		return true
 	}
-	idx := e.heapPop()
-	en := &e.arena[idx]
-	fn := en.fn
-	at := en.at
-	// Recycle the slot before running the body: the event is no longer
-	// pending, its Timer handles must read inactive, and the body is free
-	// to reuse the slot for the events it schedules. Canceled entries left
-	// the heap eagerly, so fn is never nil here.
-	e.release(idx)
-	e.now = at
-	e.nsteps++
-	fn(e.now)
-	return true
 }
 
 // RunUntil executes events until the queue is exhausted, an interrupt poll
@@ -313,7 +549,7 @@ func (e *Engine) Step() bool {
 // number of events executed.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.nsteps
-	for len(e.heap) > 0 {
+	for {
 		next, ok := e.peek()
 		if !ok {
 			break
@@ -334,57 +570,67 @@ func (e *Engine) Run() uint64 {
 	return e.RunUntil(MaxTime)
 }
 
-// peek returns the fire time of the earliest pending entry without popping.
+// peek returns the fire time of the earliest pending live entry without
+// executing anything. It discards lazily canceled entries sitting on heap
+// tops on the way, so the reported time is one an actual event will fire at.
 func (e *Engine) peek() (Time, bool) {
-	if len(e.heap) == 0 {
+	if e.nlanes == 1 {
+		l := &e.lanes[0]
+		e.dropDead(l)
+		if len(l.keys) == 0 {
+			return 0, false
+		}
+		return l.keys[0].at, true
+	}
+	best := headEmpty
+	found := false
+	for i := range e.lanes[:e.nlanes] {
+		l := &e.lanes[i]
+		e.dropDead(l)
+		if len(l.keys) > 0 && l.keys[0].less(best) {
+			best, found = l.keys[0], true
+		}
+	}
+	if !found {
 		return 0, false
 	}
-	return e.arena[e.heap[0]].at, true
+	return best.at, true
+}
+
+// dropDead pops lazily canceled entries off the lane's heap top, so the
+// lane's keys[0] is the key of an event that will actually fire.
+func (e *Engine) dropDead(l *laneQ) {
+	for len(l.heap) > 0 && e.arena[l.heap[0]].fn == nil {
+		e.release(e.heapPop(l))
+	}
 }
 
 // The heap is 4-ary: parent of i is (i-1)/4, children are 4i+1..4i+4. A
-// wider node halves the tree height against a binary heap, trading cheap
-// comparisons (two loads off the arena) for fewer cache-missing levels —
-// the right trade when the queue holds one timer per node at n in the
-// thousands.
+// wider node halves the tree height against a binary heap, and because the
+// four children's keys are adjacent in the dense key array, one comparison
+// round reads a single cache line — the right trade when the queue holds one
+// timer per node at n in the thousands.
 
-func (e *Engine) heapPush(idx int32) {
-	e.heap = append(e.heap, idx)
-	e.arena[idx].pos = int32(len(e.heap) - 1)
-	e.siftUp(len(e.heap) - 1)
+func (e *Engine) heapPush(l *laneQ, idx int32, k hkey) {
+	l.heap = append(l.heap, idx)
+	l.keys = append(l.keys, k)
+	e.siftUp(l, len(l.heap)-1)
 }
 
-func (e *Engine) heapPop() int32 {
-	h := e.heap
+func (e *Engine) heapPop(l *laneQ) int32 {
+	h := l.heap
 	top := h[0]
 	last := len(h) - 1
 	h[0] = h[last]
-	e.arena[h[0]].pos = 0
-	e.heap = h[:last]
+	l.keys[0] = l.keys[last]
+	l.heap = h[:last]
+	l.keys = l.keys[:last]
 	if last > 0 {
-		e.siftDown(0)
+		e.siftDown(l, 0)
 	}
 	return top
 }
 
-// heapRemoveAt deletes the entry at heap position i, filling the hole with
-// the last element and restoring heap order around it.
-func (e *Engine) heapRemoveAt(i int) {
-	h := e.heap
-	last := len(h) - 1
-	if i != last {
-		h[i] = h[last]
-		e.arena[h[i]].pos = int32(i)
-		e.heap = h[:last]
-		// The moved element may violate order in either direction. After
-		// siftDown, whatever sits at i came up from i's subtree, so it
-		// cannot be smaller than i's parent and siftUp is then a no-op.
-		e.siftDown(i)
-		e.siftUp(i)
-	} else {
-		e.heap = h[:last]
-	}
-}
 
 // Both sifts move a hole instead of swapping: the displaced element's key is
 // loaded once into registers, ancestors/children shift into the hole, and the
@@ -392,54 +638,45 @@ func (e *Engine) heapRemoveAt(i int) {
 // therefore the resulting heap layout — are exactly those of the classic
 // swap-at-every-level formulation.
 
-func (e *Engine) siftUp(i int) {
-	h := e.heap
-	moving := h[i]
-	mAt, mSeq := e.arena[moving].at, e.arena[moving].seq
+func (e *Engine) siftUp(l *laneQ, i int) {
+	h, k := l.heap, l.keys
+	moving, mk := h[i], k[i]
 	for i > 0 {
 		p := (i - 1) / 4
-		pe := &e.arena[h[p]]
-		if !(mAt < pe.at || (mAt == pe.at && mSeq < pe.seq)) {
+		if !mk.less(k[p]) {
 			break
 		}
-		h[i] = h[p]
-		e.arena[h[i]].pos = int32(i)
+		h[i], k[i] = h[p], k[p]
 		i = p
 	}
-	h[i] = moving
-	e.arena[moving].pos = int32(i)
+	h[i], k[i] = moving, mk
 }
 
-func (e *Engine) siftDown(i int) {
-	h := e.heap
+func (e *Engine) siftDown(l *laneQ, i int) {
+	h, k := l.heap, l.keys
 	n := len(h)
-	moving := h[i]
-	mAt, mSeq := e.arena[moving].at, e.arena[moving].seq
+	moving, mk := h[i], k[i]
 	for {
 		first := 4*i + 1
 		if first >= n {
 			break
 		}
 		best := first
-		be := &e.arena[h[first]]
-		bAt, bSeq := be.at, be.seq
+		bk := k[first]
 		end := first + 4
 		if end > n {
 			end = n
 		}
 		for c := first + 1; c < end; c++ {
-			ce := &e.arena[h[c]]
-			if ce.at < bAt || (ce.at == bAt && ce.seq < bSeq) {
-				best, bAt, bSeq = c, ce.at, ce.seq
+			if k[c].less(bk) {
+				best, bk = c, k[c]
 			}
 		}
-		if !(bAt < mAt || (bAt == mAt && bSeq < mSeq)) {
+		if !bk.less(mk) {
 			break
 		}
-		h[i] = h[best]
-		e.arena[h[i]].pos = int32(i)
+		h[i], k[i] = h[best], k[best]
 		i = best
 	}
-	h[i] = moving
-	e.arena[moving].pos = int32(i)
+	h[i], k[i] = moving, mk
 }

@@ -18,6 +18,7 @@ type ExactModel struct {
 	nw      *netmodel.Network
 	tracker *Tracker
 	src     *rng.Source
+	rcvSrc  *rng.Source
 	slot    sim.Time
 
 	active []bool
@@ -46,39 +47,73 @@ func NewExactModel(nw *netmodel.Network, tracker *Tracker, src *rng.Source) *Exa
 		nw:        nw,
 		tracker:   tracker,
 		src:       src.Child("spectrum/exact"),
+		rcvSrc:    src.Child("spectrum/receivers"),
 		slot:      sim.FromDuration(nw.Params.Slot),
 		active:    make([]bool, len(nw.PU)),
 		receivers: make([]geom.Point, len(nw.PU)),
 	}
-	rcv := src.Child("spectrum/receivers")
-	for i, pos := range nw.PU {
-		theta := rcv.Float64() * 2 * math.Pi
-		dist := rcv.Float64() * nw.Params.RadiusPU
+	m.drawReceivers()
+	return m
+}
+
+// RenewExactModel rebuilds prev for a new run, reusing its allocations —
+// the activity masks, receiver points, toggle closures, and both child
+// randomness sources — whenever prev exists and serves the same PU count;
+// otherwise it falls back to NewExactModel. A renewed model is
+// observationally identical to a fresh one.
+func RenewExactModel(prev *ExactModel, nw *netmodel.Network, tracker *Tracker, src *rng.Source) *ExactModel {
+	if prev == nil || len(prev.active) != len(nw.PU) {
+		return NewExactModel(nw, tracker, src)
+	}
+	m := prev
+	m.nw = nw
+	m.tracker = tracker
+	m.src = rng.ReseedChild(m.src, src, "spectrum/exact")
+	m.rcvSrc = rng.ReseedChild(m.rcvSrc, src, "spectrum/receivers")
+	m.slot = sim.FromDuration(nw.Params.Slot)
+	clear(m.active)
+	m.numActive = 0
+	m.eng = nil
+	m.monitor = nil
+	m.busy = busyIntegral{}
+	m.drawReceivers()
+	return m
+}
+
+// drawReceivers samples each PU's synthetic intended receiver from the
+// run's receiver stream (uniform direction, uniform radius within R).
+func (m *ExactModel) drawReceivers() {
+	for i, pos := range m.nw.PU {
+		theta := m.rcvSrc.Float64() * 2 * math.Pi
+		dist := m.rcvSrc.Float64() * m.nw.Params.RadiusPU
 		m.receivers[i] = pos.Add(dist*math.Cos(theta), dist*math.Sin(theta))
 	}
-	return m
 }
 
 // AttachMonitor registers PU transmissions with an RxMonitor so primary
 // interference participates in SIR collision checking. Call before Start.
 func (m *ExactModel) AttachMonitor(mon *RxMonitor) {
 	m.monitor = mon
-	m.monTokens = make([]int64, len(m.nw.PU))
+	if len(m.monTokens) != len(m.nw.PU) {
+		m.monTokens = make([]int64, len(m.nw.PU))
+	}
 }
 
 // Start samples each PU's initial state and schedules its first toggle.
 func (m *ExactModel) Start(eng *sim.Engine) {
 	m.eng = eng
-	m.toggles = make([]sim.EventFunc, len(m.nw.PU))
-	for i := range m.toggles {
-		i := int32(i)
-		m.toggles[i] = func(now sim.Time) {
-			if m.active[i] {
-				m.deactivate(i, now)
-			} else {
-				m.activate(i, now)
+	if len(m.toggles) != len(m.nw.PU) {
+		m.toggles = make([]sim.EventFunc, len(m.nw.PU))
+		for i := range m.toggles {
+			i := int32(i)
+			m.toggles[i] = func(now sim.Time) {
+				if m.active[i] {
+					m.deactivate(i, now)
+				} else {
+					m.activate(i, now)
+				}
+				m.scheduleToggle(i)
 			}
-			m.scheduleToggle(i)
 		}
 	}
 	pt := m.nw.Params.ActiveProb
@@ -126,7 +161,7 @@ func (m *ExactModel) activate(i int32, now sim.Time) {
 	m.active[i] = true
 	m.numActive++
 	if m.monitor != nil {
-		m.monTokens[i] = m.monitor.AddTransmitter(m.nw.PU[i], m.nw.Params.PowerPU)
+		m.monTokens[i] = m.monitor.AddTransmitterNode(int32(m.nw.NumNodes())+i, m.nw.PU[i], m.nw.Params.PowerPU)
 	}
 	m.tracker.AddPUTransmitter(i, now)
 }

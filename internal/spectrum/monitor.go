@@ -20,21 +20,30 @@ import (
 //     runs on uses a naive sensing range, so collisions actually occur and
 //     cost retransmissions.
 //
-// All operations are O(active transmitters) or O(ongoing receptions),
-// keeping the monitor viable inside large sweeps.
+// The active sets are token-ordered slices, not maps: at any instant only a
+// handful of transmissions overlap, so linear scans beat hashing, and
+// iterating transmitters in registration order makes every interference sum
+// a deterministic function of the operation history. With a GainTable
+// attached (see SetGainTable), pathloss between table-indexed points is
+// computed once per pair instead of once per encounter.
 type RxMonitor struct {
 	alpha float64
-	txs   map[int64]monTx
-	rxs   map[int64]*monRx
+	gt    *GainTable
+	txs   []monTx
+	rxs   []monRx
 	next  int64
 }
 
 type monTx struct {
+	token int64
+	node  int32 // GainTable index, -1 when registered by position only
 	pos   geom.Point
 	power float64
 }
 
 type monRx struct {
+	token     int64
+	node      int32 // GainTable index of the receiver, -1 when unknown
 	rxPos     geom.Point
 	signal    float64
 	eta       float64
@@ -45,25 +54,58 @@ type monRx struct {
 
 // NewRxMonitor creates a monitor for path loss exponent alpha.
 func NewRxMonitor(alpha float64) *RxMonitor {
-	return &RxMonitor{
-		alpha: alpha,
-		txs:   make(map[int64]monTx),
-		rxs:   make(map[int64]*monRx),
+	return &RxMonitor{alpha: alpha}
+}
+
+// RenewRxMonitor resets prev for a new run, reusing its slice capacity, or
+// builds a fresh monitor when prev is nil. A renewed monitor is
+// observationally identical to NewRxMonitor(alpha); any gain table must be
+// re-attached (topologies change between runs).
+func RenewRxMonitor(prev *RxMonitor, alpha float64) *RxMonitor {
+	if prev == nil {
+		return NewRxMonitor(alpha)
 	}
+	prev.alpha = alpha
+	prev.gt = nil
+	prev.txs = prev.txs[:0]
+	prev.rxs = prev.rxs[:0]
+	prev.next = 0
+	return prev
+}
+
+// SetGainTable attaches a memoized pathloss table. Node-registered endpoints
+// (AddTransmitterNode, BeginReceptionNode) then resolve their pairwise gains
+// through it; position-only registrations keep computing pathloss directly.
+func (m *RxMonitor) SetGainTable(gt *GainTable) { m.gt = gt }
+
+// gainBetween resolves the tx→rx pathloss gain, through the table when both
+// endpoints carry table indices and a table is attached.
+func (m *RxMonitor) gainBetween(txNode int32, txPos geom.Point, rxNode int32, rxPos geom.Point) float64 {
+	if m.gt != nil && txNode >= 0 && rxNode >= 0 {
+		return m.gt.Gain(txNode, rxNode)
+	}
+	return pathGain(txPos, rxPos, m.alpha)
 }
 
 // AddTransmitter registers an active transmitter and returns its token.
 // Every ongoing reception (except the transmitter's own) accrues its
 // interference immediately.
 func (m *RxMonitor) AddTransmitter(pos geom.Point, power float64) int64 {
+	return m.AddTransmitterNode(-1, pos, power)
+}
+
+// AddTransmitterNode is AddTransmitter for a transmitter at a GainTable
+// index (a node id, or NumNodes()+i for PU i).
+func (m *RxMonitor) AddTransmitterNode(node int32, pos geom.Point, power float64) int64 {
 	m.next++
 	token := m.next
-	m.txs[token] = monTx{pos: pos, power: power}
-	for _, rx := range m.rxs {
+	m.txs = append(m.txs, monTx{token: token, node: node, pos: pos, power: power})
+	for i := range m.rxs {
+		rx := &m.rxs[i]
 		if rx.ownTx == token {
 			continue
 		}
-		rx.interf += receivedPower(pos, power, rx.rxPos, m.alpha)
+		rx.interf += scaledPower(power, m.gainBetween(node, pos, rx.node, rx.rxPos))
 		if !rx.corrupted && rx.signal < rx.eta*rx.interf {
 			rx.corrupted = true
 		}
@@ -74,16 +116,24 @@ func (m *RxMonitor) AddTransmitter(pos geom.Point, power float64) int64 {
 // RemoveTransmitter unregisters a transmitter. Interference subtractions
 // cannot un-corrupt a reception.
 func (m *RxMonitor) RemoveTransmitter(token int64) {
-	tx, ok := m.txs[token]
-	if !ok {
+	ti := -1
+	for i := range m.txs {
+		if m.txs[i].token == token {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
 		return
 	}
-	delete(m.txs, token)
-	for _, rx := range m.rxs {
+	tx := m.txs[ti]
+	m.txs = append(m.txs[:ti], m.txs[ti+1:]...)
+	for i := range m.rxs {
+		rx := &m.rxs[i]
 		if rx.ownTx == token {
 			continue
 		}
-		rx.interf -= receivedPower(tx.pos, tx.power, rx.rxPos, m.alpha)
+		rx.interf -= scaledPower(tx.power, m.gainBetween(tx.node, tx.pos, rx.node, rx.rxPos))
 		if rx.interf < 0 {
 			rx.interf = 0 // floating point dust
 		}
@@ -93,40 +143,51 @@ func (m *RxMonitor) RemoveTransmitter(token int64) {
 // BeginReception registers an ongoing reception: receiver at rxPos decoding
 // the transmitter identified by ownTx (already or about-to-be registered)
 // with the given received-signal parameters and linear SIR threshold eta.
-// Call it BEFORE AddTransmitter for the same transmission so the initial
-// interference sum excludes the transmission's own signal. It returns a
-// reception token.
+// The initial interference sum excludes the transmission identified by
+// ownTx, so it may be called before or after AddTransmitter for the same
+// transmission. It returns a reception token.
 func (m *RxMonitor) BeginReception(rxPos geom.Point, txPos geom.Point, txPower float64, eta float64, ownTx int64) int64 {
+	return m.BeginReceptionNode(-1, rxPos, -1, txPos, txPower, eta, ownTx)
+}
+
+// BeginReceptionNode is BeginReception with both endpoints at GainTable
+// indices: rxNode receives txNode's transmission.
+func (m *RxMonitor) BeginReceptionNode(rxNode int32, rxPos geom.Point, txNode int32, txPos geom.Point, txPower float64, eta float64, ownTx int64) int64 {
 	m.next++
 	token := m.next
-	rx := &monRx{
+	rx := monRx{
+		token:  token,
+		node:   rxNode,
 		rxPos:  rxPos,
-		signal: receivedPower(txPos, txPower, rxPos, m.alpha),
+		signal: scaledPower(txPower, m.gainBetween(txNode, txPos, rxNode, rxPos)),
 		eta:    eta,
 		ownTx:  ownTx,
 	}
-	for t, tx := range m.txs {
-		if t == ownTx {
+	for i := range m.txs {
+		tx := &m.txs[i]
+		if tx.token == ownTx {
 			continue
 		}
-		rx.interf += receivedPower(tx.pos, tx.power, rxPos, m.alpha)
+		rx.interf += scaledPower(tx.power, m.gainBetween(tx.node, tx.pos, rxNode, rxPos))
 	}
 	if rx.signal < rx.eta*rx.interf {
 		rx.corrupted = true
 	}
-	m.rxs[token] = rx
+	m.rxs = append(m.rxs, rx)
 	return token
 }
 
 // EndReception removes the reception and reports whether it survived
 // uncorrupted.
 func (m *RxMonitor) EndReception(token int64) (ok bool) {
-	rx, found := m.rxs[token]
-	if !found {
-		return false
+	for i := range m.rxs {
+		if m.rxs[i].token == token {
+			ok = !m.rxs[i].corrupted
+			m.rxs = append(m.rxs[:i], m.rxs[i+1:]...)
+			return ok
+		}
 	}
-	delete(m.rxs, token)
-	return !rx.corrupted
+	return false
 }
 
 // Ongoing returns the number of ongoing receptions (for tests).

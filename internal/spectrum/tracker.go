@@ -100,17 +100,14 @@ type Tracker struct {
 
 	// lazyPU is the fully filtered primary-user fast path, enabled when both
 	// delivery filters are installed (see FilterTransitions): an indexed PU
-	// registration flips one active flag instead of eagerly folding itself
-	// into every covered node's busy counter, and a node's primary
-	// contribution is summed on demand over its (few-entry) SU→PU row. In
-	// this mode `busy` holds only secondary/blocking contributions.
-	lazyPU   bool
-	puActive []bool
-	// suPUOff/suPUIdx is the SU→PU transpose of puTable in CSR form: row v
-	// lists the primary users whose protection range covers node v. Order
-	// within a row is irrelevant — rows are only ever summed.
-	suPUOff []int32
-	suPUIdx []int32
+	// registration updates a separate per-node cover count instead of
+	// folding itself into the busy counters, so `busy` holds only
+	// secondary/blocking contributions and a node's primary contribution is
+	// one array read. puCover[v] counts the active primary users whose
+	// protection range covers node v, maintained by the same PU-row walks
+	// that deliver the transitions.
+	lazyPU  bool
+	puCover []int32
 	// suTable and puTable are the CSR neighbor tables behind the indexed
 	// fast path, fetched lazily from the tables provider on first use so a
 	// tracker only ever fed arbitrary positions never pays for them.
@@ -176,7 +173,7 @@ func (t *Tracker) Renew(nw *netmodel.Network, puRange, suRange float64, observer
 	t.busyElig = nil
 	t.freeElig = nil
 	t.lazyPU = false
-	t.suPUOff = t.suPUOff[:0]
+	t.puCover = t.puCover[:0]
 	t.suTable = nil
 	t.puTable = nil
 	return nil
@@ -192,7 +189,7 @@ func (t *Tracker) SetTables(tb NeighborTables) {
 	t.tables = tb
 	t.suTable = nil
 	t.puTable = nil
-	t.suPUOff = t.suPUOff[:0]
+	t.puCover = t.puCover[:0]
 }
 
 // FilterPUArrivals narrows PUArrived delivery to nodes that are registered
@@ -228,78 +225,32 @@ func (t *Tracker) FilterTransitions(busyEligible, freeEligible []bool) {
 }
 
 // updateLazyPU recomputes whether the lazy primary-user path is in effect
-// and builds its SU→PU transpose table the first time it turns on (a Renew
-// or SetTables truncates the table to force the rebuild).
+// and sizes its cover-count array the first time it turns on (a Renew or
+// SetTables truncates the array to force the re-zeroing).
 func (t *Tracker) updateLazyPU() {
 	t.lazyPU = t.arrivedTxOnly && t.busyElig != nil && t.freeElig != nil
-	if t.lazyPU && len(t.suPUOff) == 0 {
-		t.buildSUPU()
+	if !t.lazyPU || len(t.puCover) != 0 {
+		return
 	}
-}
-
-// buildSUPU inverts the PU→SU table into per-node rows of covering PUs,
-// reusing the previous build's backing arrays when their capacity fits.
-func (t *Tracker) buildSUPU() {
+	// Every PU is inactive when the filters install (before the simulation
+	// starts), so the cover counts begin at zero.
 	nn := t.nw.NumNodes()
-	np := len(t.nw.PU)
-	if cap(t.puActive) >= np {
-		t.puActive = t.puActive[:np]
-		clear(t.puActive)
+	if cap(t.puCover) >= nn {
+		t.puCover = t.puCover[:nn]
+		clear(t.puCover)
 	} else {
-		t.puActive = make([]bool, np)
+		t.puCover = make([]int32, nn)
 	}
-	off := t.suPUOff
-	if cap(off) >= nn+1 {
-		off = off[:nn+1]
-		clear(off)
-	} else {
-		off = make([]int32, nn+1)
-	}
-	for p := 0; p < np; p++ {
-		for _, v := range t.puRow(int32(p)) {
-			off[v+1]++
-		}
-	}
-	for v := 0; v < nn; v++ {
-		off[v+1] += off[v]
-	}
-	idx := t.suPUIdx
-	if cap(idx) >= int(off[nn]) {
-		idx = idx[:off[nn]]
-	} else {
-		idx = make([]int32, off[nn])
-	}
-	cur := append(t.takeBuf(), off[:nn]...)
-	for p := 0; p < np; p++ {
-		for _, v := range t.puRow(int32(p)) {
-			idx[cur[v]] = int32(p)
-			cur[v]++
-		}
-	}
-	t.putBuf(cur)
-	t.suPUOff = off
-	t.suPUIdx = idx
 }
 
 // puNear reports whether any active primary user covers node (lazy path).
 func (t *Tracker) puNear(node int32) bool {
-	for _, p := range t.suPUIdx[t.suPUOff[node]:t.suPUOff[node+1]] {
-		if t.puActive[p] {
-			return true
-		}
-	}
-	return false
+	return t.puCover[node] > 0
 }
 
 // puCount returns how many active primary users cover node (lazy path).
 func (t *Tracker) puCount(node int32) int32 {
-	var c int32
-	for _, p := range t.suPUIdx[t.suPUOff[node]:t.suPUOff[node+1]] {
-		if t.puActive[p] {
-			c++
-		}
-	}
-	return c
+	return t.puCover[node]
 }
 
 // Busy reports whether node currently senses the spectrum busy.
@@ -545,24 +496,26 @@ func (t *Tracker) RemovePUTransmitter(i int32, now sim.Time) {
 	t.removeNeighbors(t.puRow(i), now, -1)
 }
 
-// addPULazy registers primary user i on the fully filtered fast path. The
-// active flag IS the registration — no per-node counters change — and the
-// walks below only resolve on-demand counts for delivery-eligible nodes.
-// Bit-identical to the eager walk: a skipped node is exactly one whose
-// callback would have returned immediately, and for an eligible node the
-// on-demand total (busy + puCount) equals the counter the eager phase 1
-// would have produced, since SpectrumBusy callbacks never mutate the
-// tracker under the filter contract. Double-registration bookkeeping is the
-// caller's: the PU models strictly alternate add/remove per user.
+// addPULazy registers primary user i on the fully filtered fast path: the
+// walk below bumps each covered node's cover count and skips every delivery
+// the filters declare a no-op. Bit-identical to the eager walk: a skipped
+// node is exactly one whose callback would have returned immediately, and
+// for an eligible node the split total (busy + puCover) equals the counter
+// the eager phase 1 would have produced, since SpectrumBusy callbacks never
+// mutate the tracker under the filter contract. Double-registration
+// bookkeeping is the caller's: the PU models strictly alternate add/remove
+// per user.
 func (t *Tracker) addPULazy(i int32, now sim.Time) {
-	t.puActive[i] = true
 	nbrs := t.puRow(i)
 	be := t.busyElig
 	busy := t.busy
+	cover := t.puCover
 	for _, node := range nbrs {
+		c := cover[node] + 1
+		cover[node] = c
 		// Total count crossed 0→1 iff no secondary contribution and i is
 		// the only active PU covering node.
-		if be[node] && busy[node] == 0 && t.puCount(node) == 1 {
+		if c == 1 && be[node] && busy[node] == 0 {
 			t.observer.SpectrumBusy(node, now)
 		}
 	}
@@ -581,16 +534,18 @@ func (t *Tracker) addPULazy(i int32, now sim.Time) {
 
 // removePULazy reverses addPULazy.
 func (t *Tracker) removePULazy(i int32, now sim.Time) {
-	t.puActive[i] = false
 	nbrs := t.puRow(i)
 	fe := t.freeElig
 	busy := t.busy
+	cover := t.puCover
 	for _, node := range nbrs {
+		c := cover[node] - 1
+		cover[node] = c
 		// Total count returned to zero iff both contributions are now zero.
 		// A reentrant AddSUTransmitter from an earlier resume raises busy
 		// before later nodes are inspected, failing this check exactly like
 		// the eager delivery re-verify would.
-		if fe[node] && busy[node] == 0 && t.puCount(node) == 0 {
+		if c == 0 && fe[node] && busy[node] == 0 {
 			t.observer.SpectrumFree(node, now)
 		}
 	}

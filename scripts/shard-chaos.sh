@@ -8,6 +8,12 @@
 # the uninterrupted unsharded run. Shard workers run with -flush-batch 1 so
 # a kill can lose at most the repetition in flight.
 #
+# The whole gauntlet runs twice: once on the scalar engine and once with
+# -batch 4 (the lane-batched engine, whose journals carry their own grid
+# hash — each round compares against a reference produced with the same
+# flags). A kill therefore also lands mid-block, exercising per-lane
+# checkpoint granularity under real process death.
+#
 # The Go test suite pins the same contract in-process
 # (internal/experiment's equivalence tests, cmd/addc-experiments'
 # TestKillResumeMergeMatchesUnsharded); this script is the end-to-end
@@ -31,21 +37,17 @@ trap 'rm -rf "$workdir"' EXIT
 go build -o "$workdir/addc-experiments" ./cmd/addc-experiments
 bin="$workdir/addc-experiments"
 
-echo "== reference: uninterrupted unsharded run"
-"$bin" "${COMMON[@]}" -checkpoint "$workdir/reference.jsonl" -csv \
-    >"$workdir/reference.csv"
-[ -s "$workdir/reference.jsonl" ] || { echo "reference journaled nothing"; exit 1; }
-
-# run_shard_with_kills <i>: run shard i/K, SIGKILLing it mid-sweep
-# KILL_ROUNDS times (each next round resumes from the journal), then let a
-# final resume run to completion.
+# run_shard_with_kills <mode> <i> <extra flags...>: run shard i/K of the
+# given mode, SIGKILLing it mid-sweep KILL_ROUNDS times (each next round
+# resumes from the journal), then let a final resume run to completion.
 run_shard_with_kills() {
-    local i=$1 round pid journal
-    journal="$workdir/cp.shard-$i-of-$SHARDS.jsonl"
+    local mode=$1 i=$2; shift 2
+    local extra=("$@") round pid journal
+    journal="$workdir/$mode.shard-$i-of-$SHARDS.jsonl"
     for round in $(seq 1 "$KILL_ROUNDS"); do
-        local args=("${COMMON[@]}" -checkpoint "$workdir/cp.jsonl" -shard "$i/$SHARDS")
+        local args=("${COMMON[@]}" "${extra[@]}" -checkpoint "$workdir/$mode.jsonl" -shard "$i/$SHARDS")
         [ "$round" -gt 1 ] && args+=(-resume)
-        "$bin" "${args[@]}" >/dev/null 2>>"$workdir/shard-$i.log" &
+        "$bin" "${args[@]}" >/dev/null 2>>"$workdir/$mode-shard-$i.log" &
         pid=$!
         # Kill as soon as the journal holds one more line than it started
         # with; if the worker finishes first, that is a legal outcome too.
@@ -55,7 +57,7 @@ run_shard_with_kills() {
             if ! kill -0 "$pid" 2>/dev/null; then break; fi
             if [ -f "$journal" ] && [ "$(wc -l <"$journal")" -ge "$want" ]; then
                 if kill -9 "$pid" 2>/dev/null; then
-                    echo "round $round: SIGKILL" >>"$workdir/kills-$i.log"
+                    echo "round $round: SIGKILL" >>"$workdir/kills-$mode-$i.log"
                 fi
                 break
             fi
@@ -64,29 +66,45 @@ run_shard_with_kills() {
         wait "$pid" 2>/dev/null || true
     done
     # Final resume: must complete cleanly.
-    "$bin" "${COMMON[@]}" -checkpoint "$workdir/cp.jsonl" -shard "$i/$SHARDS" -resume \
-        >/dev/null 2>>"$workdir/shard-$i.log" \
-        || { echo "shard $i/$SHARDS failed to resume to completion"; cat "$workdir/shard-$i.log"; exit 1; }
+    "$bin" "${COMMON[@]}" "${extra[@]}" -checkpoint "$workdir/$mode.jsonl" -shard "$i/$SHARDS" -resume \
+        >/dev/null 2>>"$workdir/$mode-shard-$i.log" \
+        || { echo "$mode: shard $i/$SHARDS failed to resume to completion"; cat "$workdir/$mode-shard-$i.log"; exit 1; }
 }
 
-echo "== chaos: $SHARDS shard workers, $KILL_ROUNDS SIGKILL rounds each"
-for i in $(seq 1 "$SHARDS"); do
-    run_shard_with_kills "$i" &
-done
-wait
+# chaos_round <mode> <extra flags...>: reference run, sharded chaos, merge,
+# byte-compare — all under the given extra sweep flags.
+chaos_round() {
+    local mode=$1; shift
+    local extra=("$@")
 
-echo "== merge"
-"$bin" "${COMMON[@]}" -checkpoint "$workdir/cp.jsonl" -merge -csv \
-    >"$workdir/merged.csv" 2>"$workdir/merge.log" \
-    || { echo "merge failed"; cat "$workdir/merge.log"; exit 1; }
+    echo "== $mode: reference (uninterrupted unsharded run)"
+    "$bin" "${COMMON[@]}" "${extra[@]}" -checkpoint "$workdir/$mode-reference.jsonl" -csv \
+        >"$workdir/$mode-reference.csv"
+    [ -s "$workdir/$mode-reference.jsonl" ] || { echo "$mode: reference journaled nothing"; exit 1; }
 
-cmp "$workdir/cp.jsonl" "$workdir/reference.jsonl" \
-    || { echo "FAIL: merged journal differs from uninterrupted unsharded journal"; exit 1; }
-cmp "$workdir/merged.csv" "$workdir/reference.csv" \
-    || { echo "FAIL: merged CSV differs from uninterrupted unsharded CSV"; exit 1; }
+    echo "== $mode: chaos ($SHARDS shard workers, $KILL_ROUNDS SIGKILL rounds each)"
+    local i
+    for i in $(seq 1 "$SHARDS"); do
+        run_shard_with_kills "$mode" "$i" "${extra[@]}" &
+    done
+    wait
+
+    echo "== $mode: merge"
+    "$bin" "${COMMON[@]}" "${extra[@]}" -checkpoint "$workdir/$mode.jsonl" -merge -csv \
+        >"$workdir/$mode-merged.csv" 2>"$workdir/$mode-merge.log" \
+        || { echo "$mode: merge failed"; cat "$workdir/$mode-merge.log"; exit 1; }
+
+    cmp "$workdir/$mode.jsonl" "$workdir/$mode-reference.jsonl" \
+        || { echo "FAIL ($mode): merged journal differs from uninterrupted unsharded journal"; exit 1; }
+    cmp "$workdir/$mode-merged.csv" "$workdir/$mode-reference.csv" \
+        || { echo "FAIL ($mode): merged CSV differs from uninterrupted unsharded CSV"; exit 1; }
+}
+
+chaos_round scalar
+chaos_round batch4 -batch 4
 
 kills=$(cat "$workdir"/kills-*.log 2>/dev/null | wc -l)
-echo "shard-chaos: $kills SIGKILLs landed mid-sweep; merged output byte-identical to the uninterrupted run"
+echo "shard-chaos: $kills SIGKILLs landed mid-sweep; merged output byte-identical to the uninterrupted run in both modes"
 if [ "$kills" -eq 0 ]; then
     echo "shard-chaos: WARNING: every worker finished before its kill; rerun or raise REPS for real chaos"
 fi
