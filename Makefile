@@ -17,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race guard vuln bench bench-diff profile serve-smoke obs-smoke shard-chaos
+.PHONY: check build vet test race guard vuln bench bench-diff bench-parallel profile serve-smoke obs-smoke shard-chaos
 
 check: vet build test
 
@@ -66,6 +66,18 @@ bench:
 bench-diff:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -short -count=3 ./... | $(GO) run ./cmd/addc-benchjson -out '' -baseline BENCH_addc.json
 
+# bench-parallel runs only the multi-core scaling family (scalar and
+# batch16 at 1/2/4/8 cores) and prints the scaling-efficiency table without
+# touching BENCH_addc.json.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepParallel' -benchtime 1x -benchmem -count=3 . | $(GO) run ./cmd/addc-benchjson -out ''
+
+# profile captures cpu+mem profiles of the single-run fast path, and
+# mutex+block profiles of the parallel sweep at 4 workers — the contention
+# evidence DESIGN.md §9.3 is written from. Inspect with:
+#   go tool pprof addcrn.test cpu.prof
+#   go tool pprof addcrn.test mutex.prof   (or block.prof)
 profile:
 	$(GO) test -run '^$$' -bench 'BenchmarkCollectBare$$' -benchtime 100x -cpuprofile cpu.prof -memprofile mem.prof -o addcrn.test .
-	@echo "wrote cpu.prof, mem.prof, addcrn.test; inspect with: go tool pprof addcrn.test cpu.prof"
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepParallel/scalar-c4$$' -benchtime 10x -mutexprofile mutex.prof -blockprofile block.prof -o addcrn.test .
+	@echo "wrote cpu.prof, mem.prof, mutex.prof, block.prof, addcrn.test; inspect with: go tool pprof addcrn.test cpu.prof"

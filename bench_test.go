@@ -10,6 +10,7 @@ package addcrn
 // tables.
 
 import (
+	"fmt"
 	"math"
 	"path/filepath"
 	"runtime"
@@ -534,6 +535,36 @@ func BenchmarkSweepSmallGridBatchedB4(b *testing.B) { benchSweepBatched(b, 4) }
 // BenchmarkSweepSmallGridBatchedB16 is the wide variant; the perf gate for
 // the lane engine is ns/op at most 1/1.5 of the B1 baseline.
 func BenchmarkSweepSmallGridBatchedB16(b *testing.B) { benchSweepBatched(b, 16) }
+
+// BenchmarkSweepParallel measures the sweep engine's multi-core scaling on
+// the 200-pair small grid: the same configuration at GOMAXPROCS ∈ {1,2,4,8}
+// with Workers matched, for the scalar path and the 16-lane batched path.
+// Speedup(cN) = ns/op(c1) / ns/op(cN) of the same family; addc-benchjson
+// derives the scaling-efficiency table from these entries and gates the
+// 4-core speedup. Every entry reports a "cpus" metric (the machine's core
+// count) so the gate self-disables on hardware that cannot physically show
+// parallel speedup — a 1-core CI box runs all configs correctly but
+// measures only scheduling overhead above c1.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, fam := range []struct {
+		name  string
+		batch int
+	}{
+		{"scalar", 1},
+		{"batch16", 16},
+	} {
+		for _, cores := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s-c%d", fam.name, cores), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(cores))
+				benchSweepRun(b, func(s *experiment.Sweep) {
+					s.Workers = cores
+					s.Batch = fam.batch
+				})
+				b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+			})
+		}
+	}
+}
 
 // BenchmarkSweepFig6cFull runs the entire Fig. 6c sweep (all x values, 2
 // repetitions) per iteration — the cost of one full figure regeneration.

@@ -41,12 +41,18 @@ func main() {
 	gateFloor := flag.Float64("gate-floor", 1e6, "only gate benchmarks whose base ns/op is at least this (short runs are timer noise at -benchtime 1x)")
 	maxAllocsRegress := flag.Float64("max-allocs-regress", 0.30, "fail when allocs/op regresses by more than this fraction of -baseline")
 	allocsFloor := flag.Float64("allocs-gate-floor", 100, "only gate allocs/op when the base count is at least this (single-digit counts quantize)")
+	minScaling := flag.Float64("min-scaling", 2.5, "fail when BenchmarkSweepParallel's speedup at -scaling-cores falls below this (with -baseline)")
+	scalingCores := flag.Int("scaling-cores", 4, "worker count the parallel-scaling gate checks")
+	scalingFloor := flag.Float64("scaling-floor", 5e7, "only gate scaling when the 1-core ns/op is at least this (tiny grids measure scheduling, not work)")
 	flag.Parse()
 	gates := gateConfig{
 		maxRegress:       *maxRegress,
 		gateFloor:        *gateFloor,
 		maxAllocsRegress: *maxAllocsRegress,
 		allocsFloor:      *allocsFloor,
+		minScaling:       *minScaling,
+		scalingCores:     *scalingCores,
+		scalingFloor:     *scalingFloor,
 	}
 	if err := run(os.Stdin, os.Stdout, *out, *baseline, gates); err != nil {
 		fmt.Fprintln(os.Stderr, "addc-benchjson:", err)
@@ -62,6 +68,9 @@ type gateConfig struct {
 	gateFloor        float64
 	maxAllocsRegress float64
 	allocsFloor      float64
+	minScaling       float64
+	scalingCores     int
+	scalingFloor     float64
 }
 
 func run(r io.Reader, echo io.Writer, outPath, baselinePath string, gates gateConfig) error {
@@ -71,6 +80,10 @@ func run(r io.Reader, echo io.Writer, outPath, baselinePath string, gates gateCo
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	scaling := augmentScaling(results)
+	if len(scaling) > 0 {
+		printScaling(echo, scaling)
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(results, "", "  ")
@@ -87,9 +100,159 @@ func run(r io.Reader, echo io.Writer, outPath, baselinePath string, gates gateCo
 		if err != nil {
 			return err
 		}
+		if err := scalingGate(echo, scaling, gates); err != nil {
+			return err
+		}
 		return diff(echo, base, results, gates)
 	}
 	return nil
+}
+
+// parallelPrefix is the benchmark family the scaling analysis derives from:
+// sub-benchmarks named <family>-c<cores>, every core count of one family
+// running the identical sweep configuration.
+const parallelPrefix = "BenchmarkSweepParallel/"
+
+// scalePoint is one (family, core count) measurement of the parallel family.
+type scalePoint struct {
+	name  string // full benchmark name, for metric injection
+	cores int
+	ns    float64
+	cpus  float64 // machine core count the benchmark self-reported
+}
+
+// augmentScaling derives speedup and scaling efficiency for every
+// BenchmarkSweepParallel family present and injects them as metrics on the
+// per-core-count entries (so BENCH_addc.json records them), returning the
+// families keyed by name with points sorted by core count. Speedup is
+// ns/op(c1) / ns/op(cN) within a family; efficiency divides by N.
+func augmentScaling(results map[string]BenchResult) map[string][]scalePoint {
+	fams := make(map[string][]scalePoint)
+	for name, r := range results {
+		rest, ok := strings.CutPrefix(name, parallelPrefix)
+		if !ok {
+			continue
+		}
+		i := strings.LastIndex(rest, "-c")
+		if i < 0 {
+			continue
+		}
+		cores, err := strconv.Atoi(rest[i+2:])
+		if err != nil || cores < 1 {
+			continue
+		}
+		fams[rest[:i]] = append(fams[rest[:i]], scalePoint{
+			name:  name,
+			cores: cores,
+			ns:    r.Metrics["ns/op"],
+			cpus:  r.Metrics["cpus"],
+		})
+	}
+	for fam, pts := range fams {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].cores < pts[j].cores })
+		fams[fam] = pts
+		var base float64
+		for _, p := range pts {
+			if p.cores == 1 {
+				base = p.ns
+			}
+		}
+		if base <= 0 {
+			continue
+		}
+		for _, p := range pts {
+			if p.ns <= 0 {
+				continue
+			}
+			speedup := base / p.ns
+			results[p.name].Metrics["speedup"] = speedup
+			results[p.name].Metrics["efficiency"] = speedup / float64(p.cores)
+		}
+	}
+	return fams
+}
+
+// printScaling renders the scaling-efficiency table (cores vs speedup per
+// family) that EXPERIMENTS.md's parallel-scaling section is generated from.
+func printScaling(w io.Writer, fams map[string][]scalePoint) {
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%-10s %6s %14s %9s %11s\n", "family", "cores", "ns/op", "speedup", "efficiency")
+	for _, name := range names {
+		var base float64
+		for _, p := range fams[name] {
+			if p.cores == 1 {
+				base = p.ns
+			}
+		}
+		for _, p := range fams[name] {
+			if base > 0 && p.ns > 0 {
+				s := base / p.ns
+				fmt.Fprintf(w, "%-10s %6d %14.0f %8.2fx %10.1f%%\n",
+					name, p.cores, p.ns, s, 100*s/float64(p.cores))
+			} else {
+				fmt.Fprintf(w, "%-10s %6d %14.0f %9s %11s\n", name, p.cores, p.ns, "-", "-")
+			}
+		}
+	}
+}
+
+// scalingGate enforces the parallel-efficiency floor: every family measured
+// at both 1 and gates.scalingCores cores must show at least gates.minScaling
+// speedup. Two documented floors keep the gate honest instead of flaky:
+// it only arms when the benchmark self-reports at least scalingCores machine
+// CPUs (a smaller box physically cannot exhibit the speedup — its cN runs
+// time-slice one core and measure scheduling overhead), and only when the
+// 1-core run is at least scalingFloor ns/op (a grid that completes in
+// milliseconds is dominated by per-sweep fixed costs, and its ratio flaps).
+func scalingGate(w io.Writer, fams map[string][]scalePoint, gates gateConfig) error {
+	var failed []string
+	for _, name := range sortedKeys(fams) {
+		var c1, cn *scalePoint
+		for i := range fams[name] {
+			p := &fams[name][i]
+			switch p.cores {
+			case 1:
+				c1 = p
+			case gates.scalingCores:
+				cn = p
+			}
+		}
+		if c1 == nil || cn == nil || c1.ns <= 0 || cn.ns <= 0 {
+			continue
+		}
+		if cn.cpus > 0 && cn.cpus < float64(gates.scalingCores) {
+			fmt.Fprintf(w, "scaling gate: %s ungated (machine has %.0f CPUs, gate needs %d)\n",
+				name, cn.cpus, gates.scalingCores)
+			continue
+		}
+		if c1.ns < gates.scalingFloor {
+			fmt.Fprintf(w, "scaling gate: %s ungated (1-core run %.0f ns/op is below the %.0f floor)\n",
+				name, c1.ns, gates.scalingFloor)
+			continue
+		}
+		speedup := c1.ns / cn.ns
+		if speedup < gates.minScaling {
+			failed = append(failed, fmt.Sprintf("%s (%.2fx at %d cores, need %.2fx)",
+				name, speedup, gates.scalingCores, gates.minScaling))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("parallel scaling below gate: %s", strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+func sortedKeys(m map[string][]scalePoint) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func loadBaseline(path string) (map[string]BenchResult, error) {

@@ -146,6 +146,92 @@ func TestDiffGateFloor(t *testing.T) {
 	}
 }
 
+// parallelBench builds one BenchmarkSweepParallel entry as parse would.
+func parallelBench(ns, cpus float64) BenchResult {
+	return BenchResult{Iterations: 1, Metrics: map[string]float64{"ns/op": ns, "cpus": cpus}}
+}
+
+// scalingGates builds a gateConfig with only the scaling gate armed.
+func scalingGates(min float64, cores int, floor float64) gateConfig {
+	return gateConfig{minScaling: min, scalingCores: cores, scalingFloor: floor}
+}
+
+func TestAugmentScalingInjectsEfficiency(t *testing.T) {
+	results := map[string]BenchResult{
+		"BenchmarkSweepParallel/scalar-c1": parallelBench(4e8, 8),
+		"BenchmarkSweepParallel/scalar-c4": parallelBench(1.25e8, 8), // 3.2x
+		"BenchmarkSweepParallel/scalar-c8": parallelBench(1e8, 8),    // 4.0x
+		"BenchmarkCollectBare":             bench(1000),              // not part of the family
+	}
+	fams := augmentScaling(results)
+	pts, ok := fams["scalar"]
+	if !ok || len(pts) != 3 {
+		t.Fatalf("families = %v, want scalar with 3 points", fams)
+	}
+	if got := results["BenchmarkSweepParallel/scalar-c4"].Metrics["speedup"]; got != 3.2 {
+		t.Errorf("c4 speedup = %v, want 3.2", got)
+	}
+	if got := results["BenchmarkSweepParallel/scalar-c8"].Metrics["efficiency"]; got != 0.5 {
+		t.Errorf("c8 efficiency = %v, want 0.5", got)
+	}
+	if _, polluted := results["BenchmarkCollectBare"].Metrics["speedup"]; polluted {
+		t.Error("non-family benchmark gained a speedup metric")
+	}
+	var out bytes.Buffer
+	printScaling(&out, fams)
+	for _, want := range []string{"scalar", "3.20x", "80.0%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("scaling table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestScalingGate(t *testing.T) {
+	ok4x := map[string][]scalePoint{"scalar": {
+		{name: "c1", cores: 1, ns: 4e8, cpus: 8},
+		{name: "c4", cores: 4, ns: 1e8, cpus: 8},
+	}}
+	if err := scalingGate(io.Discard, ok4x, scalingGates(2.5, 4, 5e7)); err != nil {
+		t.Errorf("4x speedup failed a 2.5x gate: %v", err)
+	}
+	flat := map[string][]scalePoint{"scalar": {
+		{name: "c1", cores: 1, ns: 4e8, cpus: 8},
+		{name: "c4", cores: 4, ns: 3e8, cpus: 8}, // 1.33x
+	}}
+	err := scalingGate(io.Discard, flat, scalingGates(2.5, 4, 5e7))
+	if err == nil || !strings.Contains(err.Error(), "scalar") {
+		t.Errorf("1.33x speedup passed a 2.5x gate: %v", err)
+	}
+}
+
+func TestScalingGateFloors(t *testing.T) {
+	// A machine with fewer CPUs than the gated core count cannot show the
+	// speedup; the gate must disarm and say so.
+	small := map[string][]scalePoint{"scalar": {
+		{name: "c1", cores: 1, ns: 4e8, cpus: 1},
+		{name: "c4", cores: 4, ns: 4.2e8, cpus: 1},
+	}}
+	var out bytes.Buffer
+	if err := scalingGate(&out, small, scalingGates(2.5, 4, 5e7)); err != nil {
+		t.Errorf("1-CPU machine tripped the scaling gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "ungated") {
+		t.Errorf("CPU floor not reported:\n%s", out.String())
+	}
+	// A grid below the ns/op floor measures fixed costs, not scaling.
+	tiny := map[string][]scalePoint{"scalar": {
+		{name: "c1", cores: 1, ns: 1e6, cpus: 8},
+		{name: "c4", cores: 4, ns: 9e5, cpus: 8},
+	}}
+	out.Reset()
+	if err := scalingGate(&out, tiny, scalingGates(2.5, 4, 5e7)); err != nil {
+		t.Errorf("sub-floor grid tripped the scaling gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "ungated") {
+		t.Errorf("ns/op floor not reported:\n%s", out.String())
+	}
+}
+
 func TestDiffAllocsGate(t *testing.T) {
 	base := map[string]BenchResult{
 		"BenchmarkA": benchAllocs(5000000, 10000),

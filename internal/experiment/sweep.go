@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"addcrn/internal/cds"
@@ -359,11 +360,7 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 	if batch <= 1 {
 		batch = 1
 	}
-	type job struct {
-		xi   int
-		reps []int
-	}
-	var pending []job
+	var pending []sweepJob
 	if !s.ReplayOnly {
 		for xi := range s.Xs {
 			for b0 := 0; b0 < reps; b0 += batch {
@@ -374,10 +371,13 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 					}
 				}
 				if len(block) > 0 {
-					pending = append(pending, job{xi: xi, reps: block})
+					pending = append(pending, sweepJob{xi: xi, reps: block})
 				}
 			}
 		}
+	}
+	if workers > len(pending) && len(pending) > 0 {
+		workers = len(pending)
 	}
 
 	// One topology cache serves the whole pool; each worker owns a
@@ -387,8 +387,32 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 	if cache == nil {
 		cache = newTopoCache()
 	}
-	jobs := make(chan job)
-	results := make(chan []runOutcome)
+
+	// The committer is the only cross-worker synchronization point: workers
+	// buffer completed outcomes locally and drain them under its lock at
+	// flush boundaries (see committer). Work distribution itself is an
+	// atomic claim over contiguous chunks of the pending slice — no channel
+	// handshake per pair, no feeder goroutine, no aggregator to stall on.
+	cm := &committer{
+		sweep:     s,
+		grid:      grid,
+		reps:      reps,
+		jr:        jr,
+		total:     len(s.Xs) * reps,
+		jobID:     trace.JobID(ctx),
+		preDone:   make([]bool, len(s.Xs)*reps),
+		claimSize: claimChunk(len(pending), workers),
+	}
+	for xi := range grid {
+		for rep := 0; rep < reps; rep++ {
+			if grid[xi][rep] != nil {
+				// Replayed from the journal: already in jr's entry list, so
+				// the frontier must pass over it without re-adding.
+				cm.preDone[xi*reps+rep] = true
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -406,87 +430,12 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 				}
 				env.reg = metrics.NewRegistry()
 			}
-			for j := range jobs {
-				if cause := ctx.Err(); cause != nil {
-					// Drain without running: mark the pairs canceled so
-					// they are neither summarized nor journaled.
-					for _, rep := range j.reps {
-						results <- []runOutcome{
-							{xi: j.xi, rep: rep, err: cause, canceled: true},
-							{xi: j.xi, rep: rep, coolest: true, err: cause, canceled: true},
-						}
-					}
-					continue
-				}
-				if batch == 1 {
-					results <- s.runPair(ctx, j.xi, j.reps[0], metric, env)
-					continue
-				}
-				for _, outs := range s.runBlock(ctx, j.xi, j.reps, batch, metric, env) {
-					results <- outs
-				}
-			}
+			s.runWorker(ctx, cm, pending, batch, metric, env)
 		}()
 	}
-	go func() {
-		defer func() {
-			close(jobs)
-			wg.Wait()
-			close(results)
-		}()
-		for _, j := range pending {
-			select {
-			case jobs <- j:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
+	wg.Wait()
 
-	// flushSpan reports a journal persistence event to the span sink. It
-	// runs after the flush decision is made, so it can only observe — never
-	// influence — checkpoint contents or timing.
-	jobID := trace.JobID(ctx)
-	flushSpan := func(before int) {
-		if s.Spans == nil || jr.persisted <= before {
-			return
-		}
-		s.Spans.Emit(trace.SpanEvent{
-			Job:    jobID,
-			Event:  trace.SpanCheckpointFlush,
-			Detail: fmt.Sprintf("persisted %d entries (%d total)", jr.persisted-before, jr.persisted),
-		})
-	}
-
-	var flushErr error
-	for outs := range results {
-		if len(outs) == 0 {
-			continue
-		}
-		xi, rep := outs[0].xi, outs[0].rep
-		grid[xi][rep] = outs
-		if jr == nil {
-			continue
-		}
-		journalable := true
-		for _, o := range outs {
-			if o.canceled {
-				journalable = false
-				break
-			}
-		}
-		if !journalable {
-			continue
-		}
-		for _, o := range outs {
-			jr.Add(o.entry(s.ID))
-		}
-		before := jr.persisted
-		if err := jr.MaybeFlush(s.flushBatch(), s.flushInterval()); err != nil && flushErr == nil {
-			flushErr = err
-		}
-		flushSpan(before)
-	}
+	flushErr := cm.flushErr
 	if jr != nil {
 		// Final durability barrier: everything still pending is flushed and
 		// the journal fsynced, once, instead of a rename per repetition.
@@ -494,7 +443,7 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		if err := jr.Close(); err != nil && flushErr == nil {
 			flushErr = err
 		}
-		flushSpan(before)
+		cm.flushSpan(before)
 	}
 
 	res := &SweepResult{Sweep: s, Resumed: resumed}
@@ -550,7 +499,7 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 	if flushErr != nil {
 		return res, fmt.Errorf("experiment: sweep %q checkpoint: %w", s.ID, flushErr)
 	}
-	if cause := ctx.Err(); cause != nil {
+	if cause := ctxErr(ctx); cause != nil {
 		if jr != nil {
 			return res, fmt.Errorf("experiment: sweep %q interrupted (resume from %s): %w", s.ID, jr.Path(), cause)
 		}
@@ -562,6 +511,182 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		return nil, fmt.Errorf("experiment: sweep %q produced no results: %w", s.ID, firstErr)
 	}
 	return res, nil
+}
+
+// sweepJob is one block of pending repetitions of one grid point.
+type sweepJob struct {
+	xi   int
+	reps []int
+}
+
+// claimChunk sizes the contiguous block of jobs a worker claims per atomic
+// fetch-add: large enough that claiming is a rounding error (a handful of
+// atomic ops per worker for a whole sweep), small enough that a straggler
+// point cannot leave the tail of the grid pinned to one worker. Pending jobs
+// are in grid order, so a chunk is a contiguous run of (x, rep) blocks —
+// block-granular distribution aligned with the batch layer's aligned-block
+// seed derivation.
+func claimChunk(pending, workers int) int {
+	if workers <= 0 {
+		return 1
+	}
+	chunk := pending / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// runWorker is one pool worker's life: claim contiguous chunks of the
+// pending slice until none remain, execute each job, and drain completed
+// outcomes into the committer at flush boundaries. After cancellation it
+// keeps claiming, marking every remaining pair canceled (cheap: no
+// simulation runs) so the summary's bookkeeping sees the whole grid.
+func (s *Sweep) runWorker(ctx context.Context, cm *committer, pending []sweepJob, batch int, metric coolest.Metric, env *runEnv) {
+	var buf [][]runOutcome
+	lastDrain := time.Now()
+	drain := func() {
+		cm.commit(buf)
+		buf = buf[:0]
+		lastDrain = time.Now()
+	}
+	defer drain()
+	for {
+		start := int(cm.next.Add(int64(cm.claimSize))) - cm.claimSize
+		if start >= len(pending) {
+			return
+		}
+		end := start + cm.claimSize
+		if end > len(pending) {
+			end = len(pending)
+		}
+		for _, j := range pending[start:end] {
+			if cause := ctxErr(ctx); cause != nil {
+				// Mark without running: canceled pairs are neither
+				// summarized nor journaled.
+				for _, rep := range j.reps {
+					buf = append(buf, []runOutcome{
+						{xi: j.xi, rep: rep, err: cause, canceled: true},
+						{xi: j.xi, rep: rep, coolest: true, err: cause, canceled: true},
+					})
+				}
+				continue
+			}
+			if batch == 1 {
+				buf = append(buf, s.runPair(ctx, j.xi, j.reps[0], metric, env))
+			} else {
+				buf = append(buf, s.runBlock(ctx, j.xi, j.reps, batch, metric, env)...)
+			}
+			if cm.drainDue(len(buf), lastDrain) {
+				drain()
+			}
+		}
+	}
+}
+
+// committer aggregates worker results. Workers buffer completed outcomes
+// locally and drain them here at flush boundaries, so the lock is taken a
+// handful of times per flush batch rather than once per pair — the
+// steady-state hot path (the simulations themselves) holds no shared mutex.
+//
+// Journal entries are committed through an in-order frontier over the
+// flattened grid: a pair's entries are appended only once every owned pair
+// before it has settled. Entry order is therefore a pure function of the
+// grid — byte-identical for any Workers/Batch combination, and identical to
+// the order a single worker produces (which is what every release since
+// checkpointing shipped has written). The cost is bounded staleness: a pair
+// that completes out of order is journaled when the gap closes, and a crash
+// loses at most the out-of-order tail plus the unflushed batch — the resume
+// path simply reruns those pairs.
+type committer struct {
+	next atomic.Int64 // claim cursor over the pending slice (units: jobs)
+
+	sweep     *Sweep
+	grid      [][][]runOutcome
+	reps      int
+	jr        *Journal
+	total     int    // flattened grid size: len(Xs) * reps
+	jobID     string // span attribution, minted at admission
+	preDone   []bool // pairs already journaled by the resume path
+	claimSize int
+
+	mu       sync.Mutex
+	frontier int // first flattened index not yet passed to the journal
+	flushErr error
+}
+
+// drainDue reports whether a worker's local buffer should drain now: always
+// at the journal's flush-batch boundary (counted in entries, two per pair)
+// or flush interval, and never before the end of the sweep when there is no
+// journal — the grid is the only consumer then, and it is read after the
+// pool joins.
+func (c *committer) drainDue(buffered int, lastDrain time.Time) bool {
+	if c.jr == nil {
+		return false
+	}
+	return 2*buffered >= c.sweep.flushBatch() || time.Since(lastDrain) >= c.sweep.flushInterval()
+}
+
+// commit stores a batch of completed pair outcomes into the grid, advances
+// the journal frontier, and applies the journal flush policy.
+func (c *committer) commit(groups [][]runOutcome) {
+	if len(groups) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, outs := range groups {
+		if len(outs) == 0 {
+			continue
+		}
+		c.grid[outs[0].xi][outs[0].rep] = outs
+	}
+	if c.jr == nil {
+		return
+	}
+	for c.frontier < c.total {
+		xi, rep := c.frontier/c.reps, c.frontier%c.reps
+		if c.preDone[c.frontier] || !c.sweep.Shard.owns(xi, rep, c.reps) {
+			c.frontier++
+			continue
+		}
+		outs := c.grid[xi][rep]
+		if outs == nil {
+			break
+		}
+		journalable := true
+		for _, o := range outs {
+			if o.canceled {
+				journalable = false
+				break
+			}
+		}
+		if journalable {
+			for _, o := range outs {
+				c.jr.Add(o.entry(c.sweep.ID))
+			}
+		}
+		c.frontier++
+	}
+	before := c.jr.persisted
+	if err := c.jr.MaybeFlush(c.sweep.flushBatch(), c.sweep.flushInterval()); err != nil && c.flushErr == nil {
+		c.flushErr = err
+	}
+	c.flushSpan(before)
+}
+
+// flushSpan reports a journal persistence event to the span sink. It runs
+// after the flush decision is made, so it can only observe — never
+// influence — checkpoint contents or timing.
+func (c *committer) flushSpan(before int) {
+	if c.sweep.Spans == nil || c.jr.persisted <= before {
+		return
+	}
+	c.sweep.Spans.Emit(trace.SpanEvent{
+		Job:    c.jobID,
+		Event:  trace.SpanCheckpointFlush,
+		Detail: fmt.Sprintf("persisted %d entries (%d total)", c.jr.persisted-before, c.jr.persisted),
+	})
 }
 
 // loadCheckpoint prepares the journal per the Checkpoint/Resume settings and
@@ -758,7 +883,9 @@ func (s *Sweep) runOne(ctx context.Context, xi, rep, attempt int, metric coolest
 	if attempt > 0 {
 		label += fmt.Sprintf("/attempt%d", attempt)
 	}
-	seed := rng.New(s.Seed).ChildN(label, rep).Uint64()
+	// Bit-identical to rng.New(s.Seed).ChildN(label, rep).Uint64(), read off
+	// the memoized seed states instead of two math/rand seeding walks.
+	seed := sweepSeeds.FirstUint64(rng.ChildSeedN(s.Seed, label, rep))
 
 	fail := func(err error) []runOutcome {
 		canceled := isCanceled(err)
@@ -1083,6 +1210,25 @@ func (s *Sweep) collectLanes(ctx context.Context, nw *netmodel.Network, parent [
 		out[i] = core.LaneResult{Result: r, Err: err}
 	}
 	return out, nil
+}
+
+// ctxErr reports ctx's cancellation state, treating an expired deadline as
+// exceeded even before the runtime has delivered the timer. A deadline
+// context's Err() stays nil until its timer goroutine actually fires, and on
+// a saturated box that firing can lag the deadline by a full scheduling
+// quantum — long enough for a CPU-bound sweep that yields at job boundaries
+// (not per event, as the old channel-handshake engine incidentally did) to
+// blow straight through a short budget and report clean completion. Checking
+// the deadline against the wall clock keeps "the job overran its budget"
+// an invariant of the budget, not of timer delivery.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // isCanceled reports whether err is a context cancellation surfaced by the

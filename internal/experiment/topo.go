@@ -21,6 +21,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"addcrn/internal/cds"
 	"addcrn/internal/coolest"
@@ -52,10 +53,13 @@ func topoKeyOf(p netmodel.Params, seed uint64) topoKey {
 }
 
 // Topology is one memoized deployment plus the immutable artifacts derived
-// from it. All exported fields are read-only once built; the lazily grown
-// table caches are mutex-guarded so worker goroutines can share one
-// Topology. It implements spectrum.NeighborTables, memoizing one CSR build
-// per sensing radius.
+// from it. All exported fields are read-only once built. The lazily grown
+// table caches are published as immutable snapshots behind an atomic
+// pointer: a worker pool sharing one Topology reads them lock-free — the
+// steady state of a sweep (every table already built) holds no mutex at all
+// — while the rare build of a new table clones the snapshot under t.mu and
+// publishes the extended copy. It implements spectrum.NeighborTables,
+// memoizing one CSR build per sensing radius.
 type Topology struct {
 	NW    *netmodel.Network
 	Adj   graphx.Adjacency
@@ -68,10 +72,43 @@ type Topology struct {
 	// build, and only ever called with t.mu held.
 	onGrow func(delta int64)
 
-	mu       sync.Mutex
-	suTables map[float64]*netmodel.CSRTable
-	puTables map[float64]*netmodel.CSRTable
-	coolest  map[coolestKey][]int32
+	// tables is the current immutable snapshot of every lazily built
+	// artifact; nil until the first build. Readers load it atomically and
+	// never see a map under mutation. t.mu serializes writers only.
+	tables atomic.Pointer[topoTables]
+	mu     sync.Mutex
+}
+
+// topoTables is one immutable snapshot of a Topology's lazily built
+// artifacts. A snapshot is never mutated after publication; extending any
+// map means cloning it into a fresh snapshot.
+type topoTables struct {
+	su      map[float64]*netmodel.CSRTable
+	pu      map[float64]*netmodel.CSRTable
+	coolest map[coolestKey][]int32
+}
+
+// clone returns a mutable deep copy of the snapshot's map headers (the
+// referenced tables themselves are immutable and shared). A nil receiver
+// clones to an empty snapshot.
+func (tt *topoTables) clone() *topoTables {
+	next := &topoTables{
+		su:      make(map[float64]*netmodel.CSRTable),
+		pu:      make(map[float64]*netmodel.CSRTable),
+		coolest: make(map[coolestKey][]int32),
+	}
+	if tt != nil {
+		for k, v := range tt.su {
+			next.su[k] = v
+		}
+		for k, v := range tt.pu {
+			next.pu[k] = v
+		}
+		for k, v := range tt.coolest {
+			next.coolest[k] = v
+		}
+	}
+	return next
 }
 
 // coolestKey identifies one Coolest routing tree: the spectrum temperatures
@@ -108,65 +145,89 @@ func BuildTopology(params netmodel.Params, seed uint64) (*Topology, error) {
 }
 
 // SUNeighborTable implements spectrum.NeighborTables with one build per
-// radius.
+// radius. Hits are lock-free snapshot reads.
 func (t *Topology) SUNeighborTable(radius float64) (*netmodel.CSRTable, error) {
+	if tt := t.tables.Load(); tt != nil {
+		if tab, ok := tt.su[radius]; ok {
+			return tab, nil
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if tab, ok := t.suTables[radius]; ok {
-		return tab, nil
+	// Double-check under the writer lock: a racing builder may have
+	// published the table while we waited.
+	tt := t.tables.Load()
+	if tt != nil {
+		if tab, ok := tt.su[radius]; ok {
+			return tab, nil
+		}
 	}
 	tab, err := t.NW.SUNeighborTable(radius)
 	if err != nil {
 		return nil, err
 	}
-	if t.suTables == nil {
-		t.suTables = make(map[float64]*netmodel.CSRTable)
-	}
-	t.suTables[radius] = tab
+	next := tt.clone()
+	next.su[radius] = tab
 	t.grew(csrBytes(tab))
+	t.tables.Store(next)
 	return tab, nil
 }
 
 // PUNeighborTable implements spectrum.NeighborTables with one build per
-// radius.
+// radius. Hits are lock-free snapshot reads.
 func (t *Topology) PUNeighborTable(radius float64) (*netmodel.CSRTable, error) {
+	if tt := t.tables.Load(); tt != nil {
+		if tab, ok := tt.pu[radius]; ok {
+			return tab, nil
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if tab, ok := t.puTables[radius]; ok {
-		return tab, nil
+	tt := t.tables.Load()
+	if tt != nil {
+		if tab, ok := tt.pu[radius]; ok {
+			return tab, nil
+		}
 	}
 	tab, err := t.NW.PUNeighborTable(radius)
 	if err != nil {
 		return nil, err
 	}
-	if t.puTables == nil {
-		t.puTables = make(map[float64]*netmodel.CSRTable)
-	}
-	t.puTables[radius] = tab
+	next := tt.clone()
+	next.pu[radius] = tab
 	t.grew(csrBytes(tab))
+	t.tables.Store(next)
 	return tab, nil
 }
 
 // coolestParents memoizes the Coolest routing tree for (sensing range,
 // metric, p_t) on this topology. nw must be this topology's network (with
 // per-point params applied via WithParams); the returned slice is shared
-// and must be treated read-only — core copies it before any mutation.
+// and must be treated read-only — core copies it before any mutation. Hits
+// are lock-free snapshot reads.
 func (t *Topology) coolestParents(nw *netmodel.Network, sensingRange float64, metric coolest.Metric) ([]int32, error) {
 	key := coolestKey{sensingRange: sensingRange, metric: metric, activeProb: nw.Params.ActiveProb}
+	if tt := t.tables.Load(); tt != nil {
+		if p, ok := tt.coolest[key]; ok {
+			return p, nil
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if p, ok := t.coolest[key]; ok {
-		return p, nil
+	tt := t.tables.Load()
+	if tt != nil {
+		if p, ok := tt.coolest[key]; ok {
+			return p, nil
+		}
 	}
 	p, err := coolest.BuildParentsOn(t.Adj, nw, sensingRange, metric)
 	if err != nil {
 		return nil, err
 	}
-	if t.coolest == nil {
-		t.coolest = make(map[coolestKey][]int32)
-	}
-	t.coolest[key] = p
+	next := tt.clone()
+	next.coolest[key] = p
 	t.grew(4*int64(len(p)) + mapEntryOverhead)
+	t.tables.Store(next)
 	return p, nil
 }
 

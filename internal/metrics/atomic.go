@@ -11,8 +11,15 @@ import "sync/atomic"
 
 // AtomicCounter is a concurrency-safe monotonically increasing counter.
 // The zero value is ready to use.
+//
+// The counter is padded out to its own cache line. Service stats structs
+// declare these side by side in arrays and adjacent fields; without padding,
+// counters bumped by different workers share a line and every Inc invalidates
+// the neighbors' cached copy (false sharing), which turns independent atomics
+// into cross-core traffic exactly on the hot submit/complete path.
 type AtomicCounter struct {
 	v atomic.Int64
+	_ [56]byte // pad to 64 bytes so adjacent counters never share a line
 }
 
 // Inc adds one. Safe on a nil receiver (no-op).
@@ -39,9 +46,14 @@ func (c *AtomicCounter) Value() int64 {
 
 // AtomicPeak tracks a level (a queue depth, an in-flight count) together
 // with its high-water mark. The zero value is ready to use.
+//
+// cur and peak intentionally share one line — Add touches both — but the
+// pair is padded so two AtomicPeaks (or a Peak and a neighboring counter)
+// updated by different workers don't false-share.
 type AtomicPeak struct {
 	cur  atomic.Int64
 	peak atomic.Int64
+	_    [48]byte // pad the pair to 64 bytes
 }
 
 // Add moves the level by delta and returns the new level, updating the peak

@@ -3,7 +3,22 @@ package metrics
 import (
 	"sync"
 	"testing"
+	"unsafe"
 )
+
+// TestAtomicInstrumentsCacheLinePadded: adjacent instruments in a stats
+// struct (or an array of them) must land on distinct cache lines, or
+// independent per-worker updates false-share and serialize on coherency
+// traffic. Sizeof is the whole contract: a struct whose size is a multiple
+// of 64 never straddles lines when 64-aligned arrays/structs hold it.
+func TestAtomicInstrumentsCacheLinePadded(t *testing.T) {
+	if s := unsafe.Sizeof(AtomicCounter{}); s%64 != 0 {
+		t.Fatalf("AtomicCounter size %d is not a multiple of the 64B cache line", s)
+	}
+	if s := unsafe.Sizeof(AtomicPeak{}); s%64 != 0 {
+		t.Fatalf("AtomicPeak size %d is not a multiple of the 64B cache line", s)
+	}
+}
 
 func TestAtomicCounterConcurrent(t *testing.T) {
 	var c AtomicCounter

@@ -103,42 +103,127 @@ func (s *lfSource) Seed(seed int64) {
 // a lane the ADDC and Coolest collects re-seed the same root and child seeds,
 // so the second collect's whole derivation tree hits the cache.
 //
-// The cache is safe for concurrent use. When it reaches its capacity it is
-// cleared wholesale: reuse is clustered (the two collects of one pair, the
-// lanes of one block), so an epoch clear costs at most one extra capture per
-// live seed and keeps the memory bound hard.
+// The cache is safe for concurrent use and built for it: entries stripe over
+// a power-of-two set of independently locked shards (seeds are already
+// splitmix-mixed, so a multiplicative hash spreads them evenly), which keeps
+// a sweep's worker pool from serializing on one lock — the process-wide
+// caches behind sweep seed derivation and batch lane preparation are touched
+// by every worker on every block. Each shard bounds its memory with a
+// two-generation clock instead of a wholesale clear: when the current
+// generation fills, it becomes the previous generation and a fresh one
+// starts; lookups that hit the previous generation promote the entry into
+// the current one. A seed in active use therefore survives any number of
+// epoch turns (it keeps getting promoted), while cold seeds age out after
+// two turns — a working set larger than the bound no longer triggers
+// re-capture storms, and an epoch turn on one shard cannot thrash the
+// others. At most 2x the per-generation bound is resident per shard, so the
+// configured budget stays hard.
 type Cache struct {
-	mu  sync.RWMutex
-	m   map[uint64]*lfState
-	max int
+	shards [cacheShards]cacheShard
+
+	// captureHook, when non-nil, observes every captureState call the cache
+	// performs (tests use it to pin the retention behavior). Set it before
+	// the cache is shared; it is read without synchronization.
+	captureHook func(seed uint64)
 }
 
-// NewCache returns a cache bounded to max seeded states (~4.9KB each);
-// max <= 0 selects the default of 2048 (~10MB).
+// cacheShards is the stripe fan-out; a power of two so shard selection is a
+// mask. 8 shards keep worst-case lock sharing at 1/8th of the old global
+// lock even for a pool of many more workers, because hold times are tiny.
+const cacheShards = 8
+
+// cacheShard is one stripe: a two-generation seed-state table under its own
+// lock, padded so neighboring shards' locks never share a cache line.
+type cacheShard struct {
+	mu   sync.Mutex
+	cur  map[uint64]*lfState
+	prev map[uint64]*lfState
+	max  int // per-generation entry bound
+	_    [64]byte
+}
+
+// NewCache returns a cache bounded to roughly max seeded states (~4.9KB
+// each) across all shards and generations; max <= 0 selects the default of
+// 2048 (~10MB).
 func NewCache(max int) *Cache {
 	if max <= 0 {
 		max = 2048
 	}
-	return &Cache{m: make(map[uint64]*lfState), max: max}
+	perGen := max / (2 * cacheShards)
+	if perGen < 1 {
+		perGen = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].max = perGen
+	}
+	return c
+}
+
+// shard selects seed's stripe. Seeds reaching the cache are already
+// splitmix-mixed child seeds, but a fresh multiply guards against callers
+// passing small consecutive integers.
+func (c *Cache) shard(seed uint64) *cacheShard {
+	return &c.shards[(seed*0x9e3779b97f4a7c15)>>(64-3)&(cacheShards-1)]
 }
 
 // state returns the seeded state for seed, capturing and memoizing it on
 // first use.
 func (c *Cache) state(seed uint64) *lfState {
-	c.mu.RLock()
-	st := c.m[seed]
-	c.mu.RUnlock()
-	if st != nil {
+	s := c.shard(seed)
+	s.mu.Lock()
+	if st := s.cur[seed]; st != nil {
+		s.mu.Unlock()
 		return st
 	}
-	st = captureState(seed)
-	c.mu.Lock()
-	if len(c.m) >= c.max {
-		clear(c.m)
+	if st := s.prev[seed]; st != nil {
+		// Promote: an entry still in use keeps riding the current
+		// generation and survives the next epoch turn.
+		s.insertLocked(seed, st)
+		s.mu.Unlock()
+		return st
 	}
-	c.m[seed] = st
-	c.mu.Unlock()
+	s.mu.Unlock()
+	// Capture outside the lock: ~14µs of seeding walk would otherwise
+	// serialize every miss on the shard. Two racing captures of the same
+	// seed produce identical immutable states, so last-write-wins is fine.
+	if c.captureHook != nil {
+		c.captureHook(seed)
+	}
+	st := captureState(seed)
+	s.mu.Lock()
+	s.insertLocked(seed, st)
+	s.mu.Unlock()
 	return st
+}
+
+// insertLocked adds seed to the current generation, turning the epoch when
+// the generation is full. Called with s.mu held.
+func (s *cacheShard) insertLocked(seed uint64, st *lfState) {
+	if s.cur == nil {
+		s.cur = make(map[uint64]*lfState, s.max)
+	}
+	if len(s.cur) >= s.max {
+		if _, ok := s.cur[seed]; !ok {
+			s.prev = s.cur
+			s.cur = make(map[uint64]*lfState, s.max)
+		}
+	}
+	s.cur[seed] = st
+}
+
+// resident counts entries across all shards and generations (test helper;
+// entries in both generations count once per generation, matching their
+// memory cost).
+func (c *Cache) resident() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.cur) + len(s.prev)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // FirstUint64 returns New(seed).Uint64() — the stream's first draw — read

@@ -139,6 +139,36 @@ go run ./cmd/addc-experiments -fig "$FIG" -reps "$REPS" -seed "$SEED" -csv |
 cmp "$workdir/serve.csv" "$workdir/cli.csv"
 echo "service CSV matches the CLI byte for byte"
 
+# Worker-pool parallelism: with two jobs in flight the busy-workers gauge
+# must reach 2 — the daemon boots with two workers by default, and a
+# regression that serializes the pool (a stray lock, a single-worker
+# fallback) would show exactly here while every single-job check above
+# still passes.
+idp1=$(curl -fsS "$base/v1/jobs" -d "{\"figure\":\"$FIG\",\"reps\":6,\"seed\":41}" |
+    sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+idp2=$(curl -fsS "$base/v1/jobs" -d "{\"figure\":\"$FIG\",\"reps\":6,\"seed\":42}" |
+    sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$idp1" ] && [ -n "$idp2" ] || { echo "concurrent submissions returned no ids"; exit 1; }
+peak_busy=0
+for _ in $(seq 1 200); do
+    busy=$(curl -fsS "$base/metrics" | awk '$1 == "addc_workers_busy" { print int($2) }')
+    [ -n "$busy" ] && [ "$busy" -gt "$peak_busy" ] && peak_busy=$busy
+    [ "$peak_busy" -ge 2 ] && break
+    sleep 0.05
+done
+[ "$peak_busy" -ge 2 ] ||
+    { echo "addc_workers_busy peaked at $peak_busy with two concurrent jobs; worker pool is serialized"; exit 1; }
+echo "worker pool ran both concurrent jobs in parallel (busy peak $peak_busy)"
+for jid in "$idp1" "$idp2"; do
+    state=""
+    for _ in $(seq 1 300); do
+        state=$(curl -fsS "$base/v1/jobs/$jid" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+        case "$state" in done | failed | deadline | canceled) break ;; esac
+        sleep 1
+    done
+    [ "$state" = done ] || { echo "concurrent job $jid settled in '$state'"; exit 1; }
+done
+
 kill -TERM "$pid"
 wait "$pid"
 pid=""
